@@ -1,0 +1,27 @@
+# Convenience targets for the Draconis reproduction.
+
+PY ?= python
+
+.PHONY: install test bench experiments smoke examples clean
+
+install:
+	$(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PY) -m repro.experiments.run_all --scale report
+
+smoke:
+	$(PY) -m repro.experiments.run_all --scale smoke
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PY) $$f || exit 1; done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

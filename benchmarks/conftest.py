@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+simulation scale that finishes in seconds (the paper's runs are minutes
+on hardware), prints the paper-vs-measured rows, and asserts the *shape*
+of the result — who wins, by roughly what factor, where crossovers fall.
+EXPERIMENTS.md records the outputs.
+
+Benchmarks run exactly once per session (``rounds=1``): the measured
+quantity is a full discrete-event experiment, not a microbenchmark.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the experiment exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

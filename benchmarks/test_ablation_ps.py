@@ -1,0 +1,80 @@
+"""Ablation benchmark: RackSched intra-node cFCFS vs Processor Sharing.
+
+Paper §2.2: "RackSched advises using an intra-node cFCFS policy without
+preemption for light-tailed workloads. For heavy-tailed workloads, they
+use an intra-node Processor Sharing policy with preemption ... to avoid
+head-of-line blocking." The paper's own evaluation runs light-tailed
+suites with cFCFS; this ablation confirms the advice by running both
+intra-node policies on both workload classes.
+"""
+
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.sim.core import ms
+from repro.workloads import fixed, open_loop, rate_for_utilization
+from repro.workloads.synthetic import heavy_tailed
+
+
+def _run(processor_sharing: bool, sampler, seed=3):
+    config = ClusterConfig(
+        scheduler="racksched",
+        workers=4,
+        executors_per_worker=4,
+        seed=seed,
+        racksched_processor_sharing=processor_sharing,
+    )
+    horizon = ms(80)
+    rate = rate_for_utilization(0.55, config.total_executors, sampler.mean_ns)
+
+    def factory(rngs):
+        return open_loop(rngs.stream("arrivals"), rate, sampler, horizon)
+
+    return run_workload(
+        config, factory, duration_ns=horizon, warmup_ns=ms(10),
+        drain_ns=ms(30),
+    )
+
+
+def test_intra_node_policy_ablation(once):
+    def experiment():
+        heavy = heavy_tailed(mean_us=200, alpha=1.6, cap_us=10_000)
+        light = fixed(200)
+        return {
+            ("heavy", "fcfs"): _run(False, heavy),
+            ("heavy", "ps"): _run(True, heavy),
+            ("light", "fcfs"): _run(False, light),
+            ("light", "ps"): _run(True, light),
+        }
+
+    results = once(experiment)
+    print("\nworkload  intra-node   sched p99     e2e p99")
+    for (workload, policy), result in results.items():
+        print(
+            f"{workload:>8}  {policy:>10} "
+            f"{result.scheduling.p99_us:>10.1f}u "
+            f"{result.end_to_end.p99_us:>10.1f}u"
+        )
+
+    # Heavy tail: PS removes head-of-line blocking — a short task starts
+    # (and short tasks complete) without waiting out an elephant.
+    assert (
+        results[("heavy", "ps")].scheduling.p99_us
+        < results[("heavy", "fcfs")].scheduling.p99_us
+    )
+    # Light tail: PS buys nothing end to end — time-slicing identical
+    # tasks only delays completions — the reason the paper runs cFCFS
+    # for its synthetic suite. (Start-time metrics flatter PS, since
+    # every task "starts" within one quantum; completion latency is the
+    # honest comparison here.)
+    assert (
+        results[("light", "ps")].end_to_end.p99_us
+        >= 0.8 * results[("light", "fcfs")].end_to_end.p99_us
+    )
+    # ...whereas on the heavy tail PS improves the start-time p99 by a
+    # large factor (blocking removed) without hurting completions.
+    assert (
+        results[("heavy", "fcfs")].scheduling.p99_us
+        > 2 * results[("heavy", "ps")].scheduling.p99_us
+    )
+    # Everything completes under both policies.
+    for result in results.values():
+        assert result.tasks_unfinished == 0

@@ -1,0 +1,43 @@
+"""Figure 10 benchmark: locality-aware scheduling vs FCFS.
+
+Paper anchors (rack_start_limit=3, global_start_limit=9): locality
+places 27.66 % node-local + 38.82 % rack-local vs FCFS's 10 %/24 %; the
+paper notes ≥49 % land on the target node or rack in every
+configuration. Median end-to-end: 131 µs (locality) vs 204 µs (FCFS).
+"""
+
+from repro.experiments import fig10_locality
+from repro.sim.core import ms
+
+
+def test_fig10_locality(once):
+    rows = once(fig10_locality.run, duration_ns=ms(60))
+    fig10_locality.print_table(rows)
+    by = {r.policy: r for r in rows}
+
+    locality, fcfs = by["locality"], by["fcfs"]
+    # Locality-aware placement dominates FCFS placement.
+    assert locality.node_local > 2 * fcfs.node_local
+    assert locality.node_local + locality.rack_local > 0.49  # paper's bound
+    # FCFS places most tasks off-rack (paper: 65.94 % remote).
+    assert fcfs.remote > 0.5
+    # Median end-to-end improves by roughly the paper's 1.55x.
+    assert locality.e2e_p50_us < 0.8 * fcfs.e2e_p50_us
+    print(
+        f"\nmedian e2e: locality {locality.e2e_p50_us:.1f}us vs "
+        f"fcfs {fcfs.e2e_p50_us:.1f}us "
+        "(paper: 131.35us vs 203.87us)"
+    )
+
+
+def test_fig10_limit_sweep(once):
+    """§8.5: "at least 49% of tasks are scheduled on the target node or
+    rack in all configurations" of the start limits."""
+    results = once(fig10_locality.limit_sweep, duration_ns=ms(30))
+    print("\nrack/global limits -> node% rack% remote%")
+    for (rack, global_), row in results.items():
+        print(
+            f"  ({rack},{global_}): {row.node_local:.1%} "
+            f"{row.rack_local:.1%} {row.remote:.1%}"
+        )
+        assert row.node_local + row.rack_local >= 0.49

@@ -1,0 +1,43 @@
+"""Figure 12 benchmark: queueing delays across priority levels.
+
+Paper anchors (overloaded 5 ms google trace, 4 levels at
+1.2/1.7/64.6/32.2 %): median queueing delays 1.4 / 2.9 / 13.3 / 53.5 ms
+for levels 1–4; priority-unaware FCFS sits at 39.5 ms — between levels 3
+and 4. Level 1 queues only when no executor is free.
+"""
+
+from repro.experiments import fig12_priority
+from repro.sim.core import ms
+
+
+def test_fig12_priority_levels(once):
+    rows = once(
+        fig12_priority.run,
+        duration_ns=ms(300),
+        mean_task_ns=ms(2),
+        overload=1.3,
+        workers=4,
+        executors_per_worker=8,
+    )
+    fig12_priority.print_table(rows)
+
+    by_level = {r.priority: r for r in rows if r.policy == "priority"}
+    fcfs = next(r for r in rows if r.policy == "fcfs")
+
+    # Strict separation: each level's median below the next.
+    assert (
+        by_level[1].queueing_p50_us
+        <= by_level[2].queueing_p50_us
+        < by_level[3].queueing_p50_us
+        < by_level[4].queueing_p50_us
+    )
+    # High priority is orders of magnitude below the lowest.
+    assert by_level[1].queueing_p50_us * 10 < by_level[4].queueing_p50_us
+    # FCFS lands between the bulk levels (paper: 39.5 ms between 13.3/53.5).
+    assert (
+        by_level[1].queueing_p50_us
+        < fcfs.queueing_p50_us
+        < by_level[4].queueing_p50_us
+    )
+    # The task mix reached all four levels.
+    assert all(by_level[lvl].count > 0 for lvl in (1, 2, 3, 4))

@@ -1,0 +1,37 @@
+"""Figure 13 benchmark: get_task() delay across priority levels.
+
+Paper anchor: the recirculation ladder costs ~1 µs per level — medians
+and p90s across levels differ by only 1–2 µs, so priority lookups add
+negligible overhead.
+"""
+
+from repro.experiments import fig13_gettask
+from repro.sim.core import ms
+
+
+def test_fig13_gettask_ladder(once):
+    rows = once(fig13_gettask.run, duration_ns=ms(25))
+    fig13_gettask.print_table(rows)
+
+    # Delay grows monotonically with the level (one recirculation each).
+    medians = [row.p50_us for row in rows]
+    assert medians == sorted(medians)
+    # Per-level increments are microsecond-scale (paper: 1-2 µs).
+    increments = [b - a for a, b in zip(medians, medians[1:])]
+    assert all(0.2 < inc < 5.0 for inc in increments)
+    spread = fig13_gettask.level_spread(rows)
+    print(f"\nmedian spread across 4 levels: {spread:.2f}us (paper: 1-2us "
+          "between adjacent levels)")
+    # And the absolute get_task cost stays single-digit microseconds.
+    assert rows[-1].p90_us < 15
+
+
+def test_fig13_staged_queues_eliminate_the_ladder(once):
+    """§8.7: "Newer programmable switches ... can house each task queue
+    in separate stages, eliminating the need for packet recirculation."
+    With the Tofino 2 layout the per-level spread collapses."""
+    rows = once(fig13_gettask.run, duration_ns=ms(15), queues_in_stages=True)
+    fig13_gettask.print_table(rows)
+    spread = fig13_gettask.level_spread(rows)
+    print(f"\nstaged-layout spread: {spread:.2f}us (recirculating: ~4.8us)")
+    assert spread < 1.0

@@ -1,0 +1,38 @@
+"""Figure 5b benchmark: scheduling throughput with no-op executors.
+
+Paper anchors: Draconis linear to 58 Mtps at 208 executors; DPDK-server
+~1.1 Mtps (52× less); Sparrow ~500 k / ~900 k for 1 / 2 schedulers;
+sockets ~160 k.
+"""
+
+from repro.experiments import fig5b_throughput
+from repro.sim.core import ms
+
+
+def test_fig5b_throughput_scaling(once):
+    rows = once(
+        fig5b_throughput.run,
+        executor_counts=(16, 96, 208),
+        duration_ns=ms(10),
+    )
+    fig5b_throughput.print_table(rows)
+
+    by = {}
+    for row in rows:
+        by.setdefault(row.system, {})[row.executors] = row.throughput_tps
+
+    # Draconis scales ~linearly with executors (paper: linear to 58 M).
+    assert by["draconis"][208] > 4 * by["draconis"][16]
+    assert by["draconis"][208] > 40e6
+    # Server-based schedulers plateau regardless of executors.
+    assert by["draconis-dpdk"][208] < 1.3 * by["draconis-dpdk"][16]
+    # Ceilings land near the paper's: 1.1 M / 160 k / 500 k / 900 k.
+    assert 0.7e6 < by["draconis-dpdk"][208] < 1.6e6
+    assert by["draconis-socket"][208] < 0.25e6
+    assert 0.3e6 < by["1-sparrow"][208] < 0.8e6
+    assert by["2-sparrow"][208] > 1.5 * by["1-sparrow"][208] * 0.9
+    # The headline: Draconis tens of times above the best server.
+    ratio = by["draconis"][208] / by["draconis-dpdk"][208]
+    print(f"\nDraconis / DPDK-server at 208 executors: {ratio:.0f}x "
+          "(paper: 52x)")
+    assert ratio > 20

@@ -1,0 +1,37 @@
+"""Figure 6 benchmark: p99 scheduling delay on the synthetic suite.
+
+Paper anchors: Draconis 4.7–20 µs p99 on every workload; R2P2's tail =
+task service time from 30–40 % load; RackSched above Draconis and
+degrading at high load.
+"""
+
+from repro.experiments import fig6_synthetic
+from repro.sim.core import ms
+
+
+def test_fig6_synthetic_suite(once):
+    rows = once(
+        fig6_synthetic.run,
+        loads=(0.5, 0.9),
+        duration_ns=ms(40),
+    )
+    fig6_synthetic.print_table(rows)
+
+    by = {}
+    for row in rows:
+        by.setdefault((row.workload, row.system), {})[row.utilization] = row
+
+    mean_service_us = {
+        "100us": 100, "250us": 250, "500us": 500,
+        "bimodal": 300, "trimodal": 283, "exponential": 250,
+    }
+    for workload, service in mean_service_us.items():
+        draconis = by[(workload, "draconis")]
+        r2p2 = by[(workload, "r2p2-3")]
+        # Draconis stays within tens of µs at moderate load on every
+        # workload (paper: 4.7–20 µs).
+        assert draconis[0.5].p99_us < 60, workload
+        # R2P2's p99 is within a factor of the service time by 50% load.
+        assert r2p2[0.5].p99_us > 0.5 * service, workload
+        # Draconis beats R2P2 by an order of magnitude at moderate load.
+        assert draconis[0.5].p99_us * 5 < r2p2[0.5].p99_us, workload

@@ -1,0 +1,41 @@
+"""Figure 8 benchmark: R2P2 JBSQ size vs Draconis (100 µs / 250 µs).
+
+Paper anchors: R2P2-1's tail is comparable to Draconis at low load but
+it drops tasks as load grows (timeout-resubmission spikes); R2P2-3 never
+drops but its tail equals the task service time from 30–40 % load.
+"""
+
+from repro.experiments import fig8_jbsq
+from repro.sim.core import ms
+
+
+def test_fig8_jbsq_effect(once):
+    rows = once(
+        fig8_jbsq.run,
+        task_durations_us=(100.0, 250.0),
+        loads=(0.3, 0.5, 0.93),
+        duration_ns=ms(40),
+    )
+    fig8_jbsq.print_table(rows)
+
+    by = {}
+    for row in rows:
+        by[(row.task_us, row.system, row.utilization)] = row
+
+    for task_us in (100.0, 250.0):
+        # R2P2-1 at low load: tail within a small factor of Draconis.
+        r1_low = by[(task_us, "r2p2-1", 0.3)]
+        dr_low = by[(task_us, "draconis", 0.3)]
+        assert r1_low.p99_us < 6 * max(dr_low.p99_us, 5.0)
+        # R2P2-3's tail reaches the service time by 50% load.
+        r3_mid = by[(task_us, "r2p2-3", 0.5)]
+        assert r3_mid.p99_us > 0.5 * task_us
+        # Draconis never drops.
+        for load in (0.3, 0.5, 0.93):
+            assert not by[(task_us, "draconis", load)].dropped
+
+    # R2P2-1 drops tasks at high load on at least one workload
+    # (paper: 5% at 82% for 100 µs, 9% at 93% for 250 µs).
+    assert any(
+        by[(task_us, "r2p2-1", 0.93)].dropped for task_us in (100.0, 250.0)
+    )

@@ -1,0 +1,33 @@
+"""§3 benchmark: the pull model's RTT trade-off.
+
+Paper claims under test: the executor is idle one RTT per pull ("a few
+microseconds"), the efficiency loss is <3 % at 100 µs tasks, and
+sub-microsecond networks shrink the overhead further.
+"""
+
+from repro.experiments import rtt_sensitivity
+from repro.sim.core import ms
+
+
+def test_pull_overhead_tracks_rtt(once):
+    rows = once(
+        rtt_sensitivity.run,
+        propagations_ns=(50, 500, 2_000),
+        duration_ns=ms(30),
+    )
+    rtt_sensitivity.print_table(rows)
+    by = {row.propagation_ns: row for row in rows}
+
+    # Pull RTT grows with propagation (4 wire crossings per pull).
+    assert by[50].pull_rtt_p50_us < by[500].pull_rtt_p50_us
+    assert by[500].pull_rtt_p50_us < by[2_000].pull_rtt_p50_us
+    # At the paper's testbed point (500 ns propagation): <3 % efficiency
+    # loss on 100 µs tasks (§3.1).
+    assert by[500].efficiency_loss < 0.03
+    # Sub-microsecond networking (50 ns propagation) cuts the loss well
+    # below the testbed figure — the §3 forward-looking claim.
+    assert by[50].efficiency_loss < by[500].efficiency_loss
+    # Even a 4× slower network keeps the pull model's loss moderate.
+    assert by[2_000].efficiency_loss < 0.10
+    # The scheduling-delay floor follows the network, not the task time.
+    assert by[50].sched_delay_p50_us < by[2_000].sched_delay_p50_us

@@ -1,0 +1,59 @@
+"""§8.2 benchmark: scalability to millions of cores.
+
+Paper anchor: "our simulations show that Draconis supports clusters of
+millions of cores when running 500 µs tasks" against the switch's
+4.7 Bpps packet budget.
+"""
+
+from repro.experiments import scalability
+from repro.analysis import max_cluster_cores
+from repro.sim.core import ms, us
+
+
+def test_scalability_model_and_spot_checks(once):
+    checks = once(
+        scalability.run_spot_checks,
+        core_counts=(64, 160, 320),
+        duration_ns=ms(30),
+    )
+    ceiling = max_cluster_cores(task_duration_ns=us(500))
+    points = scalability.run_analytic()
+    print(f"analytic ceiling at 500us tasks: {ceiling:,} cores")
+    for point in points:
+        print(f"  {point.cores:>10,} cores -> packet load "
+              f"{point.switch_packet_load:6.1%} feasible={point.feasible}")
+    for check in checks:
+        print(f"  DES {check.cores} cores: offered {check.offered_tps/1e3:.0f}k "
+              f"achieved {check.achieved_tps/1e3:.0f}k "
+              f"({check.efficiency:.0%})")
+
+    # The headline claim: over a million cores at 500 µs tasks.
+    assert ceiling > 1_000_000
+    # Feasibility flips between 1 M and 2 M cores at 90% utilization.
+    by_cores = {p.cores: p for p in points}
+    assert by_cores[1_000_000].feasible
+    assert not by_cores[2_000_000].feasible
+    # The DES tracks offered load across an order of magnitude of scale:
+    # the scheduler itself is never the bottleneck.
+    assert all(check.efficiency > 0.85 for check in checks)
+
+
+def test_ablation_retrieve_modes(once):
+    from repro.experiments import ablation_retrieve
+
+    rows = once(ablation_retrieve.run, loads=(0.3, 0.9), duration_ns=ms(30))
+    ablation_retrieve.print_table(rows)
+    by = {(r.retrieve_mode, r.utilization): r for r in rows}
+    for load in (0.3, 0.9):
+        conditional = by[("conditional", load)]
+        delayed = by[("delayed", load)]
+        # Identical task outcomes...
+        assert conditional.completed == conditional.submitted
+        assert delayed.completed == delayed.submitted
+        # ...but the delayed variant pays recirculated repair packets.
+        assert (
+            delayed.recirculation_fraction
+            > conditional.recirculation_fraction
+        )
+        # The conditional variant matches the paper's ~0.02-0.05% level.
+        assert conditional.recirculation_fraction < 0.005

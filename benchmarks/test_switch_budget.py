@@ -1,0 +1,20 @@
+"""§7 benchmark: switch resource budget table.
+
+Paper anchors: 164 K-task queue and 4 priority levels on the deployment
+switch; ~1 M tasks and 12 levels on Tofino 2.
+"""
+
+from repro.experiments import table_switch_resources
+
+
+def test_switch_budget_table(once):
+    rows = once(table_switch_resources.run)
+    table_switch_resources.print_table(rows)
+
+    by = {row.model: row for row in rows}
+    assert by["tofino1"].capacity_error() < 0.10
+    assert by["tofino2"].capacity_error() < 0.10
+    assert by["tofino1"].priority_levels == 4
+    assert by["tofino2"].priority_levels == 12
+    # The deployed queue configuration actually fits the model budget.
+    assert table_switch_resources.declared_queue_fits("tofino1", 164_000)

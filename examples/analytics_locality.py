@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Spark-style data analytics with locality-aware scheduling (§5.3).
+
+A data-parallel job's map tasks each read one partition; partitions live
+unreplicated on specific nodes across three racks. Scheduling a task away
+from its data costs 20 µs (same rack) or 100 µs (cross rack) of storage
+access (§8.5). The locality policy delays placement briefly (skip
+counters, §5.3) in exchange for mostly-local execution.
+
+Run:  python examples/analytics_locality.py
+"""
+
+from repro.cluster import (
+    Client,
+    ClientConfig,
+    LocalityCostModel,
+    Worker,
+    WorkerSpec,
+)
+from repro.cluster.executor import ExecutorConfig
+from repro.core import DraconisProgram, FcfsPolicy, LocalityPolicy
+from repro.metrics import MetricsCollector, summarize_ns
+from repro.net import StarTopology
+from repro.sim import Simulator, ms, us
+from repro.sim.rng import RngStreams
+from repro.switchsim import ProgrammableSwitch
+from repro.workloads import locality_workload
+
+WORKERS = 9
+RACKS = 3
+EXECUTORS = 8
+NODE_RACKS = {node: node * RACKS // WORKERS for node in range(WORKERS)}
+
+
+def run_policy(label: str, policy) -> None:
+    sim = Simulator()
+    program = DraconisProgram(policy=policy, queue_capacity=8192)
+    switch = ProgrammableSwitch(sim, program)
+    topology = StarTopology(sim, switch)
+    collector = MetricsCollector()
+    cost_model = LocalityCostModel(node_racks=NODE_RACKS)
+    for node in range(WORKERS):
+        Worker(
+            sim,
+            topology,
+            WorkerSpec(node_id=node, rack_id=NODE_RACKS[node], executors=EXECUTORS),
+            scheduler=switch.service_address,
+            collector=collector,
+            config=ExecutorConfig(locality=cost_model),
+            executor_id_base=node * EXECUTORS,
+        )
+
+    rngs = RngStreams(seed=11)
+    horizon = ms(60)
+    events = locality_workload(
+        rngs.stream("partitions"),
+        node_ids=list(range(WORKERS)),
+        rate_tps=0.42 * WORKERS * EXECUTORS / 100e-6,
+        horizon_ns=horizon,
+        duration_ns=us(100),
+    )
+    Client(
+        sim,
+        topology.add_host("driver"),
+        uid=0,
+        scheduler=switch.service_address,
+        workload=events,
+        collector=collector,
+        config=ClientConfig(),
+    )
+    sim.run(until=horizon + ms(10))
+
+    placements = collector.placement_fractions()
+    e2e = summarize_ns(collector.end_to_end_latencies())
+    print(f"[{label}]")
+    print(
+        f"  placement: node-local {placements.get('node', 0):.1%}, "
+        f"rack-local {placements.get('rack', 0):.1%}, "
+        f"remote {placements.get('remote', 0):.1%}"
+    )
+    print(f"  end-to-end: median {e2e.p50_us:.1f} us, p95 {e2e.p95_us:.1f} us")
+
+
+def main() -> None:
+    print("Map-task scheduling over 9 nodes / 3 racks, partitioned data\n")
+    run_policy(
+        "locality-aware (rack_start=3, global_start=9)",
+        LocalityPolicy(NODE_RACKS, rack_start_limit=3, global_start_limit=9),
+    )
+    run_policy("plain FCFS", FcfsPolicy())
+    print(
+        "\nThe locality policy trades a few queue swaps for mostly "
+        "node-local reads, cutting median end-to-end latency (Fig. 10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of Draconis (EuroSys '24): network-accelerated scheduling
+for microsecond-scale workloads.
+
+Subpackages:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel (integer-ns clock);
+* :mod:`repro.net` -- packets, links, hosts, star topology;
+* :mod:`repro.switchsim` -- the programmable-switch model with Tofino
+  register-access constraints and metered recirculation;
+* :mod:`repro.protocol` -- the scheduler wire protocol (paper Fig. 3);
+* :mod:`repro.core` -- Draconis: the P4-compatible circular queue and the
+  switch scheduler with FCFS / priority / resource / locality policies;
+* :mod:`repro.cluster` -- pull-model executors, workers, clients;
+* :mod:`repro.baselines` -- R2P2, RackSched, Sparrow, server-based Draconis;
+* :mod:`repro.workloads` -- the paper's workload suite (section 8);
+* :mod:`repro.metrics` -- task lifecycle records and latency summaries;
+* :mod:`repro.analysis` -- queueing, switch-budget and scalability models;
+* :mod:`repro.experiments` -- one module per paper figure/table.
+
+Start with ``examples/quickstart.py`` or DESIGN.md.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,38 @@
+"""Analytical models: queueing theory, switch resource budget, scalability.
+
+These back the paper's non-measured claims: centralized-single-queue
+optimality for light-tailed workloads (§1, §2.2.2), the §7 capacity
+estimates, and the §8.2 "clusters of millions of cores" simulation claim.
+"""
+
+from repro.analysis.queueing import (
+    erlang_c,
+    jsq_d_wait_approx,
+    mmc_mean_wait,
+    mmc_wait_quantile,
+)
+from repro.analysis.switch_budget import (
+    QueueEntryLayout,
+    budget_report,
+    priority_levels_supported,
+    queue_capacity_estimate,
+)
+from repro.analysis.scalability import (
+    ScalabilityPoint,
+    max_cluster_cores,
+    scalability_sweep,
+)
+
+__all__ = [
+    "QueueEntryLayout",
+    "ScalabilityPoint",
+    "budget_report",
+    "erlang_c",
+    "jsq_d_wait_approx",
+    "max_cluster_cores",
+    "mmc_mean_wait",
+    "mmc_wait_quantile",
+    "priority_levels_supported",
+    "queue_capacity_estimate",
+    "scalability_sweep",
+]

@@ -1,0 +1,106 @@
+"""Queueing models behind the scheduling-policy comparison.
+
+The paper's design rests on two published results (§1, §2.2.2): for
+light-tailed workloads centralized FCFS is tail-optimal, and a single
+global queue beats distributed per-node queues. These formulas make the
+gap quantitative, and the unit tests cross-validate the discrete-event
+simulator against them (an M/M/c system is one the simulator must get
+right before its comparative results mean anything).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def _check_utilization(utilization: float) -> None:
+    if not 0 <= utilization < 1:
+        raise ConfigurationError(
+            f"utilization must be in [0, 1): {utilization}"
+        )
+
+
+def erlang_c(servers: int, utilization: float) -> float:
+    """Probability an arrival waits in an M/M/c queue (Erlang C).
+
+    ``utilization`` is per-server load rho = lambda / (c * mu).
+    """
+    if servers <= 0:
+        raise ConfigurationError(f"servers must be positive: {servers}")
+    _check_utilization(utilization)
+    if utilization == 0:
+        return 0.0
+    offered = servers * utilization  # a = lambda / mu
+    # Sum via stable iterative term computation.
+    term = 1.0
+    total = 1.0
+    for k in range(1, servers):
+        term *= offered / k
+        total += term
+    term *= offered / servers
+    tail = term / (1 - utilization)
+    return tail / (total + tail)
+
+
+def mmc_mean_wait(
+    servers: int, utilization: float, service_time_ns: float
+) -> float:
+    """Mean queueing wait (ns) in an M/M/c system."""
+    _check_utilization(utilization)
+    if utilization == 0:
+        return 0.0
+    pw = erlang_c(servers, utilization)
+    return pw * service_time_ns / (servers * (1 - utilization))
+
+
+def mmc_wait_quantile(
+    servers: int, utilization: float, service_time_ns: float, q: float
+) -> float:
+    """Waiting-time quantile (ns) in M/M/c.
+
+    The conditional wait is exponential with rate c·mu·(1−rho);
+    P(W > t) = C(c, rho) · exp(−c·mu·(1−rho)·t).
+    """
+    if not 0 < q < 1:
+        raise ConfigurationError(f"quantile must be in (0, 1): {q}")
+    _check_utilization(utilization)
+    pw = erlang_c(servers, utilization)
+    if pw <= 1 - q:
+        return 0.0
+    rate = servers * (1 - utilization) / service_time_ns
+    return math.log(pw / (1 - q)) / rate
+
+
+def jsq_d_wait_approx(
+    servers: int,
+    utilization: float,
+    service_time_ns: float,
+    d: int = 2,
+) -> float:
+    """Mean wait (ns) under power-of-d-choices dispatch to single-server
+    queues (the RackSched/Sparrow family).
+
+    Uses the asymptotic queue-length distribution of Mitzenmacher/Vvedenskaya:
+    the fraction of queues with at least ``i`` jobs is
+    ``rho ** ((d**i - 1) / (d - 1))``; the mean number of jobs in the
+    system follows by summation, and the wait by Little's law.
+    """
+    _check_utilization(utilization)
+    if d < 2:
+        raise ConfigurationError(f"power-of-d needs d >= 2: {d}")
+    if utilization == 0:
+        return 0.0
+    mean_jobs = 0.0
+    i = 1
+    while True:
+        frac = utilization ** ((d**i - 1) / (d - 1))
+        mean_jobs += frac
+        if frac < 1e-12 or i > 200:
+            break
+        i += 1
+    # jobs per queue -> waiting jobs per queue = total - in service (rho)
+    waiting = max(0.0, mean_jobs - utilization)
+    # Little: Wq = Lq / lambda_per_queue; lambda_per_queue = rho / S
+    return waiting * service_time_ns / utilization

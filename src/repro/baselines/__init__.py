@@ -1,0 +1,32 @@
+"""Baseline schedulers the paper compares against (§8, "Schedulers").
+
+* :mod:`r2p2` — JBSQ-k on the switch with recirculating scans (§2.2);
+* :mod:`racksched` — power-of-two JSQ on the switch plus an intra-node
+  scheduler (§2.2);
+* :mod:`sparrow` — the probe-based distributed server scheduler (§2.3.2);
+* :mod:`server_scheduler` — Draconis-Socket-Server and
+  Draconis-DPDK-Server: the Draconis protocol on a single server (§8).
+
+Unlike :mod:`repro.core`, the switch-side baseline programs keep their
+counters as plain Python state rather than constraint-checked register
+arrays: they are comparators, not the artifact under test, and the
+published systems' own dataplane layouts differ from ours. Their
+*recirculation behaviour* — the property the evaluation hinges on — is
+modelled explicitly and metered by the shared switch model.
+"""
+
+from repro.baselines.push_worker import PushWorker, NodeMonitor
+from repro.baselines.r2p2 import R2P2Program
+from repro.baselines.racksched import RackSchedProgram
+from repro.baselines.server_scheduler import ServerScheduler, ServerProfile
+from repro.baselines.sparrow import SparrowScheduler
+
+__all__ = [
+    "NodeMonitor",
+    "PushWorker",
+    "R2P2Program",
+    "RackSchedProgram",
+    "ServerProfile",
+    "ServerScheduler",
+    "SparrowScheduler",
+]

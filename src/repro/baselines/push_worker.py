@@ -1,0 +1,271 @@
+"""Push-model worker nodes for the baseline schedulers (§2.2).
+
+Two flavours, matching the two executor-queueing designs the paper
+describes:
+
+* **per-executor queues** (R2P2): the switch addresses a specific executor
+  port; the executor's socket inbox is its JBSQ queue. The queue bound is
+  enforced by the switch-side counters, not the worker.
+* **node queue** (RackSched, Sparrow): task assignments arrive at a single
+  node-monitor port and an intra-node scheduler dispatches them cFCFS to
+  the node's executors, charging the intra-node scheduling overhead the
+  paper measures at 3–4 µs (§8.1).
+
+Both send completions through the scheduler service (so switch programs
+can decrement their counters) unless ``completion_direct`` is set, in
+which case they go straight to the client (Sparrow) and a local callback
+decrements the monitor's outstanding count.
+
+Node-level blocking is visible by construction: a task's ``on_start``
+fires when an executor *begins* it, so time stuck in a worker queue while
+other nodes idle lands in the measured scheduling delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.task import FN_NOOP, decode_duration
+from repro.cluster.worker import WorkerSpec
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import Address
+from repro.net.topology import StarTopology
+from repro.protocol import codec
+from repro.protocol.messages import Completion, TaskAssignment
+from repro.sim.core import Simulator, us
+from repro.sim.resources import Store
+
+NODE_MONITOR_PORT = 7100
+PROBE_PORT = 7200
+
+#: intra-node scheduler dispatch cost, the paper's measured 3–4 µs (§8.1)
+DEFAULT_INTRA_NODE_OVERHEAD_NS = us(3.5)
+
+
+@dataclass
+class ProbeRequest:
+    """Sparrow probe asking a node monitor for its queue length."""
+
+    task_token: int = 0
+
+    @staticmethod
+    def wire_size() -> int:
+        return 16
+
+
+@dataclass
+class ProbeReply:
+    """Node monitor's answer: current queue depth (queued + running)."""
+
+    task_token: int = 0
+    queue_length: int = 0
+    node_id: int = 0
+
+    @staticmethod
+    def wire_size() -> int:
+        return 24
+
+
+class NodeMonitor:
+    """Node-queue intake: receives assignments, answers probes."""
+
+    def __init__(self, worker: "PushWorker") -> None:
+        self.worker = worker
+        self.outstanding = 0
+        sock = worker.host.socket(NODE_MONITOR_PORT)
+        sock.set_handler(self._on_assignment)
+        probe_sock = worker.host.socket(PROBE_PORT)
+        probe_sock.set_handler(self._on_probe)
+        self._probe_sock = probe_sock
+
+    def _on_assignment(self, packet) -> None:
+        if not isinstance(packet.payload, TaskAssignment):
+            return
+        self.outstanding += 1
+        self.worker.node_queue.put(packet.payload)
+
+    def _on_probe(self, packet) -> None:
+        if not isinstance(packet.payload, ProbeRequest):
+            return
+        reply = ProbeReply(
+            task_token=packet.payload.task_token,
+            queue_length=self.outstanding,
+            node_id=self.worker.spec.node_id,
+        )
+        self._probe_sock.send(packet.src, reply, ProbeReply.wire_size())
+
+    def task_finished(self) -> None:
+        self.outstanding = max(0, self.outstanding - 1)
+
+
+class PushWorker:
+    """A worker node receiving pushed tasks (baseline executor model)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: StarTopology,
+        spec: WorkerSpec,
+        collector: MetricsCollector,
+        scheduler: Address,
+        executor_id_base: int = 0,
+        per_executor_queues: bool = False,
+        intra_node_overhead_ns: int = 0,
+        intra_node_overhead_sigma: float = 0.0,
+        completion_direct: bool = False,
+        processor_sharing: bool = False,
+        ps_quantum_ns: int = 5_000,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.collector = collector
+        self.scheduler = scheduler
+        self.executor_id_base = executor_id_base
+        self.per_executor_queues = per_executor_queues
+        self.intra_node_overhead_ns = intra_node_overhead_ns
+        self.intra_node_overhead_sigma = intra_node_overhead_sigma
+        self._overhead_rng = np.random.default_rng(1000 + spec.node_id)
+        self.completion_direct = completion_direct
+        self.processor_sharing = processor_sharing
+        self.ps_quantum_ns = ps_quantum_ns
+        self.host = topology.add_host(spec.name)
+        self.tasks_executed = 0
+        self.busy_time_ns = 0
+        self.monitor: Optional[NodeMonitor] = None
+        self.node_queue: Optional[Store] = None
+
+        if per_executor_queues:
+            for i in range(spec.executors):
+                sim.spawn(
+                    self._socket_executor(i), name=f"{spec.name}-exec{i}"
+                )
+        else:
+            self.node_queue = Store(sim)
+            self.monitor = NodeMonitor(self)
+            body = (
+                self._ps_executor if processor_sharing else self._queue_executor
+            )
+            for i in range(spec.executors):
+                sim.spawn(body(i), name=f"{spec.name}-exec{i}")
+
+    # -- executors ------------------------------------------------------------
+
+    def executor_address(self, local_index: int) -> Address:
+        """Where the switch should push tasks for executor ``local_index``."""
+        return Address(self.host.name, 7000 + local_index)
+
+    def monitor_address(self) -> Address:
+        return Address(self.host.name, NODE_MONITOR_PORT)
+
+    def probe_address(self) -> Address:
+        return Address(self.host.name, PROBE_PORT)
+
+    def _socket_executor(self, local_index: int):
+        """R2P2 style: the socket inbox is the executor's JBSQ queue."""
+        sock = self.host.socket(7000 + local_index)
+        executor_id = self.executor_id_base + local_index
+        while True:
+            packet = yield sock.recv()
+            if not isinstance(packet.payload, TaskAssignment):
+                continue
+            yield from self._execute(packet.payload, executor_id, sock)
+
+    def _queue_executor(self, local_index: int):
+        """RackSched/Sparrow style: pull from the shared node queue."""
+        sock = self.host.socket(7000 + local_index)
+        executor_id = self.executor_id_base + local_index
+        while True:
+            assignment = yield self.node_queue.get()
+            if self.intra_node_overhead_ns:
+                yield self.sim.timeout(self._sample_overhead())
+            yield from self._execute(assignment, executor_id, sock)
+            if self.monitor is not None:
+                self.monitor.task_finished()
+
+    def _sample_overhead(self) -> int:
+        """Intra-node dispatch cost; lognormal around the measured median
+        (the paper's 3–4 µs has a tail like any software scheduler)."""
+        base = self.intra_node_overhead_ns
+        sigma = self.intra_node_overhead_sigma
+        if sigma <= 0:
+            return base
+        return max(1, int(base * self._overhead_rng.lognormal(0.0, sigma)))
+
+    def _ps_executor(self, local_index: int):
+        """RackSched's intra-node Processor Sharing with preemption (§2.2).
+
+        Approximated as round-robin with a small quantum: a task runs for
+        up to ``ps_quantum_ns``, then yields the executor and rejoins the
+        node queue if unfinished. Short tasks escape quickly instead of
+        waiting behind long ones — the heavy-tailed-workload remedy the
+        RackSched authors recommend.
+        """
+        sock = self.host.socket(7000 + local_index)
+        executor_id = self.executor_id_base + local_index
+        while True:
+            item = yield self.node_queue.get()
+            if isinstance(item, TaskAssignment):
+                # first dispatch of this task
+                if self.intra_node_overhead_ns:
+                    yield self.sim.timeout(self._sample_overhead())
+                key = item.key
+                now = self.sim.now
+                self.collector.on_assign(key, now, executor_id, self.spec.node_id)
+                self.collector.on_start(key, now)
+                remaining = (
+                    0
+                    if item.task.fn_id == FN_NOOP
+                    else decode_duration(item.task.fn_par)
+                )
+                item = [item, remaining]
+            assignment, remaining = item
+            quantum = min(remaining, self.ps_quantum_ns)
+            if quantum > 0:
+                yield self.sim.timeout(quantum)
+                self.busy_time_ns += quantum
+            remaining -= quantum
+            if remaining > 0:
+                item[1] = remaining
+                self.node_queue.put(item)  # preempt: back of the queue
+                continue
+            self.tasks_executed += 1
+            self.collector.on_finish(assignment.key, self.sim.now)
+            self._send_completion(assignment, executor_id, sock)
+            if self.monitor is not None:
+                self.monitor.task_finished()
+
+    def _send_completion(self, assignment: TaskAssignment, executor_id: int, sock):
+        completion = Completion(
+            uid=assignment.uid,
+            jid=assignment.jid,
+            tid=assignment.task.tid,
+            executor_id=executor_id,
+            success=True,
+            client=assignment.client,
+        )
+        if self.completion_direct and assignment.client is not None:
+            sock.send(assignment.client, completion, codec.wire_size(completion))
+        else:
+            sock.send(self.scheduler, completion, codec.wire_size(completion))
+
+    def _execute(self, assignment: TaskAssignment, executor_id: int, sock):
+        key = assignment.key
+        now = self.sim.now
+        self.collector.on_assign(key, now, executor_id, self.spec.node_id)
+        self.collector.on_start(key, now)
+        duration = (
+            0
+            if assignment.task.fn_id == FN_NOOP
+            else decode_duration(assignment.task.fn_par)
+        )
+        if duration > 0:
+            yield self.sim.timeout(duration)
+        self.busy_time_ns += duration
+        self.tasks_executed += 1
+        self.collector.on_finish(key, self.sim.now)
+        # Routed via the scheduler so switch-side counters see it, unless
+        # completion_direct (Sparrow) sends straight to the client.
+        self._send_completion(assignment, executor_id, sock)

@@ -1,0 +1,169 @@
+"""Draconis-Socket-Server and Draconis-DPDK-Server (paper §8).
+
+These are the paper's "optimized centralized scheduler[s] following the
+Draconis scheduling protocol" running on a server instead of the switch:
+the same pull model, the same central FCFS queue, the same packet types.
+The only differences from the in-switch scheduler are:
+
+* every packet costs serial CPU time (per-packet processing cost of the
+  network stack: POSIX sockets vs DPDK kernel-bypass), which caps
+  throughput at roughly ``cores / cost`` — the 160 k pps socket ceiling
+  and ~1.1 M tps DPDK ceiling of §8.1–8.2;
+* under overload the receive queue fills and tail-drops, exactly like a
+  saturated NIC ring.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Deque, Optional
+
+from repro.core.queue import QueueEntry
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import Address, Packet
+from repro.net.topology import StarTopology
+from repro.protocol import codec
+from repro.protocol.messages import (
+    Completion,
+    ErrorPacket,
+    JobSubmission,
+    NoOpTask,
+    SubmissionAck,
+    TaskAssignment,
+    TaskRequest,
+)
+from repro.sim.core import Simulator
+from repro.sim.resources import Store
+
+
+@dataclass(frozen=True)
+class ServerProfile:
+    """Per-packet cost profile of a server network stack.
+
+    Calibration (see ``repro.experiments.calibration``): the paper reports
+    socket-based schedulers capping at ~160 k tps and Draconis-DPDK-Server
+    at ~1.1 M tps. With roughly two scheduler packets per task
+    (submission, completion+piggyback) that gives ~3.1 µs per socket
+    packet and ~0.45 µs per DPDK packet.
+    """
+
+    name: str
+    per_packet_ns: int
+    rx_queue_packets: int = 4096
+
+    def max_packets_per_sec(self) -> float:
+        return 1e9 / self.per_packet_ns
+
+
+SOCKET_SERVER = ServerProfile(name="draconis-socket", per_packet_ns=3_100)
+DPDK_SERVER = ServerProfile(name="draconis-dpdk", per_packet_ns=450)
+
+
+@dataclass
+class ServerStats:
+    packets_processed: int = 0
+    packets_dropped: int = 0
+    tasks_enqueued: int = 0
+    tasks_assigned: int = 0
+    noops_sent: int = 0
+    bounced: int = 0
+
+
+class ServerScheduler:
+    """A single-server scheduler speaking the Draconis protocol."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: StarTopology,
+        profile: ServerProfile = DPDK_SERVER,
+        name: str = "scheduler",
+        queue_capacity: int = 1 << 20,
+        service_port: int = 9000,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.queue_capacity = queue_capacity
+        self.host = topology.add_host(name)
+        self.socket = self.host.socket(service_port)
+        self.address = Address(name, service_port)
+        self.tasks: Deque[QueueEntry] = deque()
+        self.stats = ServerStats()
+        # The socket's inbox models the NIC ring / socket buffer: bounded,
+        # tail-drop under overload.
+        self.socket._inbox = Store(sim, capacity=profile.rx_queue_packets)
+        self.process = sim.spawn(self._serve(), name=f"{name}-cpu")
+
+    # -- CPU loop -------------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            packet = yield self.socket.recv()
+            # Serial per-packet processing cost of the network stack.
+            yield self.sim.timeout(self.profile.per_packet_ns)
+            self.stats.packets_processed += 1
+            self._handle(packet)
+
+    def _send(self, dst: Address, message) -> None:
+        self.socket.send(dst, message, codec.wire_size(message))
+
+    def _handle(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, JobSubmission):
+            self._on_submission(packet, payload)
+        elif isinstance(payload, TaskRequest):
+            self._on_request(payload, packet.src)
+        elif isinstance(payload, Completion):
+            self._on_completion(payload, packet.src)
+        # other packet types are ignored (stray traffic)
+
+    def _on_submission(self, packet: Packet, job: JobSubmission) -> None:
+        rejected = []
+        for task in job.tasks:
+            if len(self.tasks) >= self.queue_capacity:
+                rejected.append(task)
+                continue
+            self.tasks.append(
+                QueueEntry(
+                    uid=job.uid,
+                    jid=job.jid,
+                    task=task,
+                    client=packet.src,
+                    enqueued_at=self.sim.now,
+                )
+            )
+            self.stats.tasks_enqueued += 1
+        if rejected:
+            self.stats.bounced += len(rejected)
+            self._send(
+                packet.src,
+                ErrorPacket(uid=job.uid, jid=job.jid, tasks=rejected),
+            )
+        else:
+            self._send(
+                packet.src,
+                SubmissionAck(uid=job.uid, jid=job.jid, accepted=len(job.tasks)),
+            )
+
+    def _on_request(self, request: TaskRequest, requester: Address) -> None:
+        if not self.tasks:
+            self.stats.noops_sent += 1
+            self._send(requester, NoOpTask())
+            return
+        entry = self.tasks.popleft()
+        self.stats.tasks_assigned += 1
+        self._send(
+            requester,
+            TaskAssignment(
+                uid=entry.uid, jid=entry.jid, task=entry.task, client=entry.client
+            ),
+        )
+
+    def _on_completion(self, completion: Completion, source: Address) -> None:
+        if completion.client is not None:
+            self._send(
+                completion.client, replace(completion, piggyback_request=None)
+            )
+        if completion.piggyback_request is not None:
+            self._on_request(completion.piggyback_request, source)

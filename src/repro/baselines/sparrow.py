@@ -1,0 +1,178 @@
+"""Sparrow: the distributed probe-based server scheduler (paper §2.3.2).
+
+Per task the scheduler samples two worker nodes (power-of-two choices),
+probes their node monitors for queue lengths, and pushes the task to the
+shorter queue. Every message costs server CPU, and the probing round-trip
+is on the task's critical path — the two effects behind Sparrow's 200×
+worse tail latency and sub-Mtps throughput in §8.1–8.2.
+
+The paper re-implemented Sparrow in C++ over sockets (25× faster than the
+Java original) and ran one or two scheduler instances; ``SparrowScheduler``
+models one instance, and the harness deploys several with clients assigned
+round-robin.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.push_worker import ProbeReply, ProbeRequest
+from repro.net.packet import Address, Packet
+from repro.net.topology import StarTopology
+from repro.protocol import codec
+from repro.protocol.messages import (
+    JobSubmission,
+    SubmissionAck,
+    TaskAssignment,
+    TaskInfo,
+)
+from repro.sim.core import Simulator
+from repro.sim.resources import Store
+
+
+@dataclass
+class _PendingTask:
+    """A task waiting for its probe replies."""
+
+    uid: int
+    jid: int
+    task: TaskInfo
+    client: Address
+    replies: List[ProbeReply] = field(default_factory=list)
+    expected: int = 2
+
+
+@dataclass
+class SparrowStats:
+    tasks_dispatched: int = 0
+    probes_sent: int = 0
+    messages_processed: int = 0
+    messages_dropped: int = 0
+
+
+class SparrowScheduler:
+    """One Sparrow scheduler instance (C++/sockets cost model)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: StarTopology,
+        node_monitors: Sequence[Tuple[Address, Address]],
+        name: str = "sparrow0",
+        probes_per_task: int = 2,
+        per_message_ns: int = 2_000,
+        cores: int = 8,
+        task_overhead_ns: int = 0,
+        task_overhead_jitter: float = 0.0,
+        rx_queue_packets: int = 4096,
+        rng: Optional[np.random.Generator] = None,
+        service_port: int = 9000,
+    ) -> None:
+        """``node_monitors``: (assignment address, probe address) pairs.
+
+        ``task_overhead_ns`` models the reference implementation's
+        per-task software latency (see ``repro.experiments.calibration``);
+        it is pipelined (non-blocking), so it delays dispatches without
+        consuming scheduler CPU.
+        """
+        if not node_monitors:
+            raise ValueError("Sparrow needs at least one worker node")
+        self.sim = sim
+        self.monitors = list(node_monitors)
+        self.probes_per_task = min(probes_per_task, len(self.monitors))
+        self.per_message_ns = per_message_ns
+        self.task_overhead_ns = task_overhead_ns
+        self.task_overhead_jitter = task_overhead_jitter
+        self.host = topology.add_host(name)
+        self.socket = self.host.socket(service_port)
+        self.address = Address(name, service_port)
+        self.socket._inbox = Store(sim, capacity=rx_queue_packets)
+        self._rng = rng or np.random.default_rng(0)
+        self._tokens = itertools.count()
+        self._pending: Dict[int, _PendingTask] = {}
+        self.stats = SparrowStats()
+        for core in range(cores):
+            sim.spawn(self._serve(), name=f"{name}-core{core}")
+
+    def _serve(self):
+        while True:
+            packet = yield self.socket.recv()
+            yield self.sim.timeout(self.per_message_ns)
+            self.stats.messages_processed += 1
+            self._handle(packet)
+
+    def _send(self, dst: Address, message, size: int) -> None:
+        self.socket.send(dst, message, size)
+
+    def _handle(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, JobSubmission):
+            self._on_submission(packet, payload)
+        elif isinstance(payload, ProbeReply):
+            self._on_probe_reply(payload)
+
+    def _on_submission(self, packet: Packet, job: JobSubmission) -> None:
+        for task in job.tasks:
+            token = next(self._tokens)
+            pending = _PendingTask(
+                uid=job.uid,
+                jid=job.jid,
+                task=task,
+                client=packet.src,
+                expected=self.probes_per_task,
+            )
+            self._pending[token] = pending
+            chosen = self._rng.choice(
+                len(self.monitors), size=self.probes_per_task, replace=False
+            )
+            for idx in chosen:
+                _assign_addr, probe_addr = self.monitors[int(idx)]
+                self._send(
+                    probe_addr,
+                    ProbeRequest(task_token=token),
+                    ProbeRequest.wire_size(),
+                )
+                self.stats.probes_sent += 1
+        self._send(
+            packet.src,
+            SubmissionAck(uid=job.uid, jid=job.jid, accepted=len(job.tasks)),
+            codec.wire_size(SubmissionAck()),
+        )
+
+    def _on_probe_reply(self, reply: ProbeReply) -> None:
+        pending = self._pending.get(reply.task_token)
+        if pending is None:
+            return
+        pending.replies.append(reply)
+        if len(pending.replies) < pending.expected:
+            return
+        del self._pending[reply.task_token]
+        best = min(pending.replies, key=lambda r: r.queue_length)
+        assign_addr = next(
+            addr
+            for addr, _probe in self.monitors
+            if addr.node == f"worker{best.node_id}"
+        )
+        assignment = TaskAssignment(
+            uid=pending.uid,
+            jid=pending.jid,
+            task=pending.task,
+            client=pending.client,
+        )
+        self.stats.tasks_dispatched += 1
+        if self.task_overhead_ns <= 0:
+            self._send(assign_addr, assignment, codec.wire_size(assignment))
+            return
+        jitter = self.task_overhead_jitter
+        scale = 1.0 + float(self._rng.uniform(-jitter, jitter)) if jitter else 1.0
+        self.sim.call_in(
+            max(1, int(self.task_overhead_ns * scale)),
+            self._send,
+            assign_addr,
+            assignment,
+            codec.wire_size(assignment),
+        )

@@ -1,0 +1,25 @@
+"""Cluster runtime: pull-model executors, worker nodes and clients (§3)."""
+
+from repro.cluster.task import (
+    TaskSpec,
+    SubmitEvent,
+    decode_duration,
+    encode_duration,
+)
+from repro.cluster.executor import Executor, ExecutorConfig, LocalityCostModel
+from repro.cluster.worker import Worker, WorkerSpec
+from repro.cluster.client import Client, ClientConfig
+
+__all__ = [
+    "Client",
+    "ClientConfig",
+    "Executor",
+    "ExecutorConfig",
+    "LocalityCostModel",
+    "SubmitEvent",
+    "TaskSpec",
+    "Worker",
+    "WorkerSpec",
+    "decode_duration",
+    "encode_duration",
+]

@@ -1,0 +1,235 @@
+"""Open-loop clients submitting jobs to the scheduler (paper §3.1).
+
+The client converts workload :class:`SubmitEvent`\\ s into job_submission
+packets (splitting batches across packets when they exceed the per-packet
+task limit, §4.3 "Handling Large Jobs"), and handles the scheduler's
+responses:
+
+* **error_packet** (queue full / repair window): retry the rejected tasks
+  after a short wait (§4.3);
+* **completion**: record end-to-end latency;
+* **timeout**: tasks not completed within ``timeout_factor ×`` their
+  execution time are resubmitted — the paper sets 2× in the R2P2 drop
+  experiments (§8.3) and notes clients typically use 5–10×.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.cluster.task import SubmitEvent, TaskSpec, encode_duration
+from repro.metrics.collector import MetricsCollector
+from repro.net.host import Host, Socket
+from repro.net.packet import Address
+from repro.protocol import codec
+from repro.protocol.messages import (
+    Completion,
+    ErrorPacket,
+    JobSubmission,
+    SubmissionAck,
+    TaskInfo,
+)
+from repro.protocol.codec import MAX_TASKS_PER_PACKET
+from repro.sim.core import Simulator, us
+
+CLIENT_PORT = 6000
+
+TaskKey = Tuple[int, int, int]
+
+
+@dataclass
+class ClientConfig:
+    """Client behaviour knobs."""
+
+    #: wait before retrying tasks bounced with an error_packet (§4.3)
+    bounce_retry_ns: int = us(50)
+    #: resubmit timeout as a multiple of task execution time; None disables
+    timeout_factor: Optional[float] = None
+    #: floor for the resubmit timeout (short tasks need network headroom)
+    timeout_floor_ns: int = us(50)
+    #: each retry doubles the timeout (congestion would otherwise amplify:
+    #: a queue-backlogged burst times out, the duplicates deepen the
+    #: backlog, and the spiral never converges)
+    timeout_backoff: float = 2.0
+    #: give up after this many resubmissions of one task
+    max_retries: int = 8
+    #: cap on tasks per job_submission packet
+    max_tasks_per_packet: int = MAX_TASKS_PER_PACKET
+
+
+@dataclass
+class ClientStats:
+    jobs_submitted: int = 0
+    packets_sent: int = 0
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+    bounces: int = 0
+    timeouts: int = 0
+
+
+class Client:
+    """One submitting client (UID) with an open-loop arrival process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        uid: int,
+        scheduler: Address,
+        workload: Iterable[SubmitEvent],
+        collector: MetricsCollector,
+        config: Optional[ClientConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.uid = uid
+        self.scheduler = scheduler
+        self.collector = collector
+        self.config = config or ClientConfig()
+        self.stats = ClientStats()
+        self.socket: Socket = host.socket(CLIENT_PORT)
+        self._next_jid = 0
+        #: tasks submitted and not yet completed, for retries
+        self._outstanding: Dict[TaskKey, TaskSpec] = {}
+        self._retries: Dict[TaskKey, int] = {}
+        self._timeout_heap: List[Tuple[int, TaskKey]] = []
+        self._timeout_waker = None
+        self.submit_process = sim.spawn(
+            self._submit_loop(iter(workload)), name=f"client{uid}-submit"
+        )
+        self.recv_process = sim.spawn(self._recv_loop(), name=f"client{uid}-recv")
+        if self.config.timeout_factor is not None:
+            self.timeout_process = sim.spawn(
+                self._timeout_loop(), name=f"client{uid}-timeout"
+            )
+
+    # -- submission ---------------------------------------------------------
+
+    def _task_info(self, tid: int, spec: TaskSpec) -> TaskInfo:
+        return TaskInfo(
+            tid=tid,
+            fn_id=spec.fn_id,
+            fn_par=encode_duration(spec.duration_ns),
+            tprops=spec.tprops,
+        )
+
+    def _send_job(self, jid: int, infos: List[TaskInfo]) -> None:
+        message = JobSubmission(uid=self.uid, jid=jid, tasks=infos)
+        self.socket.send(self.scheduler, message, codec.wire_size(message))
+        self.stats.packets_sent += 1
+
+    def _arm_timeout(self, key: TaskKey, spec: TaskSpec) -> None:
+        factor = self.config.timeout_factor
+        if factor is None:
+            return
+        retries = self._retries.get(key, 0)
+        backoff = self.config.timeout_backoff ** retries
+        deadline = self.sim.now + int(
+            max(spec.duration_ns * factor, self.config.timeout_floor_ns)
+            * backoff
+        )
+        heapq.heappush(self._timeout_heap, (deadline, key))
+        if self._timeout_waker is not None and not self._timeout_waker.triggered:
+            self._timeout_waker.succeed()
+            self._timeout_waker = None
+
+    def _submit_event(self, event: SubmitEvent) -> None:
+        jid = self._next_jid
+        self._next_jid += 1
+        self.stats.jobs_submitted += 1
+        cap = self.config.max_tasks_per_packet
+        infos: List[TaskInfo] = []
+        for tid, spec in enumerate(event.tasks):
+            key = (self.uid, jid, tid)
+            self._outstanding[key] = spec
+            self.collector.on_submit(
+                key, self.sim.now, priority=spec.priority,
+                duration_ns=spec.duration_ns,
+            )
+            self._arm_timeout(key, spec)
+            self.stats.tasks_submitted += 1
+            infos.append(self._task_info(tid, spec))
+            if len(infos) == cap:
+                self._send_job(jid, infos)
+                infos = []
+        if infos:
+            self._send_job(jid, infos)
+
+    def _submit_loop(self, events):
+        for event in events:
+            if event.time_ns > self.sim.now:
+                yield self.sim.timeout(event.time_ns - self.sim.now)
+            self._submit_event(event)
+
+    # -- responses ------------------------------------------------------------
+
+    def _recv_loop(self):
+        while True:
+            packet = yield self.socket.recv()
+            payload = packet.payload
+            if isinstance(payload, Completion):
+                self._on_completion(payload)
+            elif isinstance(payload, ErrorPacket):
+                self.sim.spawn(self._retry_bounced(payload))
+            elif isinstance(payload, SubmissionAck):
+                pass  # informational
+            # anything else: stray traffic, ignore
+
+    def _on_completion(self, completion: Completion) -> None:
+        key = completion.key
+        self.collector.on_complete(key, self.sim.now)
+        if self._outstanding.pop(key, None) is not None:
+            self.stats.tasks_completed += 1
+
+    def _retry_bounced(self, error: ErrorPacket):
+        """Re-send tasks rejected by a full queue, after a short wait."""
+        yield self.sim.timeout(self.config.bounce_retry_ns)
+        infos = []
+        for task in error.tasks:
+            key = (error.uid, error.jid, task.tid)
+            spec = self._outstanding.get(key)
+            if spec is None:
+                continue  # completed meanwhile (duplicate submission)
+            self.collector.on_bounce(key)
+            self.stats.bounces += 1
+            self._arm_timeout(key, spec)
+            infos.append(task)
+            if len(infos) == self.config.max_tasks_per_packet:
+                self._send_job(error.jid, infos)
+                infos = []
+        if infos:
+            self._send_job(error.jid, infos)
+
+    # -- timeouts (§8.3) -------------------------------------------------------
+
+    def _timeout_loop(self):
+        while True:
+            if not self._timeout_heap:
+                self._timeout_waker = self.sim.event()
+                yield self._timeout_waker
+                continue
+            deadline, key = self._timeout_heap[0]
+            if deadline > self.sim.now:
+                yield self.sim.timeout(deadline - self.sim.now)
+                continue
+            heapq.heappop(self._timeout_heap)
+            spec = self._outstanding.get(key)
+            if spec is None:
+                continue  # completed in time
+            record = self.collector.records.get(key)
+            if record is not None and record.started_at >= 0:
+                # Already running somewhere; resubmitting would only
+                # duplicate work. Re-arm and wait.
+                self._arm_timeout(key, spec)
+                continue
+            retries = self._retries.get(key, 0)
+            if retries >= self.config.max_retries:
+                continue  # give up; the task counts as unfinished
+            self._retries[key] = retries + 1
+            self.stats.timeouts += 1
+            self.collector.resubmissions += 1
+            self._arm_timeout(key, spec)
+            uid, jid, tid = key
+            self._send_job(jid, [self._task_info(tid, spec)])

@@ -1,0 +1,315 @@
+"""Pull-model executors (paper §3.1, §4.6).
+
+An executor is one process per logical core. When free it sends a
+task_request to the scheduler; on a task_assignment it executes (busy for
+the task duration plus any data-access penalty), then sends the completion
+with the next task request piggybacked. On a no-op it backs off for a
+polling interval and asks again — the paper's "sends another task request
+periodically".
+
+The executor is idle for one RTT while pulling — the deliberate CPU
+efficiency trade-off that eliminates node-level blocking (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cluster.task import FN_NOOP, decode_duration
+from repro.core.policies import decode_locality_tprops
+from repro.metrics.collector import MetricsCollector
+from repro.net.host import Host, Socket
+from repro.net.packet import Address
+from repro.protocol import codec
+from repro.protocol.messages import (
+    Completion,
+    NoOpTask,
+    TaskAssignment,
+    TaskRequest,
+)
+from repro.sim.core import Simulator, us
+
+EXECUTOR_PORT_BASE = 7000
+
+
+@dataclass(frozen=True)
+class LocalityCostModel:
+    """Data-access penalty by placement level (§8.5, Fig. 10 setup).
+
+    The paper sets intra-rack and inter-rack storage access to 20 µs and
+    100 µs; node-local data costs nothing extra.
+    """
+
+    node_racks: Dict[int, int]
+    intra_rack_ns: int = us(20)
+    inter_rack_ns: int = us(100)
+
+    def penalty(self, tprops: int, node_id: int, rack_id: int) -> int:
+        data_nodes = decode_locality_tprops(tprops)
+        if not data_nodes or node_id in data_nodes:
+            return 0
+        data_racks = {
+            self.node_racks[n] for n in data_nodes if n in self.node_racks
+        }
+        if rack_id in data_racks:
+            return self.intra_rack_ns
+        return self.inter_rack_ns
+
+    def placement(self, tprops: int, node_id: int, rack_id: int) -> str:
+        data_nodes = decode_locality_tprops(tprops)
+        if not data_nodes or node_id in data_nodes:
+            return "node"
+        data_racks = {
+            self.node_racks[n] for n in data_nodes if n in self.node_racks
+        }
+        return "rack" if rack_id in data_racks else "remote"
+
+
+@dataclass
+class ExecutorConfig:
+    """Executor behaviour knobs.
+
+    Polling backs off exponentially while the queue stays empty (each
+    consecutive no-op doubles the wait up to ``poll_backoff_max`` times
+    the base interval) and resets on the next real task — idle executors
+    should not hammer the scheduler, which matters for the server-based
+    variants whose CPU is the bottleneck.
+    """
+
+    poll_interval_ns: int = us(25)
+    poll_jitter: float = 0.2
+    poll_backoff_max: int = 8
+    exec_rsrc: int = 0
+    locality: Optional[LocalityCostModel] = None
+    #: record each successful pull's request->assignment round trip
+    #: (the paper's get_task() step, Fig. 13)
+    record_pull_rtts: bool = False
+    #: re-send the task request if no response arrives (a response can be
+    #: tail-dropped at an overloaded server scheduler's receive ring)
+    response_timeout_ns: int = us(1_000)
+
+
+@dataclass
+class ExecutorStats:
+    tasks_executed: int = 0
+    noops_received: int = 0
+    requests_sent: int = 0
+    busy_time_ns: int = 0
+    idle_pull_time_ns: int = 0
+    pull_rtts_ns: list = None  # populated when record_pull_rtts is set
+
+
+class Executor:
+    """One pulling worker thread bound to a socket on its host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        executor_id: int,
+        scheduler: Address,
+        collector: MetricsCollector,
+        node_id: int = 0,
+        rack_id: int = 0,
+        config: Optional[ExecutorConfig] = None,
+        local_port: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.executor_id = executor_id
+        self.scheduler = scheduler
+        self.collector = collector
+        self.node_id = node_id
+        self.rack_id = rack_id
+        self.config = config or ExecutorConfig()
+        self.stats = ExecutorStats()
+        port = local_port if local_port is not None else (
+            EXECUTOR_PORT_BASE + executor_id
+        )
+        self.socket: Socket = host.socket(port)
+        self._rng = rng or np.random.default_rng(executor_id)
+        self._stopped = False
+        self.process = sim.spawn(self._run(), name=f"executor-{executor_id}")
+
+    # -- helpers -----------------------------------------------------------
+
+    def _request(self) -> TaskRequest:
+        return TaskRequest(
+            executor_id=self.executor_id,
+            node_id=self.node_id,
+            rack_id=self.rack_id,
+            exec_rsrc=self.config.exec_rsrc,
+            rtrv_prio=1,
+        )
+
+    def _send(self, message) -> None:
+        self.socket.send(self.scheduler, message, codec.wire_size(message))
+
+    def _poll_delay(self, consecutive_noops: int) -> int:
+        base = self.config.poll_interval_ns
+        backoff = min(
+            1 << max(0, consecutive_noops - 1), self.config.poll_backoff_max
+        )
+        base *= backoff
+        jitter = self.config.poll_jitter
+        if jitter <= 0:
+            return base
+        scale = 1.0 + float(self._rng.uniform(-jitter, jitter))
+        return max(1, int(base * scale))
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _recv_or_timeout(self):
+        """Wait for a response; None when the response timeout expires."""
+        get_event = self.socket.recv()
+        timer = self.sim.timeout(self.config.response_timeout_ns)
+        winner = yield self.sim.any_of([get_event, timer])
+        if winner is get_event:
+            return get_event.value
+        if not self.socket.cancel_recv(get_event):
+            # A packet raced in while the timeout fired; keep it.
+            return get_event.value
+        return None
+
+    # -- main loop ----------------------------------------------------------
+
+    def _run(self):
+        # Stagger start-up so idle polls do not arrive in lockstep.
+        yield self.sim.timeout(int(self._rng.uniform(0, self.config.poll_interval_ns)))
+        self._send(self._request())
+        self.stats.requests_sent += 1
+        pull_started = self.sim.now
+
+        consecutive_noops = 0
+        while not self._stopped:
+            packet = yield from self._recv_or_timeout()
+            if packet is None:
+                # Response lost (overloaded scheduler path): re-request.
+                self._send(self._request())
+                self.stats.requests_sent += 1
+                pull_started = self.sim.now
+                continue
+            payload = packet.payload
+
+            if isinstance(payload, NoOpTask):
+                self.stats.noops_received += 1
+                consecutive_noops += 1
+                yield self.sim.timeout(self._poll_delay(consecutive_noops))
+                self._send(self._request())
+                self.stats.requests_sent += 1
+                pull_started = self.sim.now
+                continue
+
+            if not isinstance(payload, TaskAssignment):
+                continue  # stray traffic; a real executor would log this
+
+            self.stats.idle_pull_time_ns += self.sim.now - pull_started
+            if self.config.record_pull_rtts:
+                if self.stats.pull_rtts_ns is None:
+                    self.stats.pull_rtts_ns = []
+                self.stats.pull_rtts_ns.append(self.sim.now - pull_started)
+            consecutive_noops = 0
+            key = payload.key
+            self.collector.on_assign(
+                key, self.sim.now, self.executor_id, self.node_id
+            )
+            self.collector.on_start(key, self.sim.now)
+
+            started = self.sim.now
+            yield from self._run_task(payload)
+            self.stats.busy_time_ns += self.sim.now - started
+            self.stats.tasks_executed += 1
+            self.collector.on_finish(key, self.sim.now)
+
+            completion = Completion(
+                uid=payload.uid,
+                jid=payload.jid,
+                tid=payload.task.tid,
+                executor_id=self.executor_id,
+                success=True,
+                client=payload.client,
+                piggyback_request=self._request(),
+            )
+            self._send(completion)
+            self.stats.requests_sent += 1
+            pull_started = self.sim.now
+
+    def _run_task(self, assignment: TaskAssignment):
+        """Execute one task, including any §4.4 parameter indirection."""
+        from repro.cluster import largeparams
+
+        task = assignment.task
+        if task.fn_id == largeparams.FN_FETCH_PARAMS:
+            # Transmission function (§4.4): pull the real parameters from
+            # the submitting client before executing.
+            duration, param_bytes = largeparams.decode_fetch_par(task.fn_par)
+            if assignment.client is not None:
+                yield from self._fetch(
+                    Address(assignment.client.node, largeparams.CLIENT_PARAM_PORT),
+                    largeparams.ParamRequest(
+                        uid=assignment.uid,
+                        jid=assignment.jid,
+                        tid=task.tid,
+                    ),
+                    largeparams.ParamRequest.wire_size(),
+                    largeparams.ParamBlob,
+                )
+            if duration > 0:
+                yield self.sim.timeout(duration)
+            return
+        if task.fn_id == largeparams.FN_STORED_INPUT:
+            # Storage pointer (§4.4): read the input object from the
+            # cluster store; free lookup when the data is node-local.
+            duration, node_id, object_bytes = largeparams.decode_stored_par(
+                task.fn_par
+            )
+            if node_id == self.node_id:
+                yield self.sim.timeout(2_000)  # local in-memory lookup
+            else:
+                yield from self._fetch(
+                    largeparams.storage_address_for_node(node_id),
+                    largeparams.StorageGet(
+                        object_id=task.tid, size_bytes=object_bytes
+                    ),
+                    largeparams.StorageGet.wire_size(),
+                    largeparams.StorageBlob,
+                )
+            if duration > 0:
+                yield self.sim.timeout(duration)
+            return
+
+        if task.fn_id == FN_NOOP:
+            return
+        duration = decode_duration(task.fn_par)
+        locality = self.config.locality
+        if locality is not None:
+            duration += locality.penalty(
+                task.tprops, self.node_id, self.rack_id
+            )
+            self.collector.on_placement(
+                assignment.key,
+                locality.placement(task.tprops, self.node_id, self.rack_id),
+            )
+        if duration > 0:
+            yield self.sim.timeout(duration)
+
+    def _fetch(self, dst: Address, request, request_size: int, blob_type):
+        """One request/response exchange on this executor's socket."""
+        self.socket.send(dst, request, request_size)
+        deadline = 4  # tolerate a few stray packets, never hang
+        while deadline:
+            packet = yield from self._recv_or_timeout()
+            if packet is None:
+                # response lost; retry once per timeout
+                self.socket.send(dst, request, request_size)
+                deadline -= 1
+                continue
+            if isinstance(packet.payload, blob_type):
+                return packet.payload
+            deadline -= 1
+        return None

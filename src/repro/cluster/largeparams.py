@@ -1,0 +1,182 @@
+"""Large task parameters (paper §4.4).
+
+FN_PAR is a fixed-size field; parameters that do not fit use one of the
+two indirection mechanisms the paper adopts:
+
+1. **Transmission function** (R2P2-style): the submitted task carries
+   only the parameter *size*; when scheduled, the executor contacts the
+   submitting client directly and pulls the real parameters before
+   executing (one extra RTT plus the transfer).
+2. **In-memory storage pointer**: the client first stores the input on a
+   cluster storage node and submits a task whose FN_PAR points at it;
+   the executor fetches the object from that node (pairing naturally
+   with the locality policy, §5.3, which tries to run the task where the
+   data already is).
+
+Both are exercised end-to-end by the executor (`fn_id` selects the
+mechanism) and tested in ``tests/test_largeparams.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.net.host import Host, Socket
+from repro.net.packet import Address
+
+#: fn_id values selecting the indirection mechanism (FN_SPIN/FN_NOOP are
+#: 0/1 in repro.cluster.task)
+FN_FETCH_PARAMS = 2
+FN_STORED_INPUT = 3
+
+CLIENT_PARAM_PORT = 6001
+STORAGE_PORT = 6100
+
+_FETCH = struct.Struct(">QI")      # duration_ns, param_bytes
+_STORED = struct.Struct(">QHI")    # duration_ns, node_id, object_bytes
+
+
+def encode_fetch_par(duration_ns: int, param_bytes: int) -> bytes:
+    """FN_PAR for the transmission-function mechanism."""
+    if duration_ns < 0 or param_bytes < 0:
+        raise ProtocolError("duration and size must be >= 0")
+    return _FETCH.pack(duration_ns, param_bytes)
+
+
+def decode_fetch_par(fn_par: bytes) -> Tuple[int, int]:
+    if len(fn_par) < _FETCH.size:
+        raise ProtocolError("short FN_PAR for fetch mechanism")
+    return _FETCH.unpack_from(fn_par, 0)
+
+
+def encode_stored_par(duration_ns: int, node_id: int, object_bytes: int) -> bytes:
+    """FN_PAR for the storage-pointer mechanism."""
+    if duration_ns < 0 or object_bytes < 0:
+        raise ProtocolError("duration and size must be >= 0")
+    return _STORED.pack(duration_ns, node_id, object_bytes)
+
+
+def decode_stored_par(fn_par: bytes) -> Tuple[int, int, int]:
+    if len(fn_par) < _STORED.size:
+        raise ProtocolError("short FN_PAR for stored mechanism")
+    return _STORED.unpack_from(fn_par, 0)
+
+
+@dataclass
+class ParamRequest:
+    """Executor -> client: send me the real parameters for this task."""
+
+    uid: int
+    jid: int
+    tid: int
+
+    @staticmethod
+    def wire_size() -> int:
+        return 13
+
+
+@dataclass
+class ParamBlob:
+    """Client -> executor: the parameter bytes (modelled by size)."""
+
+    uid: int
+    jid: int
+    tid: int
+    size_bytes: int
+
+
+@dataclass
+class StorageGet:
+    """Executor -> storage node: read an object."""
+
+    object_id: int
+    size_bytes: int
+
+    @staticmethod
+    def wire_size() -> int:
+        return 13
+
+
+@dataclass
+class StorageBlob:
+    """Storage node -> executor: the object contents (modelled by size)."""
+
+    object_id: int
+    size_bytes: int
+
+
+class ParamServer:
+    """Serves parameter blobs on the client's param port (mechanism 1)."""
+
+    def __init__(self, host: Host) -> None:
+        self.socket: Socket = host.socket(CLIENT_PARAM_PORT)
+        self.socket.set_handler(self._on_request)
+        #: (uid, jid, tid) -> parameter size in bytes
+        self.params: Dict[Tuple[int, int, int], int] = {}
+        self.requests_served = 0
+
+    def register(self, uid: int, jid: int, tid: int, size_bytes: int) -> None:
+        self.params[(uid, jid, tid)] = size_bytes
+
+    def _on_request(self, packet) -> None:
+        request = packet.payload
+        if not isinstance(request, ParamRequest):
+            return
+        size = self.params.get((request.uid, request.jid, request.tid), 0)
+        self.requests_served += 1
+        blob = ParamBlob(
+            uid=request.uid, jid=request.jid, tid=request.tid, size_bytes=size
+        )
+        self.socket.send(packet.src, blob, max(1, size))
+
+    @property
+    def address(self) -> Address:
+        return self.socket.address
+
+
+class StorageNode:
+    """An in-memory object store co-located on a worker host (mechanism 2).
+
+    Reads cost a fixed lookup latency plus the wire transfer of the
+    object. This is the storage system the paper's data-analytics
+    deployments assume ("clients first store the input data on an
+    in-memory storage system deployed on the same cluster", §4.4).
+    """
+
+    def __init__(self, host: Host, lookup_latency_ns: int = 2_000) -> None:
+        self.host = host
+        self.socket: Socket = host.socket(STORAGE_PORT)
+        self.socket.set_handler(self._on_get)
+        self.lookup_latency_ns = lookup_latency_ns
+        self.objects: Dict[int, int] = {}  # object_id -> size
+        self.gets_served = 0
+
+    def put(self, object_id: int, size_bytes: int) -> None:
+        self.objects[object_id] = size_bytes
+
+    def _on_get(self, packet) -> None:
+        request = packet.payload
+        if not isinstance(request, StorageGet):
+            return
+        size = self.objects.get(request.object_id, request.size_bytes)
+        self.gets_served += 1
+        blob = StorageBlob(object_id=request.object_id, size_bytes=size)
+        self.host.sim.call_in(
+            self.lookup_latency_ns,
+            self.socket.send,
+            packet.src,
+            blob,
+            max(1, size),
+        )
+
+    @property
+    def address(self) -> Address:
+        return self.socket.address
+
+
+def storage_address_for_node(node_id: int) -> Address:
+    """Address of the storage service co-located on ``worker<node_id>``."""
+    return Address(f"worker{node_id}", STORAGE_PORT)

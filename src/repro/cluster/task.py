@@ -1,0 +1,71 @@
+"""Task and job specifications exchanged between workloads and clients.
+
+A workload generator produces :class:`SubmitEvent`\\ s; the client turns
+them into job_submission packets. The pre-compiled function convention is
+the paper's (§4.1): ``fn_id`` selects the function, ``fn_par`` carries the
+arguments. The synthetic evaluation functions are:
+
+* ``FN_SPIN`` — busy-loop for the duration packed into ``fn_par``
+  (the paper's executors "continually perform integer arithmetic
+  operations for the task duration", §8.4);
+* ``FN_NOOP`` — retrieve, drop, re-request (the Fig. 5b throughput probe).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+FN_SPIN = 0
+FN_NOOP = 1
+
+_DURATION = struct.Struct(">Q")
+
+
+def encode_duration(duration_ns: int) -> bytes:
+    """Pack a task duration into the FN_PAR argument blob."""
+    if duration_ns < 0:
+        raise ValueError(f"duration must be >= 0: {duration_ns}")
+    return _DURATION.pack(duration_ns)
+
+
+def decode_duration(fn_par: bytes) -> int:
+    """Unpack a task duration from FN_PAR (0 when absent)."""
+    if len(fn_par) < _DURATION.size:
+        return 0
+    return _DURATION.unpack_from(fn_par, 0)[0]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One task as produced by a workload generator.
+
+    Attributes:
+        duration_ns: pure execution time (excluding data-access penalty).
+        tprops: policy-specific properties word copied into TASK_INFO.
+        priority: metrics label (equals the TPROPS level for the priority
+            policy; 0 for unprioritized workloads).
+        fn_id: pre-compiled function id.
+    """
+
+    duration_ns: int
+    tprops: int = 0
+    priority: int = 0
+    fn_id: int = FN_SPIN
+
+
+@dataclass(frozen=True)
+class SubmitEvent:
+    """A batch of independent tasks submitted at one instant."""
+
+    time_ns: int
+    tasks: Tuple[TaskSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("SubmitEvent needs at least one task")
+
+    @property
+    def count(self) -> int:
+        return len(self.tasks)

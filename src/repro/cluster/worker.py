@@ -1,0 +1,93 @@
+"""Worker nodes hosting executors (paper §3, testbed §8).
+
+A :class:`Worker` is a host plus a set of executors (the paper runs 16 per
+node). Node identity (id, rack, resource bitmap) is shared by all of the
+node's executors — resources such as GPUs belong to nodes, not cores
+(§5.2), and data locality is a node property (§5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.executor import Executor, ExecutorConfig
+from repro.metrics.collector import MetricsCollector
+from repro.net.packet import Address
+from repro.net.topology import StarTopology
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Static description of one worker node."""
+
+    node_id: int
+    rack_id: int = 0
+    executors: int = 16
+    resources: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"worker{self.node_id}"
+
+
+class Worker:
+    """A worker node: one host, ``spec.executors`` pulling executors."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: StarTopology,
+        spec: WorkerSpec,
+        scheduler: Address,
+        collector: MetricsCollector,
+        config: Optional[ExecutorConfig] = None,
+        executor_id_base: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.sim = sim
+        self.spec = spec
+        self.host = topology.add_host(spec.name)
+        base_config = config or ExecutorConfig()
+        if spec.resources and base_config.exec_rsrc == 0:
+            base_config = ExecutorConfig(
+                poll_interval_ns=base_config.poll_interval_ns,
+                poll_jitter=base_config.poll_jitter,
+                exec_rsrc=spec.resources,
+                locality=base_config.locality,
+            )
+        self.executors: List[Executor] = [
+            Executor(
+                sim,
+                self.host,
+                executor_id=executor_id_base + i,
+                scheduler=scheduler,
+                collector=collector,
+                node_id=spec.node_id,
+                rack_id=spec.rack_id,
+                config=base_config,
+                local_port=7000 + i,
+                rng=np.random.default_rng(
+                    (rng.integers(0, 2**63) if rng is not None else 0)
+                    + executor_id_base
+                    + i
+                ),
+            )
+            for i in range(spec.executors)
+        ]
+
+    def stop(self) -> None:
+        for executor in self.executors:
+            executor.stop()
+
+    def tasks_executed(self) -> int:
+        return sum(e.stats.tasks_executed for e in self.executors)
+
+    def busy_fraction(self, elapsed_ns: int) -> float:
+        if elapsed_ns <= 0 or not self.executors:
+            return 0.0
+        busy = sum(e.stats.busy_time_ns for e in self.executors)
+        return busy / (elapsed_ns * len(self.executors))

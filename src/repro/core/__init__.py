@@ -1,0 +1,46 @@
+"""Draconis core: the in-switch scheduler (paper §4–§6).
+
+Public surface:
+
+* :class:`SwitchCircularQueue` — the P4-compatible circular queue with
+  delayed pointer correction (§4.2, §4.5, §4.7).
+* :class:`DraconisProgram` — the switch dataplane program implementing
+  job submission, task retrieval, pointer repair and task swapping.
+* Policies: :class:`FcfsPolicy` (§4.8), :class:`PriorityPolicy` (§6.1),
+  :class:`ResourcePolicy` (§5.2), :class:`LocalityPolicy` (§5.3).
+"""
+
+from repro.core.queue import (
+    DequeueOutcome,
+    EnqueueOutcome,
+    QueueEntry,
+    SwitchCircularQueue,
+    ENTRY_WIDTH_BITS,
+)
+from repro.core.policies import (
+    FcfsPolicy,
+    LocalityPolicy,
+    Policy,
+    PriorityPolicy,
+    ResourcePolicy,
+    Verdict,
+)
+from repro.core.scheduler import DraconisProgram
+from repro.core.p4gen import generate_p4, register_summary
+
+__all__ = [
+    "generate_p4",
+    "register_summary",
+    "DequeueOutcome",
+    "DraconisProgram",
+    "ENTRY_WIDTH_BITS",
+    "EnqueueOutcome",
+    "FcfsPolicy",
+    "LocalityPolicy",
+    "Policy",
+    "PriorityPolicy",
+    "QueueEntry",
+    "ResourcePolicy",
+    "SwitchCircularQueue",
+    "Verdict",
+]

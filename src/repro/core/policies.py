@@ -1,0 +1,243 @@
+"""Scheduling policies (paper §4.8, §5, §6).
+
+A policy customizes three decision points of :class:`DraconisProgram`:
+
+1. which replicated queue a submitted task joins (``submit_queue``);
+2. which queue a task_request tries, and what to do when that queue is
+   empty (``first_request_queue`` / ``next_queue_on_empty`` — the
+   priority policy's recirculation ladder, §6.1);
+3. whether a retrieved task may run on the requesting executor
+   (``examine`` — the constraint check driving task swapping, §5.1).
+
+Policies are pure decision logic: they hold no per-packet state and never
+touch registers, so the register-access discipline stays in the queue and
+program code.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import PolicyError
+from repro.core.queue import QueueEntry
+from repro.protocol.messages import TaskInfo, TaskRequest
+
+
+class Verdict(enum.Enum):
+    """Outcome of examining a retrieved task for one executor."""
+
+    ASSIGN = "assign"
+    SWAP = "swap"
+
+
+@dataclass(frozen=True)
+class ExecProps:
+    """The executor-side facts a policy may consult (from the request)."""
+
+    exec_rsrc: int = 0
+    node_id: int = 0
+    rack_id: int = 0
+
+    @staticmethod
+    def from_request(request: TaskRequest) -> "ExecProps":
+        return ExecProps(
+            exec_rsrc=request.exec_rsrc,
+            node_id=request.node_id,
+            rack_id=request.rack_id,
+        )
+
+
+class Policy:
+    """Base policy: single queue, every task runs anywhere (cFCFS)."""
+
+    name = "base"
+    #: number of replicated queues this policy deploys (§6)
+    num_queues = 1
+    #: bound on task-swapping recirculations per request (§5.1)
+    max_swaps = 0
+
+    def submit_queue(self, task: TaskInfo) -> int:
+        """Queue a submitted task joins (by TPROPS)."""
+        return 0
+
+    def first_request_queue(self, request: TaskRequest) -> int:
+        """Queue a task_request tries first."""
+        return 0
+
+    def next_queue_on_empty(self, queue_index: int) -> Optional[int]:
+        """Queue to try after an empty one; None sends the no-op."""
+        return None
+
+    def examine(self, entry: QueueEntry, props: ExecProps) -> Verdict:
+        """May ``entry`` run on this executor?"""
+        return Verdict.ASSIGN
+
+    def validate(self) -> None:
+        """Raise :class:`PolicyError` on inconsistent configuration."""
+        if self.num_queues < 1:
+            raise PolicyError(f"{self.name}: num_queues must be >= 1")
+        if self.max_swaps < 0:
+            raise PolicyError(f"{self.name}: max_swaps must be >= 0")
+
+
+class FcfsPolicy(Policy):
+    """Centralized FCFS (§4.8): one global queue, head task always runs."""
+
+    name = "fcfs"
+
+
+class PriorityPolicy(Policy):
+    """Class-of-service scheduling with one queue per priority level (§6.1).
+
+    Priority level 1 is the highest. A task's TPROPS holds its level; a
+    task_request starts at the level in RTRV_PRIO (normally 1) and the
+    program recirculates it down the ladder while queues are empty.
+    """
+
+    name = "priority"
+
+    def __init__(self, levels: int = 4) -> None:
+        if levels < 1:
+            raise PolicyError(f"priority levels must be >= 1: {levels}")
+        self.levels = levels
+        self.num_queues = levels
+
+    def submit_queue(self, task: TaskInfo) -> int:
+        level = task.tprops
+        if not 1 <= level <= self.levels:
+            raise PolicyError(
+                f"task priority {level} outside 1..{self.levels}"
+            )
+        return level - 1
+
+    def first_request_queue(self, request: TaskRequest) -> int:
+        level = max(1, min(request.rtrv_prio, self.levels))
+        return level - 1
+
+    def next_queue_on_empty(self, queue_index: int) -> Optional[int]:
+        nxt = queue_index + 1
+        return nxt if nxt < self.levels else None
+
+
+class ResourcePolicy(Policy):
+    """Hard binary resource constraints (§5.2).
+
+    TPROPS is a bitmap of required resources; EXEC_RSRC is the bitmap the
+    executor's node possesses. A task runs iff every required bit is
+    available. Mismatches trigger task swapping.
+    """
+
+    name = "resource"
+
+    def __init__(self, max_swaps: int = 16) -> None:
+        self.max_swaps = max_swaps
+
+    def examine(self, entry: QueueEntry, props: ExecProps) -> Verdict:
+        required = entry.task.tprops
+        if required & ~props.exec_rsrc:
+            return Verdict.SWAP
+        return Verdict.ASSIGN
+
+    @staticmethod
+    def requires(*resource_bits: int) -> int:
+        """Build a TPROPS bitmap from resource bit positions."""
+        bitmap = 0
+        for bit in resource_bits:
+            bitmap |= 1 << bit
+        return bitmap
+
+
+MAX_LOCALITY_NODES = 3
+_NODE_BITS = 16
+_NODE_MASK = (1 << _NODE_BITS) - 1
+
+
+def encode_locality_tprops(node_ids: Iterable[int]) -> int:
+    """Pack up to three data-local node ids into a TPROPS word.
+
+    Each id is stored +1 in a 16-bit lane so that zero means "no entry".
+    """
+    packed = 0
+    for lane, node_id in enumerate(node_ids):
+        if lane >= MAX_LOCALITY_NODES:
+            raise PolicyError(
+                f"at most {MAX_LOCALITY_NODES} data-local nodes fit in TPROPS"
+            )
+        if not 0 <= node_id < _NODE_MASK - 1:
+            raise PolicyError(f"node id out of range: {node_id}")
+        packed |= (node_id + 1) << (lane * _NODE_BITS)
+    return packed
+
+
+def decode_locality_tprops(tprops: int) -> List[int]:
+    """Inverse of :func:`encode_locality_tprops`."""
+    nodes = []
+    for lane in range(MAX_LOCALITY_NODES):
+        value = (tprops >> (lane * _NODE_BITS)) & _NODE_MASK
+        if value:
+            nodes.append(value - 1)
+    return nodes
+
+
+class LocalityPolicy(Policy):
+    """Multi-level data-locality-aware scheduling (§5.3).
+
+    Each task is tagged with the nodes holding its input data. The policy
+    prefers those nodes, then (after ``rack_start_limit`` skips) any node
+    in the same rack as a data-local node, then (after
+    ``global_start_limit`` skips) any node at all. The per-task skip count
+    lives in the queue entry, as in the paper.
+
+    Args:
+        node_racks: control-plane table mapping node id -> rack id.
+        rack_start_limit: skips before rack-local placement is allowed.
+        global_start_limit: skips before any placement is allowed; also
+            bounds the recirculations a task can cause.
+    """
+
+    name = "locality"
+
+    def __init__(
+        self,
+        node_racks: Dict[int, int],
+        rack_start_limit: int = 3,
+        global_start_limit: int = 9,
+    ) -> None:
+        if rack_start_limit < 0 or global_start_limit < rack_start_limit:
+            raise PolicyError(
+                "need 0 <= rack_start_limit <= global_start_limit, got "
+                f"{rack_start_limit}, {global_start_limit}"
+            )
+        self.node_racks = dict(node_racks)
+        self.rack_start_limit = rack_start_limit
+        self.global_start_limit = global_start_limit
+        self.max_swaps = global_start_limit + 1
+
+    def examine(self, entry: QueueEntry, props: ExecProps) -> Verdict:
+        data_nodes = decode_locality_tprops(entry.task.tprops)
+        if not data_nodes or props.node_id in data_nodes:
+            return Verdict.ASSIGN
+        skips = entry.skip_counter
+        if skips > self.global_start_limit:
+            return Verdict.ASSIGN
+        if skips > self.rack_start_limit:
+            data_racks = {
+                self.node_racks[n] for n in data_nodes if n in self.node_racks
+            }
+            if props.rack_id in data_racks:
+                return Verdict.ASSIGN
+        return Verdict.SWAP
+
+    def placement_level(self, entry: QueueEntry, props: ExecProps) -> str:
+        """Classify a placement for telemetry: node / rack / remote."""
+        data_nodes = decode_locality_tprops(entry.task.tprops)
+        if props.node_id in data_nodes:
+            return "node"
+        data_racks = {
+            self.node_racks[n] for n in data_nodes if n in self.node_racks
+        }
+        if props.rack_id in data_racks:
+            return "rack"
+        return "remote"

@@ -1,0 +1,352 @@
+"""The P4-compatible circular queue with delayed pointer correction.
+
+This is the paper's central data structure (§4.2). The hardware allows
+one access per register array per packet, so the queue cannot
+check-then-increment its pointers. Instead every operation *optimistically*
+``read_and_increment``\\ s its pointer and detects mistakes afterwards:
+
+* **Enqueue** increments ``add_ptr`` first, then discovers the queue is
+  full. The mistaken increments are counted in ``add_mistakes`` (which
+  doubles as the paper's repair flag: non-zero means a repair packet is in
+  flight) and a single recirculated repair packet subtracts the count.
+  While a repair is pending all submissions are bounced with an
+  error_packet — exactly the client-visible behaviour the paper describes
+  for a full queue (§4.3) — so no slot is ever written against a stale
+  pointer.
+* **Dequeue** increments ``retrieve_ptr`` first, then discovers the slot
+  is empty. The fix is *delayed until the next job_submission* (§4.5):
+  the submission that lands a task at index ``a`` and observes
+  ``retrieve_ptr > a`` sets ``rtr_repair_flag`` (test-and-set, so only one
+  repair circulates, §4.7.1) and recirculates a repair that rewrites
+  ``retrieve_ptr = a``. Task requests that see the flag set return a
+  no-op without touching the slots (§4.7.2), so a retrieval can never
+  race the repair into double-assigning a task.
+
+Pointers are monotonically increasing; the slot index is ``ptr % capacity``
+(the hardware equivalent is free 32-bit wraparound plus a power-of-two
+mask, which the modular arithmetic models exactly).
+
+Every method takes the current :class:`PacketContext` and performs at most
+one access per register array, which the register file enforces — the unit
+tests drive full/empty/concurrent-repair scenarios through this code and
+would fail with :class:`RegisterAccessError` if the design cheated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import SwitchError
+from repro.net.packet import Address
+from repro.protocol.messages import TaskInfo
+from repro.switchsim.registers import PacketContext, RegisterFile
+
+ENTRY_WIDTH_BITS = 256
+"""Register footprint of one queue entry, used by the §7 capacity model.
+
+Derivation: tid (32) + fn_id (32) + fn_par (64, in-switch profile) +
+tprops (32) + client IPv4+port (48) + uid/jid tag (32) + skip counter and
+validity (16) = 256 bits, i.e. eight parallel 32-bit register arrays in
+one stage on real hardware.
+"""
+
+
+@dataclass(frozen=True)
+class QueueEntry:
+    """One task held in switch memory: TASK_INFO plus client identity.
+
+    ``skip_counter`` is the locality policy's per-task skip count (§5.3),
+    stored in the queue as the paper specifies. ``enqueued_at`` is
+    simulation telemetry (queueing-delay measurement), not switch state.
+    """
+
+    uid: int
+    jid: int
+    task: TaskInfo
+    client: Optional[Address]
+    skip_counter: int = 0
+    enqueued_at: int = 0
+
+    def skipped(self) -> "QueueEntry":
+        """Copy with the skip counter advanced (task examined and passed)."""
+        return replace(self, skip_counter=self.skip_counter + 1)
+
+
+@dataclass
+class EnqueueOutcome:
+    """Result of one enqueue attempt.
+
+    Attributes:
+        accepted: task stored in a slot.
+        slot_index: monotonic index it was stored at (when accepted).
+        need_add_repair: caller must recirculate an add_ptr repair packet
+            (this packet was the first to count a mistake).
+        need_rtr_repair: caller must recirculate a retrieve_ptr repair
+            packet setting it to ``rtr_repair_value``.
+        rtr_repair_value: corrected retrieve pointer (index of the task
+            this enqueue just stored).
+    """
+
+    accepted: bool
+    slot_index: int = 0
+    need_add_repair: bool = False
+    need_rtr_repair: bool = False
+    rtr_repair_value: int = 0
+
+
+@dataclass
+class DequeueOutcome:
+    """Result of one dequeue attempt.
+
+    ``entry`` is None when the executor must receive a no-op: either the
+    queue was empty (``over_read`` — the pointer increment was a mistake,
+    repaired by a later submission) or a retrieve-pointer repair is in
+    flight (``repair_pending``, §4.7.2).
+    """
+
+    entry: Optional[QueueEntry]
+    index: int = 0
+    over_read: bool = False
+    repair_pending: bool = False
+
+
+@dataclass
+class QueueStats:
+    """Occupancy/diagnostic counters (control-plane visible)."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    bounced: int = 0
+    over_reads: int = 0
+    add_repairs: int = 0
+    rtr_repairs: int = 0
+    holes_observed: int = 0
+    swaps: int = 0
+
+
+class SwitchCircularQueue:
+    """A circular task queue living in switch register arrays."""
+
+    def __init__(
+        self,
+        registers: RegisterFile,
+        name: str,
+        capacity: int,
+        stage_base: int = 0,
+    ) -> None:
+        if capacity <= 1:
+            raise SwitchError(f"queue capacity must exceed 1: {capacity}")
+        self.name = name
+        self.capacity = capacity
+        # Stage placement mirrors the dataplane order of operations
+        # (Fig. 4): pointers first, then flags, then the slot arrays.
+        self.add_ptr = registers.declare(f"{name}.add_ptr", 1, 32, stage_base)
+        self.retrieve_ptr = registers.declare(
+            f"{name}.retrieve_ptr", 1, 32, stage_base + 1
+        )
+        self.rtr_repair_flag = registers.declare(
+            f"{name}.rtr_repair_flag", 1, 1, stage_base + 2
+        )
+        # The corrected retrieve pointer, written by the submission that
+        # detects the overrun. While the repair packet is in flight,
+        # subsequent submissions use this value for their full check —
+        # the register holding retrieve_ptr is temporarily garbage
+        # (no-op polls keep inflating it) and trusting it would admit
+        # enqueues that overwrite live slots.
+        self.rtr_value = registers.declare(
+            f"{name}.rtr_value", 1, 32, stage_base + 3
+        )
+        self.add_mistakes = registers.declare(
+            f"{name}.add_mistakes", 1, 32, stage_base + 4
+        )
+        self.slots = registers.declare_objects(
+            f"{name}.slots", capacity, ENTRY_WIDTH_BITS, stage_base + 5
+        )
+        self.stats = QueueStats()
+
+    # -- data-plane operations (one register access per array, enforced) --
+
+    def enqueue(self, ctx: PacketContext, entry: QueueEntry) -> EnqueueOutcome:
+        """Attempt to store ``entry``; never accesses any array twice.
+
+        The order of register operations follows the pipeline stages
+        declared in ``__init__`` — the same order for every packet type,
+        which is what rules out intra-switch races (§4.7).
+        """
+        a = self.add_ptr.read_and_increment(ctx)
+        r = self.retrieve_ptr.read(ctx, 0)
+        retrieve_overran = r > a  # the new task at ``a`` would be skipped
+
+        # Test-and-set semantics via a conditional RMW: only the first
+        # detector sees 0 and becomes responsible for the repair (§4.7.1).
+        old_flag = self.rtr_repair_flag.read_modify_write(
+            ctx, 0, lambda v: 1 if retrieve_overran else v
+        )
+        repair_in_flight = old_flag == 1
+        detector = retrieve_overran and not repair_in_flight
+
+        # Effective head for the full check: while the repair is in
+        # flight the live retrieve_ptr register is garbage, so use the
+        # corrected value the detector recorded; the detector itself
+        # knows the head is about to become its own index.
+        rv_old = self.rtr_value.read_modify_write(
+            ctx, 0, lambda v: a if detector else v
+        )
+        if detector:
+            effective_r = a
+        elif repair_in_flight:
+            effective_r = rv_old
+        else:
+            effective_r = r
+        full = (a - effective_r) >= self.capacity
+        # An add repair can rewind add_ptr below a pending corrected head;
+        # a slot written there would sit behind the repaired retrieve
+        # pointer and be lost, so such submissions are mistakes too.
+        below_head = repair_in_flight and not detector and a < rv_old
+        mistake = full or below_head
+
+        # Mistaken increments (queue full, landing below the pending
+        # head, or an add repair already in flight) are counted so a
+        # single repair packet can undo them all.
+        old_mistakes = self.add_mistakes.read_modify_write(
+            ctx, 0, lambda v: v + 1 if (mistake or v > 0) else v
+        )
+        add_pending = old_mistakes > 0
+
+        if mistake or add_pending:
+            self.stats.bounced += 1
+            return EnqueueOutcome(
+                accepted=False,
+                need_add_repair=mistake and old_mistakes == 0,
+                # Even a bounced detector must launch the retrieve repair,
+                # otherwise the flag would stay set forever.
+                need_rtr_repair=detector,
+                rtr_repair_value=a,
+            )
+
+        self.slots.exchange(ctx, a % self.capacity, entry)
+        self.stats.enqueued += 1
+        return EnqueueOutcome(
+            accepted=True,
+            slot_index=a,
+            need_rtr_repair=detector,
+            rtr_repair_value=a,
+        )
+
+    def dequeue_conditional(self, ctx: PacketContext) -> DequeueOutcome:
+        """Repair-free retrieval variant (an optimization over §4.6).
+
+        ``add_ptr`` lives in an earlier pipeline stage than
+        ``retrieve_ptr`` (see ``__init__``), so a task_request can read it
+        first and predicate the retrieve increment on ``r < a`` — a single
+        conditional read-modify-write, which Tofino register ALUs support.
+        The empty-queue over-read (and therefore the delayed retrieve
+        repair and its recirculations) never happens. The reverse trick is
+        impossible for submissions — they must access ``add_ptr`` before
+        ``retrieve_ptr`` is reachable — so the enqueue side keeps the
+        paper's delayed pointer correction.
+
+        The ablation benchmark compares this variant against the paper's
+        :meth:`dequeue`.
+        """
+        a = self.add_ptr.read(ctx, 0)
+        r = self.retrieve_ptr.read_modify_write(
+            ctx, 0, lambda v: v + 1 if v < a else v
+        )
+        if r >= a:
+            self.stats.over_reads += 1  # empty, but no pointer mistake
+            return DequeueOutcome(entry=None, index=r, over_read=True)
+        entry = self.slots.read_and_clear(ctx, r % self.capacity)
+        if entry is None:
+            # A hole (rare, self-healing); the pointer legitimately moved
+            # past it.
+            self.stats.over_reads += 1
+            return DequeueOutcome(entry=None, index=r, over_read=True)
+        self.stats.dequeued += 1
+        return DequeueOutcome(entry=entry, index=r)
+
+    def dequeue(self, ctx: PacketContext) -> DequeueOutcome:
+        """Attempt to pop the head task (task_request path, §4.6)."""
+        r = self.retrieve_ptr.read_and_increment(ctx)
+        if self.rtr_repair_flag.read(ctx, 0):
+            # Entered the pipeline before the repair packet: no-op without
+            # touching the slots (§4.7.2). The in-flight repair rewrites
+            # the pointer absolutely, cancelling this increment too.
+            return DequeueOutcome(entry=None, index=r, repair_pending=True)
+        entry = self.slots.read_and_clear(ctx, r % self.capacity)
+        if entry is None:
+            # Queue empty (or a rare self-healing hole): the increment was
+            # a mistake, fixed by the next job_submission (§4.5).
+            self.stats.over_reads += 1
+            return DequeueOutcome(entry=None, index=r, over_read=True)
+        self.stats.dequeued += 1
+        return DequeueOutcome(entry=entry, index=r)
+
+    def read_retrieve_ptr(self, ctx: PacketContext) -> int:
+        """Plain read of the retrieve pointer (swap-packet staleness check)."""
+        return self.retrieve_ptr.read(ctx, 0)
+
+    def read_add_ptr(self, ctx: PacketContext) -> int:
+        """Plain read of the add pointer (swap end-of-queue check)."""
+        return self.add_ptr.read(ctx, 0)
+
+    def swap_at(
+        self, ctx: PacketContext, index: int, entry: QueueEntry
+    ) -> Optional[QueueEntry]:
+        """Exchange ``entry`` with the slot at monotonic ``index`` (§5.1).
+
+        A single atomic exchange on the slot array; the queue pointers are
+        deliberately untouched, preserving relative task order.
+        """
+        self.stats.swaps += 1
+        out = self.slots.exchange(ctx, index % self.capacity, entry)
+        if out is None:
+            self.stats.holes_observed += 1
+        return out
+
+    def apply_add_repair(self, ctx: PacketContext) -> int:
+        """Repair packet: undo every counted mistaken add increment."""
+        mistakes = self.add_mistakes.read_modify_write(ctx, 0, lambda _v: 0)
+        self.add_ptr.read_modify_write(ctx, 0, lambda v: v - mistakes)
+        self.stats.add_repairs += 1
+        return mistakes
+
+    def apply_rtr_repair(self, ctx: PacketContext, value: int) -> None:
+        """Repair packet: rewrite retrieve_ptr and clear the flag."""
+        self.retrieve_ptr.write(ctx, 0, value)
+        self.rtr_repair_flag.write(ctx, 0, 0)
+        self.stats.rtr_repairs += 1
+
+    # -- control-plane inspection (not subject to the access constraint) --
+
+    def occupancy(self) -> int:
+        """Tasks currently stored (control-plane scan; tests/telemetry)."""
+        return sum(
+            1 for i in range(self.capacity) if self.slots.cp_read(i) is not None
+        )
+
+    def pointer_state(self) -> dict:
+        return {
+            "add_ptr": self.add_ptr.cp_read(0),
+            "retrieve_ptr": self.retrieve_ptr.cp_read(0),
+            "add_mistakes": self.add_mistakes.cp_read(0),
+            "rtr_repair_flag": self.rtr_repair_flag.cp_read(0),
+        }
+
+    def check_invariants(self) -> None:
+        """Control-plane sanity checks used heavily by the test suite.
+
+        With no repairs in flight: occupancy never exceeds capacity and
+        every stored entry lies in the window ``[retrieve_ptr, add_ptr)``.
+        """
+        state = self.pointer_state()
+        if state["add_mistakes"] == 0 and state["rtr_repair_flag"] == 0:
+            add, rtr = state["add_ptr"], state["retrieve_ptr"]
+            if add - rtr > self.capacity:
+                raise SwitchError(
+                    f"{self.name}: window {rtr}..{add} exceeds capacity "
+                    f"{self.capacity}"
+                )
+            if self.occupancy() > self.capacity:
+                raise SwitchError(f"{self.name}: occupancy over capacity")

@@ -1,0 +1,465 @@
+"""The Draconis switch dataplane program (paper §4–§6).
+
+One :class:`DraconisProgram` instance implements every packet path of the
+in-network scheduler:
+
+* **job_submission** (§4.3): enqueue the first task, recirculate for the
+  rest, bounce with an error_packet when the queue is full, and launch
+  pointer repairs (§4.5) when a mistake is detected;
+* **task_request** (§4.6): pop the head task, run the policy check, and
+  either assign the task, send a no-op, recirculate down the priority
+  ladder (§6.1), or start task swapping (§5.1);
+* **swap_task** (§5.1): walk the queue exchanging the carried task with
+  successive entries until one satisfies the policy, with the staleness
+  guard on the retrieve pointer and re-insertion at the end of the walk;
+* **repair** (§4.5, §4.7): apply delayed pointer corrections;
+* **completion**: forward the result to the client and process the
+  piggybacked task request in the same traversal (§3.1).
+
+Every traversal obeys the one-access-per-register-array constraint; the
+register file raises if any path regresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SwitchError
+from repro.net.packet import Address, Packet
+from repro.protocol import codec
+from repro.protocol.messages import (
+    Completion,
+    ErrorPacket,
+    JobSubmission,
+    NoOpTask,
+    RepairPacket,
+    SubmissionAck,
+    SwapTaskPacket,
+    TaskAssignment,
+    TaskRequest,
+)
+from repro.core.policies import ExecProps, FcfsPolicy, Policy, Verdict
+from repro.core.queue import QueueEntry, SwitchCircularQueue
+from repro.switchsim.pipeline import (
+    Action,
+    Drop,
+    Forward,
+    P4Program,
+    Recirculate,
+    Reply,
+)
+from repro.switchsim.registers import PacketContext
+
+DEFAULT_QUEUE_CAPACITY = 4096
+
+
+@dataclass
+class SchedulerStats:
+    """Scheduler-level counters for the evaluation harness."""
+
+    tasks_enqueued: int = 0
+    tasks_assigned: int = 0
+    noops_sent: int = 0
+    submissions_bounced: int = 0
+    acks_sent: int = 0
+    swap_walks_started: int = 0
+    swap_reinserts: int = 0
+    priority_ladder_recircs: int = 0
+
+
+class DraconisProgram(P4Program):
+    """The in-switch centralized scheduler."""
+
+    def __init__(
+        self,
+        policy: Optional[Policy] = None,
+        queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
+        service_port: int = 9000,
+        record_queue_delays: bool = False,
+        retrieve_mode: str = "conditional",
+        queues_in_stages: bool = False,
+    ) -> None:
+        """``retrieve_mode``: "conditional" (repair-free retrieval, the
+        default deployment) or "delayed" (the paper's §4.5 delayed
+        retrieve-pointer correction; kept for the ablation benchmark).
+
+        ``queues_in_stages``: place each replicated queue in its own
+        stage span, so a task_request examines successive priority levels
+        *within one traversal* instead of recirculating down the ladder —
+        the Tofino 2 deployment the paper describes in §6.1/§8.7
+        ("newer switches ... can house each task queue in separate
+        stages, eliminating the need for packet recirculation"). Legal
+        under the register model because each level's arrays are
+        distinct. The paper's first-generation switch shares stages and
+        must recirculate; that remains the default.
+        """
+        super().__init__()
+        self.service_port = service_port
+        self.policy = policy or FcfsPolicy()
+        self.policy.validate()
+        if retrieve_mode not in ("conditional", "delayed"):
+            raise SwitchError(f"unknown retrieve_mode {retrieve_mode!r}")
+        self.retrieve_mode = retrieve_mode
+        self.queues_in_stages = queues_in_stages
+        self.queue_capacity = queue_capacity
+        # Queue replication (§6): one circular queue per class. Queues are
+        # placed in the same stage span and reached by recirculation, like
+        # the paper's first-generation switch deployment (§8.7).
+        self.queues: List[SwitchCircularQueue] = [
+            SwitchCircularQueue(
+                self.registers,
+                name=f"queue{i}",
+                capacity=queue_capacity,
+                stage_base=(6 * i if queues_in_stages else 0),
+            )
+            for i in range(self.policy.num_queues)
+        ]
+        self.sched_stats = SchedulerStats()
+        self.record_queue_delays = record_queue_delays
+        #: (queue_index, queue_delay_ns) samples, see Fig. 12
+        self.queue_delays: List[Tuple[int, int]] = []
+
+    # -- helpers ----------------------------------------------------------
+
+    def _now(self) -> int:
+        return self.switch.sim.now if self.switch is not None else 0
+
+    def _queue(self, index: int) -> SwitchCircularQueue:
+        if not 0 <= index < len(self.queues):
+            raise SwitchError(f"queue index {index} out of range")
+        return self.queues[index]
+
+    @staticmethod
+    def _reply(dst: Address, message) -> Reply:
+        return Reply(dst=dst, payload=message, size=codec.wire_size(message))
+
+    def _repair_packet(
+        self, original: Packet, target: str, value: int, queue_index: int
+    ) -> Recirculate:
+        message = RepairPacket(target=target, value=value, queue_index=queue_index)
+        packet = Packet(
+            src=original.src,
+            dst=original.dst,
+            payload=message,
+            size=codec.wire_size(message) + 42,
+        )
+        return Recirculate(packet)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def process(self, ctx: PacketContext, packet: Packet) -> Sequence[Action]:
+        payload = packet.payload
+        if isinstance(payload, JobSubmission):
+            return self._on_submission(ctx, packet, payload)
+        if isinstance(payload, TaskRequest):
+            return self._on_request(ctx, packet, payload, packet.src)
+        if isinstance(payload, SwapTaskPacket):
+            return self._on_swap(ctx, packet, payload)
+        if isinstance(payload, RepairPacket):
+            return self._on_repair(ctx, packet, payload)
+        if isinstance(payload, Completion):
+            return self._on_completion(ctx, packet, payload)
+        # Unknown scheduler-port payloads are forwarded like a regular
+        # switch would (§4.1, colocation safety).
+        return [Forward(packet)]
+
+    # -- job submission (§4.3, §4.5) ---------------------------------------
+
+    def _on_submission(
+        self, ctx: PacketContext, packet: Packet, job: JobSubmission
+    ) -> Sequence[Action]:
+        if not job.tasks:
+            return [self._reply(packet.src, SubmissionAck(uid=job.uid, jid=job.jid))]
+
+        head, rest = job.tasks[0], job.tasks[1:]
+        queue_index = self.policy.submit_queue(head)
+        queue = self._queue(queue_index)
+        entry = QueueEntry(
+            uid=job.uid,
+            jid=job.jid,
+            task=head,
+            client=packet.src,
+            enqueued_at=self._now(),
+        )
+        outcome = queue.enqueue(ctx, entry)
+        actions: List[Action] = []
+
+        if not outcome.accepted:
+            # Queue full (or a pointer repair in flight): the increment
+            # was a mistake. Bounce this and all remaining tasks back to
+            # the client, which retries after a short wait (§4.3).
+            self.sched_stats.submissions_bounced += 1
+            if outcome.need_add_repair:
+                actions.append(
+                    self._repair_packet(packet, "add_ptr", 0, queue_index)
+                )
+            actions.append(
+                self._reply(
+                    packet.src,
+                    ErrorPacket(uid=job.uid, jid=job.jid, tasks=list(job.tasks)),
+                )
+            )
+            return actions
+
+        self.sched_stats.tasks_enqueued += 1
+        if outcome.need_rtr_repair:
+            # The retrieve pointer overran while the queue was empty; aim
+            # it at the task we just stored (§4.5).
+            actions.append(
+                self._repair_packet(
+                    packet, "retrieve_ptr", outcome.rtr_repair_value, queue_index
+                )
+            )
+
+        if rest:
+            # No loops on the switch: strip one task per traversal and
+            # recirculate the remainder (§4.3, "Adding Multiple Tasks").
+            packet.payload = JobSubmission(uid=job.uid, jid=job.jid, tasks=rest)
+            actions.append(Recirculate(packet))
+        else:
+            self.sched_stats.acks_sent += 1
+            actions.append(
+                self._reply(
+                    packet.src,
+                    SubmissionAck(uid=job.uid, jid=job.jid, accepted=1),
+                )
+            )
+        return actions
+
+    # -- task retrieval (§4.6, §6.1) -----------------------------------------
+
+    def _on_request(
+        self,
+        ctx: PacketContext,
+        packet: Packet,
+        request: TaskRequest,
+        requester: Address,
+    ) -> Sequence[Action]:
+        queue_index = self.policy.first_request_queue(request)
+        while True:
+            queue = self._queue(queue_index)
+            if self.retrieve_mode == "conditional":
+                outcome = queue.dequeue_conditional(ctx)
+            else:
+                outcome = queue.dequeue(ctx)
+            if outcome.entry is not None:
+                break
+            if outcome.repair_pending:
+                self.sched_stats.noops_sent += 1
+                return [self._reply(requester, NoOpTask())]
+            next_queue = self.policy.next_queue_on_empty(queue_index)
+            if next_queue is None:
+                self.sched_stats.noops_sent += 1
+                return [self._reply(requester, NoOpTask())]
+            if self.queues_in_stages:
+                # Tofino 2 layout: the next level's registers live in a
+                # later stage of the same traversal — no recirculation.
+                queue_index = next_queue
+                continue
+            # Priority ladder (§6.1): retry the next level via
+            # recirculation; the packet keeps the executor as source.
+            self.sched_stats.priority_ladder_recircs += 1
+            packet.payload = replace(request, rtrv_prio=next_queue + 1)
+            packet.src = requester
+            return [Recirculate(packet)]
+
+        entry = outcome.entry
+        self._note_dequeue(queue_index, entry)
+        props = ExecProps.from_request(request)
+        if self.policy.examine(entry, props) is Verdict.ASSIGN:
+            return [self._assign(requester, entry)]
+
+        # Constraint not met: start a task-swapping walk (§5.1).
+        self.sched_stats.swap_walks_started += 1
+        swap = SwapTaskPacket(
+            uid=entry.uid,
+            jid=entry.jid,
+            task=entry.task,
+            client=entry.client,
+            swap_indx=outcome.index + 1,
+            exec_props=request.exec_rsrc,
+            node_id=request.node_id,
+            rack_id=request.rack_id,
+            pkt_retrieve_ptr=outcome.index + 1,
+            requester=requester,
+            executor_id=request.executor_id,
+            swaps_left=self.policy.max_swaps,
+            skip_counter=entry.skip_counter + 1,
+            queue_index=queue_index,
+        )
+        packet.payload = swap
+        return [Recirculate(packet)]
+
+    def _assign(self, requester: Address, entry: QueueEntry) -> Reply:
+        self.sched_stats.tasks_assigned += 1
+        assignment = TaskAssignment(
+            uid=entry.uid, jid=entry.jid, task=entry.task, client=entry.client
+        )
+        return self._reply(requester, assignment)
+
+    def _note_dequeue(self, queue_index: int, entry: QueueEntry) -> None:
+        if self.record_queue_delays:
+            self.queue_delays.append(
+                (queue_index, self._now() - entry.enqueued_at)
+            )
+
+    # -- task swapping (§5.1) ---------------------------------------------
+
+    def _entry_from_swap(self, swap: SwapTaskPacket) -> QueueEntry:
+        return QueueEntry(
+            uid=swap.uid,
+            jid=swap.jid,
+            task=swap.task,
+            client=swap.client,
+            skip_counter=swap.skip_counter,
+            enqueued_at=self._now(),
+        )
+
+    def _on_swap(
+        self, ctx: PacketContext, packet: Packet, swap: SwapTaskPacket
+    ) -> Sequence[Action]:
+        queue_index = swap.queue_index
+        queue = self._queue(queue_index)
+        carried = self._entry_from_swap(swap)
+
+        if swap.insert_mode:
+            # End of the walk: the carried task re-enters the queue via
+            # the ordinary submission logic (§5.1). This is a separate
+            # traversal because the walk already read add_ptr.
+            self.sched_stats.swap_reinserts += 1
+            outcome = queue.enqueue(ctx, carried)
+            actions: List[Action] = []
+            if not outcome.accepted:
+                if outcome.need_add_repair:
+                    actions.append(
+                        self._repair_packet(packet, "add_ptr", 0, queue_index)
+                    )
+                if swap.client is not None:
+                    actions.append(
+                        self._reply(
+                            swap.client,
+                            ErrorPacket(
+                                uid=swap.uid, jid=swap.jid, tasks=[swap.task]
+                            ),
+                        )
+                    )
+                return actions
+            if outcome.need_rtr_repair:
+                actions.append(
+                    self._repair_packet(
+                        packet,
+                        "retrieve_ptr",
+                        outcome.rtr_repair_value,
+                        queue_index,
+                    )
+                )
+            return actions
+
+        cur_retrieve = queue.read_retrieve_ptr(ctx)
+        if swap.pkt_retrieve_ptr < cur_retrieve:
+            # The retrieve pointer passed our target while we were in
+            # flight; swapping there would lose the carried task. Swap at
+            # the current head instead (§5.1 concurrency guard).
+            index = cur_retrieve
+        else:
+            index = swap.swap_indx
+
+        add_ptr = queue.read_add_ptr(ctx)
+        if index >= add_ptr:
+            # Walked past the tail: nothing in the queue suits this
+            # executor. Re-insert the carried task and send a no-op.
+            self.sched_stats.noops_sent += 1
+            packet.payload = replace(swap, insert_mode=True)
+            actions = [Recirculate(packet)]
+            if swap.requester is not None:
+                actions.append(self._reply(swap.requester, NoOpTask()))
+            return actions
+
+        out_entry = queue.swap_at(ctx, index, carried)
+        if out_entry is None:
+            # Swapped into a hole: the carried task is parked in-order;
+            # the executor polls again.
+            self.sched_stats.noops_sent += 1
+            if swap.requester is None:
+                return []
+            return [self._reply(swap.requester, NoOpTask())]
+
+        props = ExecProps(
+            exec_rsrc=swap.exec_props,
+            node_id=swap.node_id,
+            rack_id=swap.rack_id,
+        )
+        self._note_dequeue(queue_index, out_entry)
+        if self.policy.examine(out_entry, props) is Verdict.ASSIGN:
+            if swap.requester is None:
+                raise SwitchError("swap packet lost its requester")
+            return [self._assign(swap.requester, out_entry)]
+
+        # Keep walking with the newly extracted task.
+        skipped = out_entry.skipped()
+        if swap.swaps_left <= 1:
+            self.sched_stats.noops_sent += 1
+            packet.payload = replace(
+                swap,
+                uid=skipped.uid,
+                jid=skipped.jid,
+                task=skipped.task,
+                client=skipped.client,
+                skip_counter=skipped.skip_counter,
+                insert_mode=True,
+            )
+            actions = [Recirculate(packet)]
+            if swap.requester is not None:
+                actions.append(self._reply(swap.requester, NoOpTask()))
+            return actions
+
+        packet.payload = replace(
+            swap,
+            uid=skipped.uid,
+            jid=skipped.jid,
+            task=skipped.task,
+            client=skipped.client,
+            skip_counter=skipped.skip_counter,
+            swap_indx=index + 1,
+            pkt_retrieve_ptr=cur_retrieve,
+            swaps_left=swap.swaps_left - 1,
+        )
+        return [Recirculate(packet)]
+
+    # -- pointer repair (§4.5, §4.7) ----------------------------------------
+
+    def _on_repair(
+        self, ctx: PacketContext, packet: Packet, repair: RepairPacket
+    ) -> Sequence[Action]:
+        queue = self._queue(repair.queue_index)
+        if repair.target == "add_ptr":
+            queue.apply_add_repair(ctx)
+        elif repair.target == "retrieve_ptr":
+            queue.apply_rtr_repair(ctx, repair.value)
+        else:
+            raise SwitchError(f"unknown repair target {repair.target!r}")
+        return [Drop(packet, reason="repair-consumed")]
+
+    # -- completions (§3.1) --------------------------------------------------
+
+    def _on_completion(
+        self, ctx: PacketContext, packet: Packet, completion: Completion
+    ) -> Sequence[Action]:
+        actions: List[Action] = []
+        request = completion.piggyback_request
+        if completion.client is not None:
+            notice = replace(completion, piggyback_request=None)
+            actions.append(self._reply(completion.client, notice))
+        if request is not None:
+            actions.extend(self._on_request(ctx, packet, request, packet.src))
+        return actions
+
+    # -- control-plane telemetry ---------------------------------------------
+
+    def total_queued(self) -> int:
+        return sum(q.occupancy() for q in self.queues)
+
+    def check_invariants(self) -> None:
+        for queue in self.queues:
+            queue.check_invariants()

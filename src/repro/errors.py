@@ -1,0 +1,50 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every package raises subclasses of :class:`ReproError` so that callers can
+catch library failures without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Raised for misuse of the discrete-event simulation kernel."""
+
+
+class NetworkError(ReproError):
+    """Raised for invalid network configuration or use."""
+
+
+class SwitchError(ReproError):
+    """Base class for programmable-switch model errors."""
+
+
+class RegisterAccessError(SwitchError):
+    """A P4 program violated the switch memory model.
+
+    Modern programmable switches (e.g. Barefoot Tofino) permit each register
+    array to be accessed at most once per packet traversal (paper §2.1.1).
+    The register file raises this error when a program performs a second
+    access, which is exactly the constraint that motivates Draconis' delayed
+    pointer correction design.
+    """
+
+
+class PipelineResourceError(SwitchError):
+    """A switch program exceeded the modelled hardware resource budget."""
+
+
+class ProtocolError(ReproError):
+    """Raised when encoding or decoding a scheduler protocol message fails."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or cluster configuration is inconsistent."""
+
+
+class PolicyError(ReproError):
+    """Raised when a scheduling policy is configured or used incorrectly."""

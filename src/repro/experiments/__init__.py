@@ -1,0 +1,18 @@
+"""Experiment harness: one module per table/figure in the paper's §8.
+
+``repro.experiments.common`` builds clusters for every scheduler under
+test and runs workloads against them; the ``figN_*`` modules reproduce the
+corresponding figure's sweep and print the paper-vs-measured rows recorded
+in EXPERIMENTS.md. Every module exposes a ``run(...)`` entry point with a
+``scale`` knob so benches can run seconds-long versions of experiments the
+paper ran for minutes.
+"""
+
+from repro.experiments.common import (
+    ClusterConfig,
+    RunResult,
+    build_cluster,
+    run_workload,
+)
+
+__all__ = ["ClusterConfig", "RunResult", "build_cluster", "run_workload"]

@@ -1,0 +1,88 @@
+"""Ablation: delayed retrieve-pointer correction vs conditional retrieval.
+
+The paper's queue fixes empty-queue over-reads with delayed pointer
+correction (§4.5): every poll on an empty queue inflates retrieve_ptr and
+the next job_submission recirculates a repair packet. Our default
+deployment instead predicates the retrieve increment on ``r < add_ptr``
+(legal because add_ptr sits in an earlier stage — see
+``SwitchCircularQueue.dequeue_conditional``), which eliminates those
+repairs entirely.
+
+This ablation quantifies the difference: identical task outcomes, but the
+delayed variant recirculates repair packets roughly once per
+submission-after-idle while the conditional variant stays at the paper's
+reported 0.02–0.05 % recirculation level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.sim.core import ms
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+
+@dataclass
+class AblationRow:
+    retrieve_mode: str
+    utilization: float
+    recirculation_fraction: float
+    p99_us: float
+    completed: int
+    submitted: int
+
+
+def run(
+    loads: Sequence[float] = (0.3, 0.6, 0.9),
+    task_us: float = 250.0,
+    duration_ns: int = ms(50),
+    seed: int = 0,
+) -> List[AblationRow]:
+    rows = []
+    sampler = fixed(task_us)
+    for mode in ("conditional", "delayed"):
+        for load in loads:
+            config = ClusterConfig(
+                scheduler="draconis", retrieve_mode=mode, seed=seed
+            )
+            rate = rate_for_utilization(
+                load, config.total_executors, sampler.mean_ns
+            )
+
+            def factory(rngs, _rate=rate):
+                return open_loop(
+                    rngs.stream("arrivals"), _rate, sampler, duration_ns
+                )
+
+            result = run_workload(
+                config, factory, duration_ns=duration_ns,
+                warmup_ns=duration_ns // 8,
+            )
+            rows.append(
+                AblationRow(
+                    retrieve_mode=mode,
+                    utilization=load,
+                    recirculation_fraction=result.recirculation_fraction,
+                    p99_us=result.scheduling.p99_us,
+                    completed=result.tasks_completed,
+                    submitted=result.tasks_submitted,
+                )
+            )
+    return rows
+
+
+def print_table(rows: List[AblationRow]) -> None:
+    print("Ablation — retrieve-pointer handling")
+    print(f"{'mode':>12} {'util':>6} {'recirc%':>9} {'p99':>10} {'done':>12}")
+    for row in rows:
+        print(
+            f"{row.retrieve_mode:>12} {row.utilization:>6.2f} "
+            f"{row.recirculation_fraction * 100:>8.3f}% "
+            f"{row.p99_us:>9.1f}u {row.completed:>6}/{row.submitted}"
+        )
+
+
+if __name__ == "__main__":
+    print_table(run())

@@ -1,0 +1,148 @@
+"""Figure 5a: throughput vs p99 scheduling delay, 500 µs tasks (§8.1).
+
+Paper result: Draconis holds ~4.7 µs p99 until the cluster saturates
+(>250 k tps ≈ 90 % utilization); RackSched is ~3× higher,
+Draconis-DPDK-Server ~20×, R2P2 ~120× (node-level blocking pins its tail
+at the 500 µs service time), Sparrow ~200×; socket-based systems cannot
+exceed ~160 k tps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import ClusterConfig, RunResult, run_workload
+from repro.sim.core import ms, us
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+TASK_US = 500.0
+DEFAULT_LOADS = (0.2, 0.4, 0.6, 0.8, 0.9)
+
+#: systems in the figure; (label, config overrides)
+SYSTEMS = (
+    ("draconis", dict(scheduler="draconis")),
+    ("racksched", dict(scheduler="racksched")),
+    ("r2p2-3", dict(scheduler="r2p2", jbsq_k=3)),
+    ("draconis-dpdk", dict(scheduler="draconis-dpdk")),
+    ("1-sparrow", dict(scheduler="sparrow", sparrow_schedulers=1)),
+    ("2-sparrow", dict(scheduler="sparrow", sparrow_schedulers=2, clients=2)),
+    ("draconis-socket", dict(scheduler="draconis-socket")),
+)
+
+
+@dataclass
+class Fig5aRow:
+    system: str
+    utilization: float
+    offered_tps: float
+    p99_us: float
+    p50_us: float
+    completed: int
+    submitted: int
+
+
+def synthetic_factory(sampler, utilization: float, executors: int, horizon_ns: int):
+    """Open-loop Poisson factory at a target utilization."""
+    rate = rate_for_utilization(utilization, executors, sampler.mean_ns)
+
+    def factory(rngs):
+        return open_loop(rngs.stream("arrivals"), rate, sampler, horizon_ns)
+
+    factory.rate_tps = rate  # type: ignore[attr-defined]
+    return factory
+
+
+def run(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ns: int = ms(80),
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Fig5aRow]:
+    """Run the Fig. 5a sweep; returns one row per (system, load)."""
+    rows: List[Fig5aRow] = []
+    sampler = fixed(TASK_US)
+    warmup = duration_ns // 8
+    for label, overrides in SYSTEMS:
+        if systems is not None and label not in systems:
+            continue
+        for load in loads:
+            config = ClusterConfig(seed=seed, **overrides)
+            factory = synthetic_factory(
+                sampler, load, config.total_executors, duration_ns
+            )
+            result = run_workload(
+                config, factory, duration_ns=duration_ns, warmup_ns=warmup
+            )
+            rows.append(
+                Fig5aRow(
+                    system=label,
+                    utilization=load,
+                    offered_tps=factory.rate_tps,
+                    p99_us=result.scheduling.p99_us,
+                    p50_us=result.scheduling.p50_us,
+                    completed=result.tasks_completed,
+                    submitted=result.tasks_submitted,
+                )
+            )
+    return rows
+
+
+def print_table(rows: List[Fig5aRow]) -> None:
+    print("Figure 5a — throughput vs p99 scheduling delay (500 us tasks)")
+    print(f"{'system':>16} {'util':>5} {'offered':>10} {'p50':>10} {'p99':>12}")
+    for row in rows:
+        print(
+            f"{row.system:>16} {row.utilization:>5.2f} "
+            f"{row.offered_tps:>9.0f}t "
+            f"{row.p50_us:>9.1f}u {row.p99_us:>11.1f}u"
+        )
+
+
+def paper_comparison(rows: List[Fig5aRow]) -> Dict[str, float]:
+    """p99 ratios vs Draconis at moderate load (the paper's 3/20/120/200×)."""
+    by_system: Dict[str, List[Fig5aRow]] = {}
+    for row in rows:
+        by_system.setdefault(row.system, []).append(row)
+    mid = {
+        system: min(rs, key=lambda r: abs(r.utilization - 0.6))
+        for system, rs in by_system.items()
+    }
+    if "draconis" not in mid:
+        return {}
+    base = mid["draconis"].p99_us
+    return {
+        system: row.p99_us / base
+        for system, row in mid.items()
+        if system != "draconis" and base > 0
+    }
+
+
+def chart(rows: List[Fig5aRow]) -> str:
+    """Render the figure as a log-y ASCII chart (paper Fig. 5a)."""
+    from repro.viz import line_chart
+
+    series: Dict[str, List] = {}
+    for row in rows:
+        series.setdefault(row.system, []).append(
+            (row.offered_tps, row.p99_us)
+        )
+    return line_chart(
+        series,
+        log_y=True,
+        x_label="offered tps",
+        y_label="p99 us",
+        title="Figure 5a - p99 scheduling delay vs load (log y)",
+    )
+
+
+if __name__ == "__main__":
+    table = run()
+    print_table(table)
+    print()
+    print(chart(table))
+    print()
+    print("p99 ratio vs Draconis at ~60% load (paper: RackSched 3x, "
+          "DPDK 20x, R2P2 120x, Sparrow 200x):")
+    for system, ratio in sorted(paper_comparison(table).items()):
+        print(f"  {system:>16}: {ratio:7.1f}x")

@@ -1,0 +1,143 @@
+"""Figure 6: p99 scheduling delay across the synthetic workload suite
+(§8.1): fixed 100/250/500 µs, bimodal, trimodal, exponential.
+
+Paper result: Draconis holds 4.7–20 µs p99 across all six workloads;
+R2P2's tail equals the task service time from 30–40 % utilization
+onwards; RackSched sits ~3× above Draconis and deteriorates at high load;
+Draconis-DPDK-Server ~20× above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.sim.core import ms
+from repro.workloads import (
+    DurationSampler,
+    bimodal,
+    exponential,
+    fixed,
+    open_loop,
+    rate_for_utilization,
+    trimodal,
+)
+
+def _workloads() -> Dict[str, DurationSampler]:
+    # Built lazily so each call gets fresh sampler closures.
+    return {
+        "100us": fixed(100),
+        "250us": fixed(250),
+        "500us": fixed(500),
+        "bimodal": bimodal(),
+        "trimodal": trimodal(),
+        "exponential": exponential(250),
+    }
+
+
+SYSTEMS = (
+    ("draconis", dict(scheduler="draconis")),
+    ("racksched", dict(scheduler="racksched")),
+    ("r2p2-3", dict(scheduler="r2p2", jbsq_k=3)),
+    ("draconis-dpdk", dict(scheduler="draconis-dpdk")),
+)
+
+DEFAULT_LOADS = (0.3, 0.5, 0.7, 0.9)
+
+
+@dataclass
+class Fig6Row:
+    workload: str
+    system: str
+    utilization: float
+    p50_us: float
+    p99_us: float
+
+
+def run(
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ns: int = ms(60),
+    workload_names: Optional[Sequence[str]] = None,
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Fig6Row]:
+    rows: List[Fig6Row] = []
+    warmup = duration_ns // 8
+    for name, sampler in _workloads().items():
+        if workload_names is not None and name not in workload_names:
+            continue
+        for label, overrides in SYSTEMS:
+            if systems is not None and label not in systems:
+                continue
+            for load in loads:
+                config = ClusterConfig(seed=seed, **overrides)
+                rate = rate_for_utilization(
+                    load, config.total_executors, sampler.mean_ns
+                )
+
+                def factory(rngs, _rate=rate, _sampler=sampler):
+                    return open_loop(
+                        rngs.stream("arrivals"), _rate, _sampler, duration_ns
+                    )
+
+                result = run_workload(
+                    config, factory, duration_ns=duration_ns, warmup_ns=warmup
+                )
+                rows.append(
+                    Fig6Row(
+                        workload=name,
+                        system=label,
+                        utilization=load,
+                        p50_us=result.scheduling.p50_us,
+                        p99_us=result.scheduling.p99_us,
+                    )
+                )
+    return rows
+
+
+def print_table(rows: List[Fig6Row]) -> None:
+    print("Figure 6 — p99 scheduling delay, synthetic workload suite")
+    current = None
+    for row in rows:
+        if row.workload != current:
+            current = row.workload
+            print(f"\n[{current}]")
+            print(f"{'system':>16} {'util':>5} {'p50':>10} {'p99':>10}")
+        print(
+            f"{row.system:>16} {row.utilization:>5.2f} "
+            f"{row.p50_us:>9.1f}u {row.p99_us:>9.1f}u"
+        )
+
+
+def charts(rows: List[Fig6Row]) -> str:
+    """One log-y panel per workload, like the paper's 6-panel figure."""
+    from repro.viz import line_chart
+
+    panels = []
+    workloads = sorted({row.workload for row in rows})
+    for workload in workloads:
+        series: Dict[str, List] = {}
+        for row in rows:
+            if row.workload != workload:
+                continue
+            series.setdefault(row.system, []).append(
+                (row.utilization, row.p99_us)
+            )
+        panels.append(
+            line_chart(
+                series,
+                width=48,
+                height=12,
+                log_y=True,
+                title=f"[{workload}] p99 vs utilization (log y)",
+            )
+        )
+    return "\n\n".join(panels)
+
+
+if __name__ == "__main__":
+    table = run()
+    print_table(table)
+    print()
+    print(charts(table))

@@ -1,0 +1,104 @@
+"""Figure 8: the effect of the JBSQ queue size on R2P2 (§8.3).
+
+Paper result (100 µs and 250 µs workloads): R2P2-1 matches Draconis' tail
+at low utilization but starts dropping tasks as load grows (5 % of tasks
+at 82 % for 100 µs; 9 % at 93 % for 250 µs), spiking its tail via client
+timeout-resubmissions; R2P2-3 never drops but its tail equals the task
+service time from 30–40 % utilization (node-level blocking). Draconis
+drops nothing and keeps a microsecond tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments import calibration
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.sim.core import ms
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+DEFAULT_LOADS = (0.3, 0.5, 0.7, 0.82, 0.93)
+
+SYSTEMS = (
+    ("draconis", dict(scheduler="draconis")),
+    ("r2p2-1", dict(scheduler="r2p2", jbsq_k=1)),
+    ("r2p2-3", dict(scheduler="r2p2", jbsq_k=3)),
+)
+
+
+@dataclass
+class Fig8Row:
+    task_us: float
+    system: str
+    utilization: float
+    p99_us: float
+    dropped: bool  # the paper's yellow markers
+    task_drop_fraction: float
+
+
+def run(
+    task_durations_us: Sequence[float] = (100.0, 250.0),
+    loads: Sequence[float] = DEFAULT_LOADS,
+    duration_ns: int = ms(60),
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Fig8Row]:
+    rows: List[Fig8Row] = []
+    warmup = duration_ns // 8
+    for task_us in task_durations_us:
+        sampler = fixed(task_us)
+        for label, overrides in SYSTEMS:
+            if systems is not None and label not in systems:
+                continue
+            for load in loads:
+                config = ClusterConfig(
+                    seed=seed,
+                    timeout_factor=calibration.CLIENT_TIMEOUT_FACTOR,
+                    **overrides,
+                )
+                rate = rate_for_utilization(
+                    load, config.total_executors, sampler.mean_ns
+                )
+
+                def factory(rngs, _rate=rate, _sampler=sampler):
+                    return open_loop(
+                        rngs.stream("arrivals"), _rate, _sampler, duration_ns
+                    )
+
+                result = run_workload(
+                    config, factory, duration_ns=duration_ns, warmup_ns=warmup
+                )
+                drop_fraction = result.resubmissions / max(
+                    1, result.tasks_submitted
+                )
+                rows.append(
+                    Fig8Row(
+                        task_us=task_us,
+                        system=label,
+                        utilization=load,
+                        p99_us=result.scheduling.p99_us,
+                        dropped=result.recirc_dropped > 0,
+                        task_drop_fraction=drop_fraction,
+                    )
+                )
+    return rows
+
+
+def print_table(rows: List[Fig8Row]) -> None:
+    print("Figure 8 — R2P2 JBSQ size vs Draconis")
+    current = None
+    for row in rows:
+        if row.task_us != current:
+            current = row.task_us
+            print(f"\n[{current:.0f} us tasks]")
+            print(f"{'system':>10} {'util':>6} {'p99':>10} {'drops':>8}")
+        marker = " *DROPS*" if row.dropped else ""
+        print(
+            f"{row.system:>10} {row.utilization:>6.2f} {row.p99_us:>9.1f}u "
+            f"{row.task_drop_fraction * 100:>6.2f}%{marker}"
+        )
+
+
+if __name__ == "__main__":
+    print_table(run())

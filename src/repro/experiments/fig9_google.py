@@ -1,0 +1,116 @@
+"""Figure 9: scheduling-delay CDF on the (synthetic) Google trace (§8.4).
+
+Paper result (accelerated Google trace, 500 µs mean): Draconis median
+4.18 µs; R2P2-5 is the best R2P2 variant at 5.2 µs (R2P2-3/7/9 are
+60–160 µs, R2P2-1 drops 6.3 % of tasks and is excluded); RackSched median
+5.83 µs; Draconis-DPDK-Server collapses to seconds. All systems grow long
+tails from the trace's burstiness.
+
+We use the statistically-matched synthetic trace
+(:mod:`repro.workloads.google_like`; see DESIGN.md for the substitution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments import calibration
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.metrics.summary import cdf_points, percentile
+from repro.sim.core import ms, us
+from repro.workloads import GoogleTraceConfig, google_like
+
+SYSTEMS = (
+    ("draconis", dict(scheduler="draconis")),
+    ("racksched", dict(scheduler="racksched")),
+    ("r2p2-1", dict(scheduler="r2p2", jbsq_k=1)),
+    ("r2p2-3", dict(scheduler="r2p2", jbsq_k=3)),
+    ("r2p2-5", dict(scheduler="r2p2", jbsq_k=5)),
+    ("r2p2-7", dict(scheduler="r2p2", jbsq_k=7)),
+    ("r2p2-9", dict(scheduler="r2p2", jbsq_k=9)),
+    ("draconis-dpdk", dict(scheduler="draconis-dpdk")),
+)
+
+
+@dataclass
+class Fig9Row:
+    system: str
+    p50_us: float
+    p95_us: float
+    p99_us: float
+    task_drop_fraction: float
+    cdf: List[Tuple[float, float]]
+
+
+def run(
+    duration_ns: int = ms(120),
+    mean_rate_tps: float = 200_000.0,
+    systems: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> List[Fig9Row]:
+    rows: List[Fig9Row] = []
+    warmup = duration_ns // 8
+    trace_config = GoogleTraceConfig(
+        mean_duration_ns=us(500),
+        target_rate_tps=mean_rate_tps,
+        horizon_ns=duration_ns,
+    )
+    for label, overrides in SYSTEMS:
+        if systems is not None and label not in systems:
+            continue
+        config = ClusterConfig(
+            seed=seed,
+            timeout_factor=calibration.CLIENT_TIMEOUT_FACTOR,
+            queue_capacity=1 << 16,
+            **overrides,
+        )
+
+        def factory(rngs):
+            return google_like(rngs.stream("google-trace"), trace_config)
+
+        result = run_workload(
+            config, factory, duration_ns=duration_ns, warmup_ns=warmup,
+            drain_ns=ms(20),
+        )
+        delays = result.scheduling_delays_ns
+        rows.append(
+            Fig9Row(
+                system=label,
+                p50_us=percentile(delays, 50) / 1e3,
+                p95_us=percentile(delays, 95) / 1e3,
+                p99_us=percentile(delays, 99) / 1e3,
+                task_drop_fraction=(
+                    result.resubmissions / max(1, result.tasks_submitted)
+                ),
+                cdf=cdf_points(delays, points=100),
+            )
+        )
+    return rows
+
+
+def print_table(rows: List[Fig9Row]) -> None:
+    print("Figure 9 — scheduling delay on the google-like trace (500 us mean)")
+    print(f"{'system':>16} {'p50':>10} {'p95':>10} {'p99':>12} {'drops':>8}")
+    for row in rows:
+        print(
+            f"{row.system:>16} {row.p50_us:>9.2f}u {row.p95_us:>9.1f}u "
+            f"{row.p99_us:>11.1f}u {row.task_drop_fraction * 100:>7.2f}%"
+        )
+
+
+def chart(rows: List[Fig9Row]) -> str:
+    """Render the CDFs as an ASCII chart (paper Fig. 9)."""
+    from repro.viz import cdf_chart
+
+    return cdf_chart(
+        {row.system: row.cdf for row in rows},
+        title="Figure 9 - scheduling delay CDF (google-like trace)",
+    )
+
+
+if __name__ == "__main__":
+    table = run()
+    print_table(table)
+    print()
+    print(chart(table))

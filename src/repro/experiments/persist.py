@@ -1,0 +1,98 @@
+"""Persistence for experiment results.
+
+``run_all`` and ad-hoc sweeps can take tens of minutes; saving
+:class:`~repro.experiments.common.RunResult` objects to JSON lets
+plotting/analysis happen offline without re-simulating. The format is
+stable and self-describing: a ``schema`` tag, the configuration fields
+that matter for provenance, the summary statistics, and (optionally) the
+raw per-task samples.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ClusterConfig, RunResult
+from repro.metrics.summary import LatencySummary
+
+SCHEMA = "repro.runresult/1"
+
+
+def result_to_dict(result: RunResult, include_samples: bool = False) -> Dict[str, Any]:
+    """Serialize a RunResult (drops live objects, keeps provenance)."""
+    config = result.config
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "config": {
+            "scheduler": config.scheduler,
+            "workers": config.workers,
+            "executors_per_worker": config.executors_per_worker,
+            "racks": config.racks,
+            "seed": config.seed,
+            "queue_capacity": config.queue_capacity,
+            "jbsq_k": config.jbsq_k,
+            "sparrow_schedulers": config.sparrow_schedulers,
+            "retrieve_mode": config.retrieve_mode,
+            "policy": config.policy.name if config.policy else "fcfs",
+            "timeout_factor": config.timeout_factor,
+        },
+        "duration_ns": result.duration_ns,
+        "tasks": {
+            "submitted": result.tasks_submitted,
+            "completed": result.tasks_completed,
+            "unfinished": result.tasks_unfinished,
+            "resubmissions": result.resubmissions,
+            "bounces": result.bounces,
+        },
+        "scheduling": asdict(result.scheduling),
+        "end_to_end": asdict(result.end_to_end),
+        "throughput_tps": result.throughput_tps,
+        "recirculation_fraction": result.recirculation_fraction,
+        "recirc_dropped": result.recirc_dropped,
+        "utilization": result.utilization,
+        "placements": result.placements,
+    }
+    if include_samples:
+        payload["samples"] = {
+            "scheduling_delays_ns": list(result.scheduling_delays_ns),
+            "end_to_end_ns": list(result.end_to_end_ns),
+        }
+    return payload
+
+
+def save_result(
+    result: RunResult,
+    path: Union[str, pathlib.Path],
+    include_samples: bool = False,
+) -> pathlib.Path:
+    """Write one result as JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(result_to_dict(result, include_samples), indent=2)
+    )
+    return path
+
+
+def load_result(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Load a saved result; validates the schema tag.
+
+    Returns the dictionary form (the live simulator objects are gone, so
+    a full RunResult cannot be reconstructed — and analysis code only
+    needs the numbers).
+    """
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"{path}: unknown result schema {payload.get('schema')!r}"
+        )
+    return payload
+
+
+def summary_from_dict(payload: Dict[str, Any], key: str = "scheduling") -> LatencySummary:
+    """Rehydrate a LatencySummary from a saved result."""
+    return LatencySummary(**payload[key])

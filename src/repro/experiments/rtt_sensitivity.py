@@ -1,0 +1,125 @@
+"""RTT sensitivity of the pull model (paper §3).
+
+"Draconis presents a good trade off by eliminating node-level blocking
+worth tens to hundreds of microseconds, at the cost of a single RTT
+worth of CPU efficiency. Modern network advances promise
+sub-microsecond RTTs which will further reduce this overhead."
+
+This experiment sweeps the host↔switch propagation delay and measures
+both sides of that trade: the efficiency loss (executor idle time per
+pulled task, §3.1's "<3 % at 100 µs tasks") and the scheduling-delay
+floor. Both must scale ~linearly with the RTT and vanish as the network
+approaches the sub-microsecond regime the paper anticipates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cluster import Client, ClientConfig, Worker, WorkerSpec
+from repro.core import DraconisProgram
+from repro.metrics import MetricsCollector
+from repro.metrics.summary import percentile
+from repro.net import StarTopology
+from repro.sim.core import Simulator, ms, us
+from repro.sim.rng import RngStreams
+from repro.switchsim import ProgrammableSwitch
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+DEFAULT_PROPAGATIONS_NS = (50, 150, 500, 1_000, 2_000)
+
+
+@dataclass
+class RttRow:
+    propagation_ns: int
+    pull_rtt_p50_us: float          # one get_task round trip
+    efficiency_loss: float          # idle-while-pulling / total executor time
+    sched_delay_p50_us: float
+
+
+def run(
+    propagations_ns: Sequence[int] = DEFAULT_PROPAGATIONS_NS,
+    task_us: float = 100.0,
+    utilization: float = 0.85,
+    workers: int = 4,
+    executors_per_worker: int = 8,
+    duration_ns: int = ms(40),
+    seed: int = 0,
+) -> List[RttRow]:
+    rows: List[RttRow] = []
+    for propagation in propagations_ns:
+        sim = Simulator()
+        program = DraconisProgram(queue_capacity=4096)
+        switch = ProgrammableSwitch(sim, program)
+        topology = StarTopology(sim, switch, propagation_ns=propagation)
+        collector = MetricsCollector()
+        from repro.cluster.executor import ExecutorConfig
+
+        worker_objs = [
+            Worker(
+                sim,
+                topology,
+                WorkerSpec(node_id=n, executors=executors_per_worker),
+                scheduler=switch.service_address,
+                collector=collector,
+                config=ExecutorConfig(record_pull_rtts=True),
+                executor_id_base=n * executors_per_worker,
+            )
+            for n in range(workers)
+        ]
+        rngs = RngStreams(seed)
+        sampler = fixed(task_us)
+        rate = rate_for_utilization(
+            utilization, workers * executors_per_worker, sampler.mean_ns
+        )
+        Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=open_loop(
+                rngs.stream("arrivals"), rate, sampler, duration_ns
+            ),
+            collector=collector,
+            config=ClientConfig(),
+        )
+        sim.run(until=duration_ns + ms(5))
+
+        pull_rtts: List[int] = []
+        pull_idle = busy = 0
+        for worker in worker_objs:
+            for executor in worker.executors:
+                if executor.stats.pull_rtts_ns:
+                    pull_rtts.extend(executor.stats.pull_rtts_ns)
+                pull_idle += executor.stats.idle_pull_time_ns
+                busy += executor.stats.busy_time_ns
+        rows.append(
+            RttRow(
+                propagation_ns=propagation,
+                pull_rtt_p50_us=percentile(pull_rtts, 50) / 1e3,
+                efficiency_loss=pull_idle / max(1, pull_idle + busy),
+                sched_delay_p50_us=percentile(
+                    collector.scheduling_delays(), 50
+                )
+                / 1e3,
+            )
+        )
+    return rows
+
+
+def print_table(rows: List[RttRow]) -> None:
+    print("RTT sensitivity of the pull model (100 us tasks, 85% load)")
+    print(
+        f"{'propagation':>12} {'pull RTT p50':>13} {'efficiency loss':>16} "
+        f"{'sched p50':>10}"
+    )
+    for row in rows:
+        print(
+            f"{row.propagation_ns:>10}ns {row.pull_rtt_p50_us:>11.2f}us "
+            f"{row.efficiency_loss:>15.2%} {row.sched_delay_p50_us:>8.2f}us"
+        )
+
+
+if __name__ == "__main__":
+    print_table(run())

@@ -1,0 +1,128 @@
+"""Run the full evaluation suite and print every table.
+
+Usage::
+
+    python -m repro.experiments.run_all [--scale {smoke,report}]
+
+``smoke`` finishes in ~2 minutes; ``report`` (default) is the scale used
+to produce EXPERIMENTS.md (~20–30 minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablation_retrieve,
+    fig5a_latency,
+    fig5b_throughput,
+    fig6_synthetic,
+    fig7_recirculation,
+    fig8_jbsq,
+    fig9_google,
+    fig10_locality,
+    fig11_resources,
+    fig12_priority,
+    fig13_gettask,
+    scalability,
+    table_switch_resources,
+)
+from repro.sim.core import ms
+
+SCALES = {
+    "smoke": dict(
+        fig5a=dict(loads=(0.4, 0.8), duration_ns=ms(20)),
+        fig5b=dict(executor_counts=(16, 96), duration_ns=ms(6)),
+        fig6=dict(loads=(0.5, 0.9), duration_ns=ms(20),
+                  workload_names=("250us", "bimodal")),
+        fig7=dict(loads=(0.93,), duration_ns=ms(25)),
+        fig8=dict(loads=(0.5, 0.93), duration_ns=ms(25)),
+        fig9=dict(duration_ns=ms(40), mean_rate_tps=120_000.0),
+        fig10=dict(duration_ns=ms(30)),
+        fig11=dict(phase_ns=ms(8)),
+        fig12=dict(duration_ns=ms(150), mean_task_ns=ms(2),
+                   workers=4, executors_per_worker=8),
+        fig13=dict(duration_ns=ms(10)),
+        ablation=dict(loads=(0.5,), duration_ns=ms(20)),
+    ),
+    "report": dict(
+        fig5a=dict(loads=(0.2, 0.4, 0.6, 0.8, 0.9), duration_ns=ms(60)),
+        fig5b=dict(executor_counts=(16, 48, 96, 160, 208), duration_ns=ms(10)),
+        fig6=dict(loads=(0.3, 0.5, 0.7, 0.9), duration_ns=ms(50)),
+        fig7=dict(duration_ns=ms(60)),
+        fig8=dict(duration_ns=ms(50)),
+        fig9=dict(duration_ns=ms(80), mean_rate_tps=150_000.0),
+        fig10=dict(duration_ns=ms(80)),
+        fig11=dict(phase_ns=ms(15)),
+        fig12=dict(duration_ns=ms(400), mean_task_ns=ms(2),
+                   workers=4, executors_per_worker=8),
+        fig13=dict(duration_ns=ms(30)),
+        ablation=dict(duration_ns=ms(50)),
+    ),
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="report"
+    )
+    args = parser.parse_args()
+    knobs = SCALES[args.scale]
+    start = time.time()
+
+    def section(name: str) -> None:
+        elapsed = time.time() - start
+        print(f"\n{'=' * 72}\n{name}  [t+{elapsed:.0f}s]\n{'=' * 72}", flush=True)
+
+    section("Figure 5a — throughput vs p99 (500 us)")
+    rows = fig5a_latency.run(**knobs["fig5a"])
+    fig5a_latency.print_table(rows)
+    print("\np99 ratio vs Draconis at ~60% load:")
+    for system, ratio in sorted(fig5a_latency.paper_comparison(rows).items()):
+        print(f"  {system:>16}: {ratio:7.1f}x")
+
+    section("Figure 5b — no-op scheduling throughput")
+    fig5b_throughput.print_table(fig5b_throughput.run(**knobs["fig5b"]))
+
+    section("Figure 6 — synthetic suite")
+    fig6_synthetic.print_table(fig6_synthetic.run(**knobs["fig6"]))
+
+    section("Figure 7 — recirculation and drops")
+    fig7_recirculation.print_table(fig7_recirculation.run(**knobs["fig7"]))
+
+    section("Figure 8 — JBSQ queue size")
+    fig8_jbsq.print_table(fig8_jbsq.run(**knobs["fig8"]))
+
+    section("Figure 9 — google-like trace")
+    fig9_google.print_table(fig9_google.run(**knobs["fig9"]))
+
+    section("Figure 10 — locality-aware vs FCFS")
+    fig10_locality.print_table(fig10_locality.run(**knobs["fig10"]))
+
+    section("Figure 11 — resource phases")
+    fig11_resources.print_table(fig11_resources.run(**knobs["fig11"]))
+
+    section("Figure 12 — priority queueing delays")
+    fig12_priority.print_table(fig12_priority.run(**knobs["fig12"]))
+
+    section("Figure 13 — get_task() ladder")
+    rows = fig13_gettask.run(**knobs["fig13"])
+    fig13_gettask.print_table(rows)
+    print(f"median spread: {fig13_gettask.level_spread(rows):.2f} us")
+
+    section("§7 — switch resource budget")
+    table_switch_resources.print_table(table_switch_resources.run())
+
+    section("§8.2 — scalability")
+    scalability.print_report()
+
+    section("Ablation — retrieve-pointer handling")
+    ablation_retrieve.print_table(ablation_retrieve.run(**knobs["ablation"]))
+
+    print(f"\nTOTAL {time.time() - start:.0f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

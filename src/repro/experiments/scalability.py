@@ -1,0 +1,105 @@
+"""§8.2 scalability: Draconis supports clusters of millions of cores.
+
+Two parts:
+
+1. the analytic packet-budget sweep (:mod:`repro.analysis.scalability`) —
+   at 500 µs tasks the 4.7 Bpps ASIC sustains over a million cores;
+2. a discrete-event spot check at simulatable scales: throughput must
+   track offered load (the scheduler never the bottleneck) while the
+   analytic model says the point is feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.scalability import (
+    ScalabilityPoint,
+    max_cluster_cores,
+    scalability_sweep,
+)
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.sim.core import ms, us
+from repro.switchsim.resources import TOFINO1
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+
+@dataclass
+class SpotCheck:
+    cores: int
+    offered_tps: float
+    achieved_tps: float
+
+    @property
+    def efficiency(self) -> float:
+        return self.achieved_tps / self.offered_tps if self.offered_tps else 0.0
+
+
+def run_analytic(
+    core_counts: Sequence[int] = (10_000, 100_000, 500_000, 1_000_000, 2_000_000),
+    task_us: float = 500.0,
+) -> List[ScalabilityPoint]:
+    return scalability_sweep(core_counts, task_duration_ns=us(task_us))
+
+
+def run_spot_checks(
+    core_counts: Sequence[int] = (64, 160, 320),
+    task_us: float = 500.0,
+    utilization: float = 0.8,
+    duration_ns: int = ms(50),
+    seed: int = 0,
+) -> List[SpotCheck]:
+    checks = []
+    sampler = fixed(task_us)
+    for cores in core_counts:
+        workers = max(1, cores // 16)
+        config = ClusterConfig(
+            scheduler="draconis",
+            workers=workers,
+            executors_per_worker=cores // workers,
+            seed=seed,
+        )
+        rate = rate_for_utilization(
+            utilization, config.total_executors, sampler.mean_ns
+        )
+
+        def factory(rngs, _rate=rate):
+            return open_loop(rngs.stream("arrivals"), _rate, sampler, duration_ns)
+
+        result = run_workload(
+            config, factory, duration_ns=duration_ns, warmup_ns=duration_ns // 8
+        )
+        checks.append(
+            SpotCheck(
+                cores=config.total_executors,
+                offered_tps=rate,
+                achieved_tps=result.throughput_tps,
+            )
+        )
+    return checks
+
+
+def print_report() -> None:
+    ceiling = max_cluster_cores(task_duration_ns=us(500), model=TOFINO1)
+    print("§8.2 — scalability")
+    print(f"analytic ceiling at 500 us tasks: {ceiling:,} cores "
+          "(paper: 'millions of cores')")
+    print(f"\n{'cores':>10} {'task rate':>14} {'packet load':>12} {'feasible':>9}")
+    for point in run_analytic():
+        print(
+            f"{point.cores:>10,} {point.task_rate_tps / 1e6:>11.1f}Mt "
+            f"{point.switch_packet_load * 100:>11.2f}% "
+            f"{'yes' if point.feasible else 'no':>9}"
+        )
+    print("\nDES spot checks (throughput must track offered load):")
+    print(f"{'cores':>8} {'offered':>12} {'achieved':>12} {'efficiency':>11}")
+    for check in run_spot_checks():
+        print(
+            f"{check.cores:>8} {check.offered_tps / 1e3:>9.1f}kt "
+            f"{check.achieved_tps / 1e3:>9.1f}kt {check.efficiency:>10.1%}"
+        )
+
+
+if __name__ == "__main__":
+    print_report()

@@ -1,0 +1,18 @@
+"""Measurement: per-task records, percentiles, CDFs and throughput."""
+
+from repro.metrics.collector import MetricsCollector, TaskRecord
+from repro.metrics.summary import (
+    LatencySummary,
+    cdf_points,
+    percentile,
+    summarize_ns,
+)
+
+__all__ = [
+    "LatencySummary",
+    "MetricsCollector",
+    "TaskRecord",
+    "cdf_points",
+    "percentile",
+    "summarize_ns",
+]

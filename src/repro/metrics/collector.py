@@ -1,0 +1,183 @@
+"""Per-task lifecycle records and the run-wide collector.
+
+The collector is the single source of truth for a run's measurements. All
+actors (clients, executors, schedulers) report timestamps against a task's
+``(uid, jid, tid)`` key; derived metrics are computed at the end:
+
+* **scheduling delay** — ``start_exec − first submission`` (what the
+  paper's figures plot: everything between the client handing the task to
+  the scheduler and an executor beginning work, §8.1);
+* **queueing delay** — time in the scheduler queue (Fig. 12);
+* **end-to-end latency** — completion at the client minus submission.
+
+Resubmissions (client timeouts, §8.3) keep the *first* submission time, so
+drop-induced retries show up as latency spikes exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+TaskKey = Tuple[int, int, int]
+
+
+@dataclass
+class TaskRecord:
+    """Lifecycle timestamps (ns) and placement facts for one task."""
+
+    key: TaskKey
+    submitted_at: int = -1
+    assigned_at: int = -1
+    started_at: int = -1
+    finished_at: int = -1
+    completed_at: int = -1
+    executor_id: int = -1
+    node_id: int = -1
+    submissions: int = 0
+    bounces: int = 0
+    placement: str = ""
+    priority: int = 0
+    duration_ns: int = 0
+
+    @property
+    def scheduling_delay(self) -> Optional[int]:
+        if self.started_at < 0 or self.submitted_at < 0:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def end_to_end(self) -> Optional[int]:
+        if self.completed_at < 0 or self.submitted_at < 0:
+            return None
+        return self.completed_at - self.submitted_at
+
+    @property
+    def done(self) -> bool:
+        return self.finished_at >= 0
+
+
+class MetricsCollector:
+    """Collects task records plus run-level counters."""
+
+    def __init__(self) -> None:
+        self.records: Dict[TaskKey, TaskRecord] = {}
+        self.resubmissions = 0
+        self.bounce_retries = 0
+        self.noop_responses = 0
+
+    def _record(self, key: TaskKey) -> TaskRecord:
+        record = self.records.get(key)
+        if record is None:
+            record = TaskRecord(key=key)
+            self.records[key] = record
+        return record
+
+    # -- lifecycle hooks --------------------------------------------------
+
+    def on_submit(
+        self, key: TaskKey, now: int, priority: int = 0, duration_ns: int = 0
+    ) -> None:
+        record = self._record(key)
+        record.submissions += 1
+        record.priority = priority
+        record.duration_ns = duration_ns
+        if record.submitted_at < 0:
+            record.submitted_at = now
+        else:
+            self.resubmissions += 1
+
+    def on_bounce(self, key: TaskKey) -> None:
+        self._record(key).bounces += 1
+        self.bounce_retries += 1
+
+    def on_assign(self, key: TaskKey, now: int, executor_id: int, node_id: int) -> None:
+        record = self._record(key)
+        if record.assigned_at < 0:
+            record.assigned_at = now
+            record.executor_id = executor_id
+            record.node_id = node_id
+
+    def on_start(self, key: TaskKey, now: int) -> None:
+        record = self._record(key)
+        if record.started_at < 0:
+            record.started_at = now
+
+    def on_finish(self, key: TaskKey, now: int) -> None:
+        record = self._record(key)
+        if record.finished_at < 0:
+            record.finished_at = now
+
+    def on_complete(self, key: TaskKey, now: int) -> None:
+        record = self._record(key)
+        if record.completed_at < 0:
+            record.completed_at = now
+
+    def on_placement(self, key: TaskKey, placement: str) -> None:
+        record = self._record(key)
+        if not record.placement:
+            record.placement = placement
+
+    # -- derived views -----------------------------------------------------
+
+    def scheduling_delays(self, since: int = 0) -> List[int]:
+        """Scheduling delays of tasks first submitted at/after ``since``."""
+        return [
+            delay
+            for record in self.records.values()
+            if record.submitted_at >= since
+            and (delay := record.scheduling_delay) is not None
+        ]
+
+    def end_to_end_latencies(self, since: int = 0) -> List[int]:
+        return [
+            latency
+            for record in self.records.values()
+            if record.submitted_at >= since
+            and (latency := record.end_to_end) is not None
+        ]
+
+    def completed_count(self, since: int = 0) -> int:
+        return sum(
+            1
+            for record in self.records.values()
+            if record.done and record.submitted_at >= since
+        )
+
+    def submitted_count(self) -> int:
+        return len(self.records)
+
+    def unfinished_count(self) -> int:
+        return sum(1 for record in self.records.values() if not record.done)
+
+    def throughput_tps(self, window_start: int, window_end: int) -> float:
+        """Tasks finishing execution per second within the window."""
+        if window_end <= window_start:
+            return 0.0
+        finished = sum(
+            1
+            for record in self.records.values()
+            if window_start <= record.finished_at < window_end
+        )
+        return finished / ((window_end - window_start) / 1e9)
+
+    def placement_fractions(self) -> Dict[str, float]:
+        """Share of completed tasks per placement class (Fig. 10)."""
+        placed = [r for r in self.records.values() if r.done and r.placement]
+        if not placed:
+            return {}
+        counts: Dict[str, int] = {}
+        for record in placed:
+            counts[record.placement] = counts.get(record.placement, 0) + 1
+        total = len(placed)
+        return {k: v / total for k, v in sorted(counts.items())}
+
+    def delays_by_priority(self, since: int = 0) -> Dict[int, List[int]]:
+        """Scheduling delays grouped by priority level (Fig. 12)."""
+        grouped: Dict[int, List[int]] = {}
+        for record in self.records.values():
+            delay = record.scheduling_delay
+            if delay is None or record.submitted_at < since:
+                continue
+            grouped.setdefault(record.priority, []).append(delay)
+        return grouped

@@ -1,0 +1,69 @@
+"""Percentiles, CDFs and human-readable latency summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def percentile(samples: Sequence[int], q: float) -> float:
+    """Percentile ``q`` in [0, 100] of integer nanosecond samples."""
+    if not len(samples):
+        return float("nan")
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def cdf_points(
+    samples: Sequence[int], points: int = 200
+) -> List[Tuple[float, float]]:
+    """(value_ns, cumulative_fraction) pairs for plotting a CDF."""
+    if not len(samples):
+        return []
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    if len(data) > points:
+        idx = np.linspace(0, len(data) - 1, points).astype(int)
+    else:
+        idx = np.arange(len(data))
+    return [
+        (float(data[i]), float((i + 1) / len(data)))
+        for i in idx
+    ]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The latency statistics the paper reports per configuration."""
+
+    count: int
+    mean_us: float
+    p50_us: float
+    p90_us: float
+    p95_us: float
+    p99_us: float
+    max_us: float
+
+    def row(self) -> str:
+        return (
+            f"n={self.count:>8}  mean={self.mean_us:>10.2f}us  "
+            f"p50={self.p50_us:>10.2f}us  p90={self.p90_us:>10.2f}us  "
+            f"p95={self.p95_us:>10.2f}us  p99={self.p99_us:>10.2f}us  "
+            f"max={self.max_us:>10.2f}us"
+        )
+
+
+def summarize_ns(samples: Sequence[int]) -> LatencySummary:
+    """Summarize nanosecond samples into the paper's µs statistics."""
+    if not len(samples):
+        return LatencySummary(0, *([float("nan")] * 6))
+    data = np.asarray(samples, dtype=np.float64)
+    return LatencySummary(
+        count=int(len(data)),
+        mean_us=float(data.mean()) / 1e3,
+        p50_us=float(np.percentile(data, 50)) / 1e3,
+        p90_us=float(np.percentile(data, 90)) / 1e3,
+        p95_us=float(np.percentile(data, 95)) / 1e3,
+        p99_us=float(np.percentile(data, 99)) / 1e3,
+        max_us=float(data.max()) / 1e3,
+    )

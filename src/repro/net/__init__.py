@@ -1,0 +1,15 @@
+"""Network substrate: packets, links, hosts and a star topology.
+
+The model is deliberately simple — full-duplex point-to-point links with
+serialization + propagation delay, hosts with UDP-like sockets keyed by
+port — because scheduler behaviour is governed by per-packet latency and
+the switch pipeline, not by congestion control (the paper uses UDP for the
+same reason, §4.1).
+"""
+
+from repro.net.packet import Address, Packet
+from repro.net.link import Link
+from repro.net.host import Host, Socket
+from repro.net.topology import StarTopology
+
+__all__ = ["Address", "Host", "Link", "Packet", "Socket", "StarTopology"]

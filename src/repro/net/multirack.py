@@ -1,0 +1,136 @@
+"""Multi-rack deployment: scheduling at a common-ancestor switch (§3.2).
+
+"If Draconis is deployed on multi-rack clusters ... the network
+controller installs forwarding rules to forward all job-submission
+requests through a single switch, which runs the Draconis scheduler. The
+controller typically selects a common ancestor switch of the cluster
+nodes. While this approach may create a longer path than traditional
+forwarding does, the effect of this change is minimal."
+
+Topology: one aggregation ("ancestor") switch running the scheduler
+program, with per-rack ToR switches hanging off it. Hosts connect to
+their rack's ToR; scheduler traffic always climbs to the ancestor, while
+plain traffic between hosts in the same rack turns around at the ToR —
+so the multi-rack penalty applies only to cross-rack paths and the
+scheduler RTT, exactly the effect §3.2 quantifies (Li et al.: ~88 % of
+requests see no increase).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.host import Host
+from repro.net.link import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_NS, Link
+from repro.net.packet import Packet
+from repro.net.topology import BaseSwitch, StarTopology
+from repro.sim.core import Simulator
+
+
+class RackSwitch(BaseSwitch):
+    """A ToR switch: local hosts below, one uplink to the ancestor.
+
+    Scheduler-service packets (destination node = the ancestor switch)
+    and packets for hosts in other racks go up; everything else turns
+    around locally.
+    """
+
+    def __init__(self, sim: Simulator, name: str, rack_id: int) -> None:
+        super().__init__(sim, name)
+        self.rack_id = rack_id
+        self._uplink: Optional[Link] = None
+        self.local_turnarounds = 0
+        self.uplink_packets = 0
+
+    def attach_uplink(self, link: Link) -> None:
+        if self._uplink is not None:
+            raise NetworkError(f"rack switch {self.name} already uplinked")
+        self._uplink = link
+
+    def receive(self, packet: Packet) -> None:
+        if packet.dst.node in self._ports:
+            self.local_turnarounds += 1
+            self.forward(packet)
+            return
+        if self._uplink is None:
+            self.unroutable_packets += 1
+            return
+        self.uplink_packets += 1
+        self._uplink.send(packet)
+
+
+class MultiRackTopology:
+    """Racks of hosts under ToRs, under one scheduler-bearing ancestor.
+
+    The ancestor is any :class:`BaseSwitch` subclass — typically a
+    :class:`~repro.switchsim.pipeline.ProgrammableSwitch` running
+    :class:`~repro.core.scheduler.DraconisProgram`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        ancestor: BaseSwitch,
+        racks: int,
+        bandwidth_bps: int = DEFAULT_BANDWIDTH_BPS,
+        host_propagation_ns: int = DEFAULT_PROPAGATION_NS,
+        uplink_propagation_ns: int = 1_000,
+    ) -> None:
+        if racks < 1:
+            raise NetworkError(f"need at least one rack: {racks}")
+        self.sim = sim
+        self.ancestor = ancestor
+        self.bandwidth_bps = bandwidth_bps
+        self.host_propagation_ns = host_propagation_ns
+        self.hosts: Dict[str, Host] = {}
+        self.host_racks: Dict[str, int] = {}
+        self.rack_switches: List[RackSwitch] = []
+        for rack_id in range(racks):
+            tor = RackSwitch(sim, f"tor{rack_id}", rack_id)
+            # Full-duplex ToR <-> ancestor cable. The ancestor treats the
+            # ToR like a port that reaches every host in the rack, which
+            # is arranged by registering host ports lazily in add_host.
+            up = Link(
+                sim,
+                f"{tor.name}->ancestor",
+                sink=ancestor.receive,
+                bandwidth_bps=bandwidth_bps,
+                propagation_ns=uplink_propagation_ns,
+            )
+            tor.attach_uplink(up)
+            self.rack_switches.append(tor)
+
+    def add_host(self, name: str, rack_id: int) -> Host:
+        """Create a host in ``rack_id``, cabled to its ToR."""
+        if name in self.hosts:
+            raise NetworkError(f"duplicate host name {name!r}")
+        if not 0 <= rack_id < len(self.rack_switches):
+            raise NetworkError(f"rack {rack_id} out of range")
+        tor = self.rack_switches[rack_id]
+        host = Host(self.sim, name)
+        tor.connect_host(
+            host,
+            bandwidth_bps=self.bandwidth_bps,
+            propagation_ns=self.host_propagation_ns,
+        )
+        # The ancestor reaches this host through the ToR's downlink: give
+        # the ancestor a port whose sink is the ToR (which then forwards
+        # locally).
+        down = Link(
+            self.sim,
+            f"ancestor->{name}",
+            sink=tor.receive,
+            bandwidth_bps=self.bandwidth_bps,
+            propagation_ns=1_000,
+        )
+        self.ancestor._ports[name] = down
+        self.hosts[name] = host
+        self.host_racks[name] = rack_id
+        return host
+
+    def scheduler_hops(self, host_name: str) -> int:
+        """Link hops from a host to the scheduler (always via its ToR)."""
+        if host_name not in self.hosts:
+            raise NetworkError(f"unknown host {host_name!r}")
+        return 2  # host -> ToR -> ancestor

@@ -1,0 +1,60 @@
+"""Packets and addresses.
+
+An :class:`Address` is ``(node, port)`` — the node name stands in for an IP
+address. A :class:`Packet` carries a decoded protocol message as its
+payload plus the on-wire size in bytes, which the link layer uses for
+serialization delay. Keeping the decoded object avoids re-parsing on every
+hop while the codec (``repro.protocol.codec``) guarantees the size is the
+true wire size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple
+
+ETHERNET_IP_UDP_OVERHEAD = 14 + 20 + 8
+"""Bytes of L2+L3+L4 header prepended to every scheduler message."""
+
+
+class Address(NamedTuple):
+    """A (node, port) endpoint, the simulation analogue of IP:port."""
+
+    node: str
+    port: int
+
+
+_packet_ids = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A datagram in flight.
+
+    Attributes:
+        src: origin endpoint.
+        dst: destination endpoint.
+        payload: decoded protocol message (or arbitrary object).
+        size: total wire size in bytes including L2-L4 overhead.
+        pkt_id: unique id, for tracing.
+        recirculated: number of times a switch recirculated this packet.
+        trace: optional list of (time_ns, where) hops, filled when tracing
+            is enabled on the topology.
+    """
+
+    src: Address
+    dst: Address
+    payload: Any
+    size: int
+    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    recirculated: int = 0
+    trace: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"packet size must be positive: {self.size}")
+
+    def reply_to(self) -> Address:
+        """Endpoint a response should be sent to."""
+        return self.src

@@ -1,0 +1,118 @@
+"""Topology builder: hosts cabled in a star around one switch.
+
+This mirrors the paper's testbed: every node (clients, workers, and any
+server-based scheduler machines) hangs off a single ToR switch
+(Edgecore Wedge with a Tofino ASIC in the paper). Multi-rack deployments
+route job submissions through a common ancestor switch (§3.2), which is
+behaviourally the same star from the scheduler's point of view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import NetworkError
+from repro.net.host import Host
+from repro.net.link import DEFAULT_BANDWIDTH_BPS, DEFAULT_PROPAGATION_NS, Link
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+
+class BaseSwitch:
+    """A plain L2 star switch: forwards packets to the port for ``dst.node``.
+
+    :class:`repro.switchsim.pipeline.ProgrammableSwitch` subclasses this and
+    intercepts scheduler-protocol packets; everything else is forwarded
+    normally, which is what makes Draconis safe for colocation (§4.1).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "switch") -> None:
+        self.sim = sim
+        self.name = name
+        self._ports: Dict[str, Link] = {}
+        self.forwarded_packets = 0
+        self.unroutable_packets = 0
+
+    def connect_host(
+        self,
+        host: Host,
+        bandwidth_bps: int = DEFAULT_BANDWIDTH_BPS,
+        propagation_ns: int = DEFAULT_PROPAGATION_NS,
+    ) -> None:
+        """Cable ``host`` to this switch with a full-duplex link."""
+        if host.name in self._ports:
+            raise NetworkError(f"host {host.name} already connected")
+        to_switch, to_host = Link.pair(
+            self.sim,
+            f"{self.name}<->{host.name}",
+            sink_a=host.receive,
+            sink_b=self.receive,
+            bandwidth_bps=bandwidth_bps,
+            propagation_ns=propagation_ns,
+        )
+        # to_switch carries host->switch traffic (its sink is the switch);
+        # to_host is the switch's egress port toward the host.
+        host.attach_uplink(to_switch)
+        self._ports[host.name] = to_host
+
+    def port_for(self, node: str) -> Optional[Link]:
+        return self._ports.get(node)
+
+    def forward(self, packet: Packet) -> bool:
+        """Send a packet out the port for its destination node."""
+        port = self._ports.get(packet.dst.node)
+        if port is None:
+            self.unroutable_packets += 1
+            return False
+        self.forwarded_packets += 1
+        return port.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Ingress entry point; plain switches just forward."""
+        self.forward(packet)
+
+    @property
+    def connected_hosts(self) -> List[str]:
+        return sorted(self._ports)
+
+
+class StarTopology:
+    """Build and hold a star network around a given switch."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        switch: BaseSwitch,
+        bandwidth_bps: int = DEFAULT_BANDWIDTH_BPS,
+        propagation_ns: int = DEFAULT_PROPAGATION_NS,
+    ) -> None:
+        self.sim = sim
+        self.switch = switch
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_ns = propagation_ns
+        self.hosts: Dict[str, Host] = {}
+
+    def add_host(self, name: str) -> Host:
+        """Create a host and cable it to the switch."""
+        if name in self.hosts:
+            raise NetworkError(f"duplicate host name {name!r}")
+        host = Host(self.sim, name)
+        self.switch.connect_host(
+            host,
+            bandwidth_bps=self.bandwidth_bps,
+            propagation_ns=self.propagation_ns,
+        )
+        self.hosts[name] = host
+        return host
+
+    def add_hosts(self, names: Iterable[str]) -> List[Host]:
+        return [self.add_host(name) for name in names]
+
+    def rtt_estimate_ns(self, payload_size: int = 64) -> int:
+        """Rough host->switch->host round-trip for calibration/tests."""
+        wire = payload_size + 42
+        one_way = (
+            self.propagation_ns * 2
+            + (wire * 8 * 10**9) // self.bandwidth_bps * 2
+        )
+        return 2 * one_way

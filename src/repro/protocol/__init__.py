@@ -1,0 +1,39 @@
+"""Draconis application-layer protocol (paper §4.1, Fig. 3).
+
+Messages are plain dataclasses; :mod:`repro.protocol.codec` provides a
+binary encoding whose byte counts feed the link-layer serialization model,
+so packet sizes on simulated wires match what the real protocol would
+transmit.
+"""
+
+from repro.protocol.opcodes import OpCode
+from repro.protocol.messages import (
+    Completion,
+    ErrorPacket,
+    JobSubmission,
+    NoOpTask,
+    RepairPacket,
+    SubmissionAck,
+    SwapTaskPacket,
+    TaskAssignment,
+    TaskInfo,
+    TaskRequest,
+)
+from repro.protocol.codec import decode, encode, wire_size
+
+__all__ = [
+    "Completion",
+    "ErrorPacket",
+    "JobSubmission",
+    "NoOpTask",
+    "OpCode",
+    "RepairPacket",
+    "SubmissionAck",
+    "SwapTaskPacket",
+    "TaskAssignment",
+    "TaskInfo",
+    "TaskRequest",
+    "decode",
+    "encode",
+    "wire_size",
+]

@@ -1,0 +1,356 @@
+"""Binary wire codec for the scheduler protocol.
+
+Layout conventions (all integers big-endian):
+
+* every message starts with a 1-byte OP_CODE;
+* TASK_INFO is ``tid:u32 fn_id:u32 par_len:u16 fn_par:bytes tprops:u64``;
+* addresses are ``node_len:u8 node:utf8 port:u16``.
+
+The encoding exists for two reasons: the link layer needs true byte
+counts for serialization delay, and round-trip tests pin the format so a
+task is never silently widened past what a job_submission packet can
+carry. :func:`wire_size` returns the encoded size without building the
+bytes (hot path).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.net.packet import Address
+from repro.protocol.messages import (
+    Completion,
+    ErrorPacket,
+    JobSubmission,
+    NoOpTask,
+    RepairPacket,
+    SubmissionAck,
+    SwapTaskPacket,
+    TaskAssignment,
+    TaskInfo,
+    TaskRequest,
+)
+from repro.protocol.opcodes import OpCode
+
+_U8 = struct.Struct(">B")
+_U16 = struct.Struct(">H")
+_U32 = struct.Struct(">I")
+_U64 = struct.Struct(">Q")
+
+MAX_FN_PAR_BYTES = 64
+"""Fixed FN_PAR field capacity; larger parameters use indirection (§4.4)."""
+
+MAX_TASKS_PER_PACKET = 32
+"""#TASKS limit so a job_submission fits in one MTU; bigger jobs split
+across packets (§4.3, "Handling Large Jobs")."""
+
+
+def _encode_task(out: bytearray, task: TaskInfo) -> None:
+    if len(task.fn_par) > MAX_FN_PAR_BYTES:
+        raise ProtocolError(
+            f"fn_par of {len(task.fn_par)} bytes exceeds the fixed field "
+            f"({MAX_FN_PAR_BYTES}); use the indirection mechanisms of §4.4"
+        )
+    out += _U32.pack(task.tid)
+    out += _U32.pack(task.fn_id)
+    out += _U16.pack(len(task.fn_par))
+    out += task.fn_par
+    out += _U64.pack(task.tprops & 0xFFFFFFFFFFFFFFFF)
+
+
+def _decode_task(data: bytes, offset: int) -> tuple:
+    tid = _U32.unpack_from(data, offset)[0]
+    fn_id = _U32.unpack_from(data, offset + 4)[0]
+    par_len = _U16.unpack_from(data, offset + 8)[0]
+    start = offset + 10
+    fn_par = bytes(data[start : start + par_len])
+    tprops = _U64.unpack_from(data, start + par_len)[0]
+    return TaskInfo(tid=tid, fn_id=fn_id, fn_par=fn_par, tprops=tprops), (
+        start + par_len + 8
+    )
+
+
+def _task_size(task: TaskInfo) -> int:
+    return 4 + 4 + 2 + len(task.fn_par) + 8
+
+
+def _encode_address(out: bytearray, address: Optional[Address]) -> None:
+    if address is None:
+        out += _U8.pack(0)
+        return
+    node = address.node.encode("utf-8")
+    if len(node) > 255:
+        raise ProtocolError(f"node name too long: {address.node!r}")
+    out += _U8.pack(len(node))
+    out += node
+    out += _U16.pack(address.port)
+
+
+def _decode_address(data: bytes, offset: int) -> tuple:
+    length = _U8.unpack_from(data, offset)[0]
+    if length == 0:
+        return None, offset + 1
+    node = data[offset + 1 : offset + 1 + length].decode("utf-8")
+    port = _U16.unpack_from(data, offset + 1 + length)[0]
+    return Address(node, port), offset + 1 + length + 2
+
+
+def _address_size(address: Optional[Address]) -> int:
+    if address is None:
+        return 1
+    return 1 + len(address.node.encode("utf-8")) + 2
+
+
+def encode(message) -> bytes:
+    """Serialize any protocol message to bytes."""
+    out = bytearray()
+    op = message.op
+    out += _U8.pack(int(op))
+    if isinstance(message, JobSubmission):
+        if len(message.tasks) > MAX_TASKS_PER_PACKET:
+            raise ProtocolError(
+                f"{len(message.tasks)} tasks exceed the per-packet limit "
+                f"({MAX_TASKS_PER_PACKET}); split the job across packets"
+            )
+        out += _U32.pack(message.uid)
+        out += _U32.pack(message.jid)
+        out += _U16.pack(len(message.tasks))
+        for task in message.tasks:
+            _encode_task(out, task)
+    elif isinstance(message, TaskRequest):
+        out += _U32.pack(message.executor_id)
+        out += _U16.pack(message.node_id)
+        out += _U16.pack(message.rack_id)
+        out += _U64.pack(message.exec_rsrc & 0xFFFFFFFFFFFFFFFF)
+        out += _U8.pack(message.rtrv_prio)
+    elif isinstance(message, TaskAssignment):
+        out += _U32.pack(message.uid)
+        out += _U32.pack(message.jid)
+        _encode_task(out, message.task)
+        _encode_address(out, message.client)
+    elif isinstance(message, NoOpTask):
+        pass
+    elif isinstance(message, SubmissionAck):
+        out += _U32.pack(message.uid)
+        out += _U32.pack(message.jid)
+        out += _U16.pack(message.accepted)
+    elif isinstance(message, ErrorPacket):
+        out += _U32.pack(message.uid)
+        out += _U32.pack(message.jid)
+        out += _U16.pack(len(message.tasks))
+        for task in message.tasks:
+            _encode_task(out, task)
+    elif isinstance(message, Completion):
+        out += _U32.pack(message.uid)
+        out += _U32.pack(message.jid)
+        out += _U32.pack(message.tid)
+        out += _U32.pack(message.executor_id)
+        out += _U8.pack(1 if message.success else 0)
+        _encode_address(out, message.client)
+        if message.piggyback_request is not None:
+            out += _U8.pack(1)
+            out += encode(message.piggyback_request)
+        else:
+            out += _U8.pack(0)
+    elif isinstance(message, SwapTaskPacket):
+        out += _U32.pack(message.uid)
+        out += _U32.pack(message.jid)
+        _encode_task(out, message.task)
+        _encode_address(out, message.client)
+        out += _U32.pack(message.swap_indx)
+        out += _U64.pack(message.exec_props & 0xFFFFFFFFFFFFFFFF)
+        out += _U16.pack(message.node_id)
+        out += _U16.pack(message.rack_id)
+        out += _U32.pack(message.pkt_retrieve_ptr)
+        _encode_address(out, message.requester)
+        out += _U32.pack(message.executor_id)
+        out += _U16.pack(message.swaps_left)
+        out += _U16.pack(message.skip_counter)
+        out += _U8.pack(1 if message.insert_mode else 0)
+        out += _U8.pack(message.queue_index)
+    elif isinstance(message, RepairPacket):
+        target = message.target.encode("ascii")
+        out += _U8.pack(len(target))
+        out += target
+        out += _U32.pack(message.value)
+        out += _U8.pack(message.queue_index)
+    else:
+        raise ProtocolError(f"cannot encode {type(message).__name__}")
+    return bytes(out)
+
+
+def decode(data: bytes):
+    """Parse bytes back into a protocol message.
+
+    Raises :class:`ProtocolError` for anything malformed — unknown
+    opcodes, truncated fields, bad encodings — never a bare
+    ``struct.error`` (a scheduler must not crash on a garbage datagram).
+    """
+    try:
+        return _decode(data)
+    except ProtocolError:
+        raise
+    except (struct.error, UnicodeDecodeError, IndexError) as exc:
+        raise ProtocolError(f"malformed message: {exc}") from exc
+
+
+def _decode(data: bytes):
+    if not data:
+        raise ProtocolError("empty message")
+    try:
+        op = OpCode(data[0])
+    except ValueError as exc:
+        raise ProtocolError(f"unknown opcode {data[0]}") from exc
+    offset = 1
+    if op is OpCode.JOB_SUBMISSION:
+        uid = _U32.unpack_from(data, offset)[0]
+        jid = _U32.unpack_from(data, offset + 4)[0]
+        count = _U16.unpack_from(data, offset + 8)[0]
+        offset += 10
+        tasks = []
+        for _ in range(count):
+            task, offset = _decode_task(data, offset)
+            tasks.append(task)
+        return JobSubmission(uid=uid, jid=jid, tasks=tasks)
+    if op is OpCode.TASK_REQUEST:
+        executor_id = _U32.unpack_from(data, offset)[0]
+        node_id = _U16.unpack_from(data, offset + 4)[0]
+        rack_id = _U16.unpack_from(data, offset + 6)[0]
+        exec_rsrc = _U64.unpack_from(data, offset + 8)[0]
+        rtrv_prio = _U8.unpack_from(data, offset + 16)[0]
+        return TaskRequest(
+            executor_id=executor_id,
+            node_id=node_id,
+            rack_id=rack_id,
+            exec_rsrc=exec_rsrc,
+            rtrv_prio=rtrv_prio,
+        )
+    if op is OpCode.TASK_ASSIGNMENT:
+        uid = _U32.unpack_from(data, offset)[0]
+        jid = _U32.unpack_from(data, offset + 4)[0]
+        task, offset = _decode_task(data, offset + 8)
+        client, offset = _decode_address(data, offset)
+        return TaskAssignment(uid=uid, jid=jid, task=task, client=client)
+    if op is OpCode.NO_OP:
+        return NoOpTask()
+    if op is OpCode.SUBMISSION_ACK:
+        uid = _U32.unpack_from(data, offset)[0]
+        jid = _U32.unpack_from(data, offset + 4)[0]
+        accepted = _U16.unpack_from(data, offset + 8)[0]
+        return SubmissionAck(uid=uid, jid=jid, accepted=accepted)
+    if op is OpCode.ERROR:
+        uid = _U32.unpack_from(data, offset)[0]
+        jid = _U32.unpack_from(data, offset + 4)[0]
+        count = _U16.unpack_from(data, offset + 8)[0]
+        offset += 10
+        tasks = []
+        for _ in range(count):
+            task, offset = _decode_task(data, offset)
+            tasks.append(task)
+        return ErrorPacket(uid=uid, jid=jid, tasks=tasks)
+    if op is OpCode.COMPLETION:
+        uid = _U32.unpack_from(data, offset)[0]
+        jid = _U32.unpack_from(data, offset + 4)[0]
+        tid = _U32.unpack_from(data, offset + 8)[0]
+        executor_id = _U32.unpack_from(data, offset + 12)[0]
+        success = bool(_U8.unpack_from(data, offset + 16)[0])
+        client, offset = _decode_address(data, offset + 17)
+        has_piggyback = _U8.unpack_from(data, offset)[0]
+        piggyback = None
+        if has_piggyback:
+            piggyback = decode(data[offset + 1 :])
+            if not isinstance(piggyback, TaskRequest):
+                raise ProtocolError("completion piggyback must be TaskRequest")
+        return Completion(
+            uid=uid,
+            jid=jid,
+            tid=tid,
+            executor_id=executor_id,
+            success=success,
+            client=client,
+            piggyback_request=piggyback,
+        )
+    if op is OpCode.SWAP_TASK:
+        uid = _U32.unpack_from(data, offset)[0]
+        jid = _U32.unpack_from(data, offset + 4)[0]
+        task, offset = _decode_task(data, offset + 8)
+        client, offset = _decode_address(data, offset)
+        swap_indx = _U32.unpack_from(data, offset)[0]
+        exec_props = _U64.unpack_from(data, offset + 4)[0]
+        node_id = _U16.unpack_from(data, offset + 12)[0]
+        rack_id = _U16.unpack_from(data, offset + 14)[0]
+        pkt_retrieve_ptr = _U32.unpack_from(data, offset + 16)[0]
+        requester, offset = _decode_address(data, offset + 20)
+        executor_id = _U32.unpack_from(data, offset)[0]
+        swaps_left = _U16.unpack_from(data, offset + 4)[0]
+        skip_counter = _U16.unpack_from(data, offset + 6)[0]
+        insert_mode = bool(_U8.unpack_from(data, offset + 8)[0])
+        queue_index = _U8.unpack_from(data, offset + 9)[0]
+        return SwapTaskPacket(
+            uid=uid,
+            jid=jid,
+            task=task,
+            client=client,
+            swap_indx=swap_indx,
+            exec_props=exec_props,
+            node_id=node_id,
+            rack_id=rack_id,
+            pkt_retrieve_ptr=pkt_retrieve_ptr,
+            requester=requester,
+            executor_id=executor_id,
+            swaps_left=swaps_left,
+            skip_counter=skip_counter,
+            insert_mode=insert_mode,
+            queue_index=queue_index,
+        )
+    if op is OpCode.REPAIR:
+        length = _U8.unpack_from(data, offset)[0]
+        target = data[offset + 1 : offset + 1 + length].decode("ascii")
+        value = _U32.unpack_from(data, offset + 1 + length)[0]
+        queue_index = _U8.unpack_from(data, offset + 5 + length)[0]
+        return RepairPacket(target=target, value=value, queue_index=queue_index)
+    raise ProtocolError(f"decoder missing for opcode {op!r}")
+
+
+def wire_size(message) -> int:
+    """Encoded size in bytes, without building the byte string."""
+    if isinstance(message, JobSubmission):
+        return 1 + 10 + sum(_task_size(t) for t in message.tasks)
+    if isinstance(message, TaskRequest):
+        return 1 + 4 + 2 + 2 + 8 + 1
+    if isinstance(message, TaskAssignment):
+        return 1 + 8 + _task_size(message.task) + _address_size(message.client)
+    if isinstance(message, NoOpTask):
+        return 1
+    if isinstance(message, SubmissionAck):
+        return 1 + 10
+    if isinstance(message, ErrorPacket):
+        return 1 + 10 + sum(_task_size(t) for t in message.tasks)
+    if isinstance(message, Completion):
+        size = 1 + 4 + 4 + 4 + 4 + 1 + _address_size(message.client) + 1
+        if message.piggyback_request is not None:
+            size += wire_size(message.piggyback_request)
+        return size
+    if isinstance(message, SwapTaskPacket):
+        return (
+            1
+            + 8
+            + _task_size(message.task)
+            + _address_size(message.client)
+            + 4
+            + 8
+            + 2
+            + 2
+            + 4
+            + _address_size(message.requester)
+            + 4
+            + 2
+            + 2
+            + 1
+            + 1
+        )
+    if isinstance(message, RepairPacket):
+        return 1 + 1 + len(message.target.encode("ascii")) + 4 + 1
+    raise ProtocolError(f"cannot size {type(message).__name__}")

@@ -1,0 +1,196 @@
+"""Scheduler protocol messages (paper §4.1, Fig. 3).
+
+``TaskInfo`` carries exactly the fields of the paper's TASK_INFO record:
+task id, pre-compiled function id + argument blob, and the policy-specific
+``tprops`` word (priority level, resource bitmap, or data-local node id
+depending on the active policy). The unique task identity is the
+``(uid, jid, tid)`` tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.net.packet import Address
+from repro.protocol.opcodes import OpCode
+
+TaskKey = Tuple[int, int, int]
+"""The globally unique task identity <UID, JID, TID>."""
+
+
+@dataclass(frozen=True)
+class TaskInfo:
+    """Per-task metadata inside a job_submission packet.
+
+    Attributes:
+        tid: task id within the job.
+        fn_id: id of the pre-compiled function to run.
+        fn_par: argument blob (fixed-size field on the wire; larger
+            parameters use the indirection mechanisms of §4.4).
+        tprops: policy-specific properties word (priority / resource
+            bitmap / data-local node ids).
+    """
+
+    tid: int
+    fn_id: int = 0
+    fn_par: bytes = b""
+    tprops: int = 0
+
+
+@dataclass
+class JobSubmission:
+    """A batch of independent tasks from one client (OP_CODE=1)."""
+
+    op: OpCode = field(default=OpCode.JOB_SUBMISSION, init=False)
+    uid: int = 0
+    jid: int = 0
+    tasks: List[TaskInfo] = field(default_factory=list)
+
+    @property
+    def num_tasks(self) -> int:
+        """The #TASKS wire field."""
+        return len(self.tasks)
+
+    def task_keys(self) -> List[TaskKey]:
+        return [(self.uid, self.jid, t.tid) for t in self.tasks]
+
+
+@dataclass
+class TaskRequest:
+    """An idle executor asking the scheduler for work (pull model, §4.6).
+
+    Attributes:
+        executor_id: globally unique executor id.
+        node_id: worker node the executor runs on (locality policy).
+        rack_id: rack of the worker node (locality policy).
+        exec_rsrc: resource bitmap of the node (resource policy, §5.2).
+        rtrv_prio: priority queue to try first (priority policy, §6.1).
+    """
+
+    op: OpCode = field(default=OpCode.TASK_REQUEST, init=False)
+    executor_id: int = 0
+    node_id: int = 0
+    rack_id: int = 0
+    exec_rsrc: int = 0
+    rtrv_prio: int = 1
+
+
+@dataclass
+class TaskAssignment:
+    """The scheduler handing a task to an executor (OP_CODE=3)."""
+
+    op: OpCode = field(default=OpCode.TASK_ASSIGNMENT, init=False)
+    uid: int = 0
+    jid: int = 0
+    task: TaskInfo = field(default_factory=lambda: TaskInfo(tid=0))
+    client: Optional[Address] = None
+
+    @property
+    def key(self) -> TaskKey:
+        return (self.uid, self.jid, self.task.tid)
+
+
+@dataclass
+class NoOpTask:
+    """Returned when no task matching the request is queued (§4.6)."""
+
+    op: OpCode = field(default=OpCode.NO_OP, init=False)
+
+
+@dataclass
+class SubmissionAck:
+    """Acknowledgment that a job_submission was fully enqueued."""
+
+    op: OpCode = field(default=OpCode.SUBMISSION_ACK, init=False)
+    uid: int = 0
+    jid: int = 0
+    accepted: int = 0
+
+
+@dataclass
+class ErrorPacket:
+    """Queue-full rejection carrying the tasks that were not enqueued.
+
+    The client retries these after a short wait (§4.3).
+    """
+
+    op: OpCode = field(default=OpCode.ERROR, init=False)
+    uid: int = 0
+    jid: int = 0
+    tasks: List[TaskInfo] = field(default_factory=list)
+
+
+@dataclass
+class Completion:
+    """Executor -> client task-completion notice, routed via the switch.
+
+    In Draconis the next task request is piggybacked on the completion
+    (§3.1): ``piggyback_request`` holds it when present.
+    """
+
+    op: OpCode = field(default=OpCode.COMPLETION, init=False)
+    uid: int = 0
+    jid: int = 0
+    tid: int = 0
+    executor_id: int = 0
+    success: bool = True
+    client: Optional[Address] = None
+    piggyback_request: Optional[TaskRequest] = None
+
+    @property
+    def key(self) -> TaskKey:
+        return (self.uid, self.jid, self.tid)
+
+
+@dataclass
+class SwapTaskPacket:
+    """Switch-internal packet driving task swapping (§5.1).
+
+    Attributes:
+        task: the task popped from the queue that the current executor
+            cannot run.
+        uid, jid: identity of the popped task's job.
+        client: submitting client of the popped task.
+        swap_indx: next queue index to examine.
+        exec_props: the requesting executor's properties (resources or
+            node/rack ids) so the policy check can continue.
+        pkt_retrieve_ptr: retrieve pointer value when the swap began; a
+            stale value makes the switch swap at the queue head instead
+            (concurrency guard, §5.1).
+        requester: executor endpoint awaiting the assignment.
+        executor_id: id of that executor.
+        swaps_left: bound on further swaps (starvation guard).
+        skip_counter: times the in-packet task has been skipped (locality).
+    """
+
+    op: OpCode = field(default=OpCode.SWAP_TASK, init=False)
+    task: TaskInfo = field(default_factory=lambda: TaskInfo(tid=0))
+    uid: int = 0
+    jid: int = 0
+    client: Optional[Address] = None
+    swap_indx: int = 0
+    exec_props: int = 0
+    node_id: int = 0
+    rack_id: int = 0
+    pkt_retrieve_ptr: int = 0
+    requester: Optional[Address] = None
+    executor_id: int = 0
+    swaps_left: int = 0
+    skip_counter: int = 0
+    insert_mode: bool = False
+    queue_index: int = 0
+
+
+@dataclass
+class RepairPacket:
+    """Switch-internal pointer-repair packet (§4.5).
+
+    ``target`` selects which pointer to fix; ``value`` is the corrected
+    pointer value computed when the mistake was detected.
+    """
+
+    op: OpCode = field(default=OpCode.REPAIR, init=False)
+    target: str = "add_ptr"  # or "retrieve_ptr"
+    value: int = 0
+    queue_index: int = 0  # which replicated queue (priority level)

@@ -1,0 +1,29 @@
+"""Protocol operation codes.
+
+``JOB_SUBMISSION`` and ``TASK_ASSIGNMENT`` are the two packet types the
+paper introduces (§4.1); the others complete the protocol it describes in
+prose: task requests from executors, no-ops, submission acks, error
+packets for full queues, completions, and the switch-internal swap/repair
+packets used by task swapping (§5.1) and pointer correction (§4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpCode(enum.IntEnum):
+    """One-byte request type at the front of every scheduler message."""
+
+    JOB_SUBMISSION = 1
+    TASK_REQUEST = 2
+    TASK_ASSIGNMENT = 3
+    NO_OP = 4
+    SUBMISSION_ACK = 5
+    ERROR = 6
+    COMPLETION = 7
+    # Switch-internal packet types (never leave the switch in Draconis;
+    # they exist on the wire format so a server-based implementation of
+    # the same protocol can interoperate).
+    SWAP_TASK = 8
+    REPAIR = 9

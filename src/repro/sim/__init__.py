@@ -1,0 +1,46 @@
+"""Discrete-event simulation kernel.
+
+The kernel uses an integer nanosecond clock (microsecond-scale scheduling
+cannot tolerate floating point drift) and offers two programming styles:
+
+* callback scheduling via :meth:`Simulator.call_at` / :meth:`Simulator.call_in`
+* generator-based processes (`yield` events) via :meth:`Simulator.spawn`
+
+Time helpers :func:`us`, :func:`ms` and :func:`seconds` convert to
+nanoseconds, the unit used everywhere in this library.
+"""
+
+from repro.sim.core import (
+    MS,
+    SEC,
+    US,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+    ms,
+    seconds,
+    us,
+)
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "MS",
+    "Process",
+    "Resource",
+    "RngStreams",
+    "SEC",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "US",
+    "ms",
+    "seconds",
+    "us",
+]

@@ -1,0 +1,366 @@
+"""Event loop, events, and generator-based processes.
+
+The design follows the classic discrete-event pattern: a binary heap of
+``(time, sequence, callback)`` entries, an integer clock, and a thin
+process layer in which simulation actors are Python generators that yield
+:class:`Event` objects and are resumed when those events trigger.
+
+The clock unit is the nanosecond. Use :func:`us`, :func:`ms` and
+:func:`seconds` to build readable durations::
+
+    sim = Simulator()
+    sim.call_in(us(5), fire_probe)
+    sim.run(until=ms(1))
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+US = 1_000
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return int(round(value * US))
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return int(round(value * MS))
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return int(round(value * SEC))
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*, is *triggered* at most once with an optional
+    value (or failure), and then invokes its callbacks in registration
+    order. Triggering an event schedules the callbacks immediately (at the
+    current simulation time) rather than synchronously, which keeps actor
+    wake-up ordering deterministic.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_triggered", "_value", "_failure")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self._callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._failure: Optional[BaseException] = None
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before trigger")
+        return self._value
+
+    @property
+    def failed(self) -> bool:
+        return self._failure is not None
+
+    @property
+    def failure(self) -> Optional[BaseException]:
+        return self._failure
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event has triggered.
+
+        If the event already triggered, the callback runs at the current
+        simulation time (still via the event loop, never synchronously).
+        """
+        if self._triggered:
+            self.sim.call_in(0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value`` to waiters."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        self._triggered = True
+        self._value = value
+        self._schedule_callbacks()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiting processes see the exception."""
+        if self._triggered:
+            raise SimulationError("event triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail() requires an exception")
+        self._triggered = True
+        self._failure = exception
+        self._schedule_callbacks()
+        return self
+
+    def _schedule_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.call_in(0, callback, self)
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.delay = delay
+        sim.call_in(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class _Condition(Event):
+    """Base for events composed of several child events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self.events: Tuple[Event, ...] = tuple(events)
+        if not self.events:
+            raise SimulationError("condition needs at least one event")
+        self._remaining = len(self.events)
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers as soon as any child event triggers.
+
+    The value is the child event that fired first. Failures propagate.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.failed:
+            assert event.failure is not None
+            self.fail(event.failure)
+        else:
+            self.succeed(event)
+
+
+class AllOf(_Condition):
+    """Triggers once all child events have triggered.
+
+    The value is a list of child values in construction order. A child
+    failure fails the condition immediately.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if event.failed:
+            assert event.failure is not None
+            self.fail(event.failure)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in self.events])
+
+
+class Process(Event):
+    """A generator-based simulation actor.
+
+    The wrapped generator yields :class:`Event` instances; the process is
+    resumed with the event's value when it triggers (or the failure is
+    thrown into the generator). The process itself is an event that
+    triggers with the generator's return value, so processes can wait on
+    each other.
+    """
+
+    __slots__ = ("name", "_generator",)
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("Process requires a generator")
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        sim.call_in(0, self._resume, None, None)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            # The process already finished (e.g. it was interrupted while
+            # waiting and the original event fired later); stale wake-ups
+            # are ignored.
+            return
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as failure:  # noqa: BLE001 - deliberate propagation
+            self.fail(failure)
+            return
+        if not isinstance(target, Event):
+            self._resume(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected Event"
+                ),
+            )
+            return
+        target.add_callback(self._on_event)
+
+    def _on_event(self, event: Event) -> None:
+        if event.failed:
+            self._resume(None, event.failure)
+        else:
+            self._resume(event.value, None)
+
+    def interrupt(self, reason: str = "interrupted") -> None:
+        """Throw :class:`Interrupted` into the process at the current time."""
+        self.sim.call_in(0, self._resume, None, Interrupted(reason))
+
+
+class Interrupted(SimulationError):
+    """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+
+class Simulator:
+    """A deterministic discrete-event loop with an integer ns clock."""
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._sequence = 0
+        self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    # -- scheduling -----------------------------------------------------
+
+    def call_at(self, when: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}"
+            )
+        heapq.heappush(self._heap, (when, self._sequence, callback, args))
+        self._sequence += 1
+
+    def call_in(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` after ``delay`` nanoseconds."""
+        self.call_at(self._now + int(delay), callback, *args)
+
+    # -- event constructors ---------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def spawn(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, generator, name=name)
+
+    # -- execution -------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run the event loop.
+
+        Args:
+            until: stop once the clock would pass this absolute time; the
+                clock is left at ``until``. ``None`` runs to exhaustion.
+            max_events: safety valve; raise after this many dispatches.
+
+        Returns:
+            The simulation time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            budget = max_events
+            while self._heap:
+                when, _seq, callback, args = self._heap[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._heap)
+                self._now = when
+                self._events_processed += 1
+                callback(*args)
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at t={self._now}"
+                        )
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def step(self) -> bool:
+        """Dispatch a single scheduled callback. Returns False when idle."""
+        if not self._heap:
+            return False
+        when, _seq, callback, args = heapq.heappop(self._heap)
+        self._now = when
+        self._events_processed += 1
+        callback(*args)
+        return True
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled callback, or None when idle."""
+        return self._heap[0][0] if self._heap else None

@@ -1,0 +1,158 @@
+"""Shared-resource primitives built on the event kernel.
+
+:class:`Store` is an unbounded (or bounded) FIFO of items with blocking
+``get``; it backs message queues, NIC receive queues and scheduler inboxes.
+:class:`Resource` models a unit-capacity (or k-capacity) server such as a
+CPU core processing packets serially.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Event, Simulator
+
+
+class Store:
+    """FIFO item store with event-based get/put.
+
+    ``put`` succeeds immediately unless a ``capacity`` is set and reached,
+    in which case the item is rejected (``put`` returns ``False``): the
+    network layers use rejection to model tail-drop queues rather than
+    backpressure, matching switch behaviour.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SimulationError(f"store capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self.total_put = 0
+        self.total_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> bool:
+        """Add an item; returns False (drop) if the store is full."""
+        if self._getters:
+            event = self._getters.popleft()
+            self.total_put += 1
+            event.succeed(item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self.total_dropped += 1
+            return False
+        self._items.append(item)
+        self.total_put += 1
+        return True
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item (FIFO)."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def cancel_get(self, event: Event) -> bool:
+        """Withdraw a pending get so no item is delivered to it.
+
+        Needed by receive-with-timeout patterns: an abandoned getter
+        would otherwise silently consume the next item. Returns False if
+        the event already triggered (an item was delivered — the caller
+        must handle it).
+        """
+        try:
+            self._getters.remove(event)
+            return True
+        except ValueError:
+            return not event.triggered
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def peek(self) -> Any:
+        """Return the head item without removing it (None when empty)."""
+        return self._items[0] if self._items else None
+
+
+class Resource:
+    """A server with ``capacity`` slots acquired/released by processes.
+
+    Typical use for a single serial CPU::
+
+        with_grant = resource.acquire()
+        yield with_grant
+        yield sim.timeout(cost)
+        resource.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"resource capacity must be positive: {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        self.total_acquired = 0
+        self.busy_time = 0
+        self._busy_since: Optional[int] = None
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that triggers once a slot is granted."""
+        event = self.sim.event()
+        if self._in_use < self.capacity:
+            self._grant(event)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one slot; grants the longest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without matching acquire()")
+        self._in_use -= 1
+        if self._in_use == 0 and self._busy_since is not None:
+            self.busy_time += self.sim.now - self._busy_since
+            self._busy_since = None
+        if self._waiters:
+            self._grant(self._waiters.popleft())
+
+    def _grant(self, event: Event) -> None:
+        if self._in_use == 0:
+            self._busy_since = self.sim.now
+        self._in_use += 1
+        self.total_acquired += 1
+        event.succeed(self)
+
+    def process(self, cost: int) -> Generator[Event, Any, None]:
+        """Convenience process body: acquire, hold for ``cost`` ns, release."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(cost)
+        finally:
+            self.release()
+
+    def utilization(self) -> float:
+        """Fraction of elapsed time at least one slot was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return busy / self.sim.now if self.sim.now else 0.0

@@ -1,0 +1,46 @@
+"""Programmable-switch model (the Tofino substitute).
+
+The model captures the constraints that shaped Draconis' design (§2.1.1):
+
+* each register array may be accessed **at most once per packet traversal**
+  (enforced by :class:`RegisterArray` + :class:`PacketContext`, raising
+  :class:`repro.errors.RegisterAccessError` on violation);
+* the single access may be a read, a write, or one atomic
+  read-modify-write (e.g. ``read_and_increment``);
+* no loops — re-processing requires **recirculation**, which shares a
+  metered recirculation port with bounded bandwidth; overload drops packets
+  (how R2P2-1 loses tasks, §8.3);
+* a stage/SRAM budget model (:mod:`repro.switchsim.resources`) reproduces
+  the §7 capacity analysis (164 K-task queue on Tofino 1, ~1 M on Tofino 2).
+"""
+
+from repro.switchsim.registers import PacketContext, RegisterArray, RegisterFile
+from repro.switchsim.pipeline import (
+    Drop,
+    Forward,
+    P4Program,
+    ProgrammableSwitch,
+    Recirculate,
+    Reply,
+    SwitchStats,
+)
+from repro.switchsim.resources import SwitchModel, TOFINO1, TOFINO2
+from repro.switchsim.tracer import SwitchTracer, TraceRecord
+
+__all__ = [
+    "Drop",
+    "Forward",
+    "P4Program",
+    "PacketContext",
+    "ProgrammableSwitch",
+    "Recirculate",
+    "RegisterArray",
+    "RegisterFile",
+    "Reply",
+    "SwitchModel",
+    "SwitchStats",
+    "SwitchTracer",
+    "TraceRecord",
+    "TOFINO1",
+    "TOFINO2",
+]

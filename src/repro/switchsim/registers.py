@@ -1,0 +1,239 @@
+"""Register arrays with the Tofino once-per-packet access constraint.
+
+A P4 program's state lives in per-stage register arrays. The hardware
+permits a single ALU operation per array per packet: a read, a write, or
+one atomic read-modify-write (paper §2.1.1). This module enforces the
+constraint at runtime: every access is recorded against the current
+:class:`PacketContext`, and a second access to the same array raises
+:class:`RegisterAccessError`. The Draconis scheduler program is written
+against this API, so the test suite proves the delayed-pointer-correction
+design actually fits the hardware memory model it targets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import RegisterAccessError, SwitchError
+
+
+class PacketContext:
+    """Tracks one traversal of the pipeline by one packet.
+
+    Recirculating a packet starts a *new* traversal with a fresh context,
+    which is what lets a program touch the same register again — exactly
+    the hardware behaviour Draconis exploits.
+    """
+
+    __slots__ = ("packet", "accessed", "metadata")
+
+    def __init__(self, packet: Any = None) -> None:
+        self.packet = packet
+        self.accessed: Dict[int, str] = {}
+        self.metadata: Dict[str, Any] = {}
+
+    def note_access(self, array: "RegisterArray", kind: str) -> None:
+        key = id(array)
+        previous = self.accessed.get(key)
+        if previous is not None:
+            raise RegisterAccessError(
+                f"register array {array.name!r} accessed twice in one "
+                f"traversal (first {previous}, then {kind}); recirculate "
+                f"to access it again"
+            )
+        self.accessed[key] = kind
+
+
+class RegisterArray:
+    """A fixed-size array of integer cells in one pipeline stage.
+
+    Args:
+        name: diagnostic name.
+        size: number of cells.
+        width_bits: cell width, used by the SRAM budget model.
+        stage: pipeline stage index the array is placed in (resource model).
+        initial: initial cell value.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        width_bits: int = 32,
+        stage: int = 0,
+        initial: int = 0,
+    ) -> None:
+        if size <= 0:
+            raise SwitchError(f"register array size must be positive: {size}")
+        if width_bits <= 0:
+            raise SwitchError(f"register width must be positive: {width_bits}")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self.stage = stage
+        self._cells: List[int] = [initial] * size
+        self.reads = 0
+        self.writes = 0
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.size:
+            raise SwitchError(
+                f"register {self.name!r} index {index} out of range "
+                f"[0, {self.size})"
+            )
+
+    def read(self, ctx: PacketContext, index: int) -> int:
+        """Single read — consumes this array's access for the traversal."""
+        ctx.note_access(self, "read")
+        self._check_index(index)
+        self.reads += 1
+        return self._cells[index]
+
+    def write(self, ctx: PacketContext, index: int, value: int) -> None:
+        """Single write — consumes this array's access for the traversal."""
+        ctx.note_access(self, "write")
+        self._check_index(index)
+        self.writes += 1
+        self._cells[index] = value
+
+    def read_modify_write(
+        self, ctx: PacketContext, index: int, update: Callable[[int], int]
+    ) -> int:
+        """Atomic RMW; returns the value *before* the update.
+
+        This models the single-ALU-operation register access available on
+        Tofino (e.g. read-and-increment).
+        """
+        ctx.note_access(self, "rmw")
+        self._check_index(index)
+        self.reads += 1
+        self.writes += 1
+        old = self._cells[index]
+        self._cells[index] = update(old)
+        return old
+
+    def read_and_increment(self, ctx: PacketContext, index: int = 0) -> int:
+        """The paper's ``read_and_increment``: returns pre-increment value."""
+        return self.read_modify_write(ctx, index, lambda v: v + 1)
+
+    def compare_and_swap(
+        self, ctx: PacketContext, index: int, expect: int, value: int
+    ) -> bool:
+        """Atomic conditional write; True when the swap happened."""
+        ctx.note_access(self, "cas")
+        self._check_index(index)
+        self.reads += 1
+        if self._cells[index] != expect:
+            return False
+        self.writes += 1
+        self._cells[index] = value
+        return True
+
+    # Control-plane access (switch CPU / driver), exempt from the data-plane
+    # constraint. Used for initialization and for test inspection only.
+
+    def cp_read(self, index: int) -> int:
+        self._check_index(index)
+        return self._cells[index]
+
+    def cp_write(self, index: int, value: int) -> None:
+        self._check_index(index)
+        self._cells[index] = value
+
+    def cp_fill(self, value: int) -> None:
+        for i in range(self.size):
+            self._cells[i] = value
+
+    def sram_bits(self) -> int:
+        """SRAM footprint for the §7 resource model."""
+        return self.size * self.width_bits
+
+
+class ObjectRegisterArray(RegisterArray):
+    """A register array whose cells hold Python objects.
+
+    The real switch stores a task as a set of parallel 32-bit register
+    arrays (one array per field, all in the same stage). Modelling each
+    field separately would only multiply bookkeeping without changing
+    behaviour, so this array stores the whole entry as one object and
+    reports its SRAM footprint as ``entry_width_bits`` per cell — the sum
+    of the per-field widths, which is what the resource model needs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        entry_width_bits: int,
+        stage: int = 0,
+    ) -> None:
+        super().__init__(name, size, width_bits=entry_width_bits, stage=stage)
+        self._cells = [None] * size  # type: ignore[list-item]
+
+    def read_and_clear(self, ctx: PacketContext, index: int) -> Any:
+        """Atomically read a cell and invalidate it (pop an entry)."""
+        return self.read_modify_write(ctx, index, lambda _old: None)
+
+    def exchange(self, ctx: PacketContext, index: int, value: Any) -> Any:
+        """Atomically write ``value`` and return the previous cell content.
+
+        This is the single-access primitive behind task swapping (§5.1).
+        """
+        ctx.note_access(self, "exchange")
+        self._check_index(index)
+        self.reads += 1
+        self.writes += 1
+        old = self._cells[index]
+        self._cells[index] = value
+        return old
+
+
+class RegisterFile:
+    """All register arrays declared by a switch program, with accounting."""
+
+    def __init__(self) -> None:
+        self._arrays: Dict[str, RegisterArray] = {}
+
+    def declare(
+        self,
+        name: str,
+        size: int,
+        width_bits: int = 32,
+        stage: int = 0,
+        initial: int = 0,
+    ) -> RegisterArray:
+        if name in self._arrays:
+            raise SwitchError(f"register array {name!r} already declared")
+        array = RegisterArray(name, size, width_bits, stage, initial)
+        self._arrays[name] = array
+        return array
+
+    def declare_objects(
+        self, name: str, size: int, entry_width_bits: int, stage: int = 0
+    ) -> ObjectRegisterArray:
+        if name in self._arrays:
+            raise SwitchError(f"register array {name!r} already declared")
+        array = ObjectRegisterArray(name, size, entry_width_bits, stage)
+        self._arrays[name] = array
+        return array
+
+    def __getitem__(self, name: str) -> RegisterArray:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def arrays(self) -> List[RegisterArray]:
+        return list(self._arrays.values())
+
+    def total_sram_bits(self) -> int:
+        return sum(a.sram_bits() for a in self._arrays.values())
+
+    def stages_used(self) -> List[int]:
+        return sorted({a.stage for a in self._arrays.values()})
+
+    def per_stage_sram_bits(self) -> Dict[int, int]:
+        usage: Dict[int, int] = {}
+        for array in self._arrays.values():
+            usage[array.stage] = usage.get(array.stage, 0) + array.sram_bits()
+        return usage

@@ -1,0 +1,116 @@
+"""Hardware resource budget model for Tofino-class switches (§7).
+
+The paper states that its (first-generation) switch supports a 164 K-task
+queue and 4 priority levels, and estimates ~1 M tasks and 12 levels on
+Tofino 2. We reproduce those estimates from first principles: a queue
+entry's register footprint (task info + client identity + skip counter)
+against the per-stage SRAM available to register arrays.
+
+The numbers for per-stage SRAM are public-domain approximations (Tofino
+exposes ~120 Mb of SRAM across 12 stages per pipe; Tofino 2 roughly
+doubles both). The model's purpose is to reproduce the *analysis*, so the
+defaults are calibrated to land on the paper's reported capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import PipelineResourceError
+from repro.switchsim.registers import RegisterFile
+
+
+@dataclass(frozen=True)
+class SwitchModel:
+    """A switch generation's resource envelope.
+
+    Attributes:
+        name: model name.
+        stages: match-action stages per pipeline.
+        sram_bits_per_stage: SRAM available to register arrays per stage.
+        register_stages_for_queue: stages whose SRAM can hold task-queue
+            entries after the protocol tables and counters are placed.
+        pipeline_latency_ns: ingress-to-egress traversal time.
+        line_rate_pps: aggregate packet rate the ASIC sustains.
+        recirc_fraction: share of line rate available to recirculation.
+    """
+
+    name: str
+    stages: int
+    sram_bits_per_stage: int
+    register_stages_for_queue: int
+    pipeline_latency_ns: int
+    line_rate_pps: int
+    recirc_fraction: float
+
+    def queue_capacity(self, entry_width_bits: int) -> int:
+        """Max circular-queue entries the register budget can hold."""
+        if entry_width_bits <= 0:
+            raise PipelineResourceError(
+                f"entry width must be positive: {entry_width_bits}"
+            )
+        usable = self.register_stages_for_queue * self.sram_bits_per_stage
+        return usable // entry_width_bits
+
+    def max_priority_levels(self, stages_per_queue: int = 1) -> int:
+        """How many independent task queues fit in the stage budget.
+
+        Each priority level replicates the queue (paper §6). Queues placed
+        in shared stages need recirculation; distinct stages avoid it. The
+        bound here is the stage budget after reserving stages for parsing,
+        pointers/flags and forwarding tables.
+        """
+        if stages_per_queue <= 0:
+            raise PipelineResourceError(
+                f"stages_per_queue must be positive: {stages_per_queue}"
+            )
+        reserved_stages = 4  # parser-adjacent tables, pointers, flags, L2
+        available = max(0, self.stages * 2 - reserved_stages)  # ingress+egress
+        return available // stages_per_queue
+
+    def recirc_pps(self) -> int:
+        return int(self.line_rate_pps * self.recirc_fraction)
+
+    def check_fits(self, registers: RegisterFile) -> None:
+        """Raise if a program's declared registers exceed the budget."""
+        per_stage = registers.per_stage_sram_bits()
+        for stage, bits in per_stage.items():
+            if stage >= self.stages * 2:
+                raise PipelineResourceError(
+                    f"stage {stage} beyond {self.name} budget of "
+                    f"{self.stages * 2} (ingress+egress)"
+                )
+            if bits > self.sram_bits_per_stage:
+                raise PipelineResourceError(
+                    f"stage {stage} uses {bits} SRAM bits, over the "
+                    f"{self.name} per-stage budget {self.sram_bits_per_stage}"
+                )
+
+
+# Queue entry footprint used in §7-style analyses: TASK_INFO (tid, fn_id,
+# fn_par, tprops) + client IP/port + validity/skip counter. See
+# repro.analysis.switch_budget for the field-by-field derivation.
+DEFAULT_ENTRY_WIDTH_BITS = 256
+
+TOFINO1 = SwitchModel(
+    name="tofino1",
+    stages=12,
+    sram_bits_per_stage=7 * 2**20,  # ~7 Mb of register-usable SRAM per stage
+    register_stages_for_queue=6,
+    pipeline_latency_ns=600,
+    line_rate_pps=4_700_000_000,  # the paper's 4.7 Bpps figure
+    recirc_fraction=0.125,
+)
+
+TOFINO2 = SwitchModel(
+    name="tofino2",
+    stages=20,
+    sram_bits_per_stage=13 * 2**20,
+    register_stages_for_queue=20,
+    pipeline_latency_ns=500,
+    line_rate_pps=7_600_000_000,
+    recirc_fraction=0.125,
+)
+
+MODELS: Dict[str, SwitchModel] = {m.name: m for m in (TOFINO1, TOFINO2)}

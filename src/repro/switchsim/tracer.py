@@ -1,0 +1,156 @@
+"""Dataplane tracing: a bounded in-switch event log.
+
+Real deployments debug P4 programs with mirrored packets and counters;
+this module is the simulation analogue — a ring buffer of
+``(time_ns, kind, opcode, detail)`` records attached to a
+:class:`~repro.switchsim.pipeline.ProgrammableSwitch`. Tracing is opt-in
+and cheap enough to leave on in tests, where it turns "the task
+disappeared" into a grep.
+
+Example::
+
+    tracer = SwitchTracer(switch, capacity=10_000)
+    ...run...
+    for record in tracer.matching(kind="recirculate"):
+        print(record)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, List, Optional
+
+from repro.switchsim.pipeline import (
+    Drop,
+    Forward,
+    ProgrammableSwitch,
+    Recirculate,
+    Reply,
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One dataplane event."""
+
+    time_ns: int
+    kind: str  # ingress | reply | forward | recirculate | drop
+    opcode: str
+    pkt_id: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time_ns:>12}ns] {self.kind:<11} {self.opcode:<16} "
+            f"pkt={self.pkt_id} {self.detail}"
+        )
+
+
+def _opcode_of(payload) -> str:
+    op = getattr(payload, "op", None)
+    if op is not None:
+        return op.name.lower()
+    return type(payload).__name__
+
+
+class SwitchTracer:
+    """Wraps a switch's traversal/action paths with a bounded event log."""
+
+    def __init__(self, switch: ProgrammableSwitch, capacity: int = 65_536) -> None:
+        self.switch = switch
+        self.records: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._wrap()
+
+    def _wrap(self) -> None:
+        switch = self.switch
+        original_traverse = switch._traverse
+        original_apply = switch._apply
+
+        def traced_traverse(packet):
+            self.records.append(
+                TraceRecord(
+                    time_ns=switch.sim.now,
+                    kind="ingress",
+                    opcode=_opcode_of(packet.payload),
+                    pkt_id=packet.pkt_id,
+                    detail=f"src={packet.src.node}",
+                )
+            )
+            return original_traverse(packet)
+
+        def traced_apply(action):
+            if isinstance(action, Reply):
+                self.records.append(
+                    TraceRecord(
+                        time_ns=switch.sim.now,
+                        kind="reply",
+                        opcode=_opcode_of(action.payload),
+                        pkt_id=-1,
+                        detail=f"dst={action.dst.node}",
+                    )
+                )
+            elif isinstance(action, Forward):
+                self.records.append(
+                    TraceRecord(
+                        time_ns=switch.sim.now,
+                        kind="forward",
+                        opcode=_opcode_of(action.packet.payload),
+                        pkt_id=action.packet.pkt_id,
+                        detail=f"dst={action.packet.dst.node}",
+                    )
+                )
+            elif isinstance(action, Recirculate):
+                self.records.append(
+                    TraceRecord(
+                        time_ns=switch.sim.now,
+                        kind="recirculate",
+                        opcode=_opcode_of(action.packet.payload),
+                        pkt_id=action.packet.pkt_id,
+                        detail=f"count={action.packet.recirculated + 1}",
+                    )
+                )
+            elif isinstance(action, Drop):
+                self.records.append(
+                    TraceRecord(
+                        time_ns=switch.sim.now,
+                        kind="drop",
+                        opcode=_opcode_of(action.packet.payload),
+                        pkt_id=action.packet.pkt_id,
+                        detail=action.reason,
+                    )
+                )
+            return original_apply(action)
+
+        switch._traverse = traced_traverse
+        switch._apply = traced_apply
+
+    # -- queries ------------------------------------------------------------
+
+    def matching(
+        self,
+        kind: Optional[str] = None,
+        opcode: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        out = []
+        for record in self.records:
+            if kind is not None and record.kind != kind:
+                continue
+            if opcode is not None and record.opcode != opcode:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def count(self, kind: Optional[str] = None, opcode: Optional[str] = None) -> int:
+        return len(self.matching(kind=kind, opcode=opcode))
+
+    def timeline(self, pkt_id: int) -> List[TraceRecord]:
+        """Every event touching one packet, in order."""
+        return [r for r in self.records if r.pkt_id == pkt_id]
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [str(r) for r in list(self.records)[-limit:]]
+        return "\n".join(lines)

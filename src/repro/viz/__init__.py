@@ -1,0 +1,15 @@
+"""Terminal plotting for experiment output (no plotting deps offline).
+
+The paper's figures are log-scale latency-vs-load curves and CDFs;
+these render directly in a terminal:
+
+* :func:`line_chart` — multi-series X/Y chart, optional log-Y
+  (Figs. 5a, 6, 8);
+* :func:`cdf_chart` — CDF curves (Figs. 9, 10, 12);
+* :func:`bar_chart` — labelled horizontal bars (Fig. 5b, §7 table);
+* :func:`sparkline` — one-line trend (Fig. 11 timelines).
+"""
+
+from repro.viz.ascii_charts import bar_chart, cdf_chart, line_chart, sparkline
+
+__all__ = ["bar_chart", "cdf_chart", "line_chart", "sparkline"]

@@ -1,0 +1,150 @@
+"""ASCII chart rendering.
+
+Pure-text output so experiment results are readable over SSH, in CI logs
+and in EXPERIMENTS.md code blocks. All functions return strings; callers
+print them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_MARKS = "ox+*#@%&"
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    if hi <= lo:
+        return 0
+    pos = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(pos * (size - 1)))))
+
+
+def _log(value: float) -> float:
+    return math.log10(max(value, 1e-12))
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    x_label: str = "",
+    y_label: str = "",
+    title: str = "",
+) -> str:
+    """Render multiple (x, y) series on one grid.
+
+    Args:
+        series: name -> [(x, y), ...]; each series gets its own marker.
+        log_y: plot log10(y) — the paper's latency figures all do.
+    """
+    points = [
+        (x, y) for values in series.values() for x, y in values if y > 0 or not log_y
+    ]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _y in points]
+    ys = [(_log(y) if log_y else y) for _x, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid = [[" "] * width for _ in range(height)]
+
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        for x, y in values:
+            yy = _log(y) if log_y else y
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(yy, y_lo, y_hi, height)
+            grid[row][col] = mark
+
+    def y_tick(row: int) -> str:
+        frac = (height - 1 - row) / max(1, height - 1)
+        value = y_lo + frac * (y_hi - y_lo)
+        if log_y:
+            value = 10**value
+        return f"{value:>9.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row in range(height):
+        prefix = y_tick(row) if row % 4 == 0 or row == height - 1 else " " * 9
+        lines.append(f"{prefix} |{''.join(grid[row])}")
+    lines.append(" " * 9 + "-" * (width + 2))
+    lines.append(
+        f"{'':9} {x_lo:<12.4g}{' ' * max(0, width - 24)}{x_hi:>12.4g}"
+    )
+    footer = "  ".join(legend)
+    if x_label or y_label:
+        footer += f"   [{x_label} vs {y_label}{' log' if log_y else ''}]"
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+    log_x: bool = True,
+    title: str = "",
+) -> str:
+    """Render CDFs: x = value (optionally log), y = cumulative fraction."""
+    flipped = {
+        name: [((_log(v) if log_x else v), f) for v, f in values if v > 0]
+        for name, values in series.items()
+    }
+    chart = line_chart(
+        flipped,
+        width=width,
+        height=height,
+        log_y=False,
+        title=title,
+    )
+    if log_x:
+        chart += "\n(x axis is log10 of the value)"
+    return chart
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    unit: str = "",
+    log: bool = False,
+    title: str = "",
+) -> str:
+    """Horizontal labelled bars."""
+    if not values:
+        return "(no data)"
+    rendered = {
+        name: (_log(value) if log else value) for name, value in values.items()
+    }
+    hi = max(rendered.values())
+    lo = min(0.0, min(rendered.values()))
+    label_width = max(len(name) for name in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(
+            1, _scale(rendered[name], lo, hi, width) + 1
+        )
+        lines.append(f"{name:>{label_width}} | {bar:<{width}} {value:,.4g}{unit}")
+    if log:
+        lines.append(f"{'':>{label_width}}   (bar length is log-scaled)")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line trend, e.g. per-bucket throughput (Fig. 11)."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    out = []
+    for value in values:
+        idx = _scale(value, lo, hi, len(_SPARK))
+        out.append(_SPARK[idx])
+    return "".join(out)

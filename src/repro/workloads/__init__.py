@@ -1,0 +1,44 @@
+"""Workload generators for the evaluation suite (paper §8).
+
+Synthetic: fixed 100/250/500 µs, bimodal, trimodal, exponential — plus the
+no-op throughput probe (Fig. 5b). ``google_like`` is the substitution for
+the Google 2011 cluster trace: a bursty, priority-tagged synthetic trace
+with the statistical properties the paper relies on (burst arrivals,
+priority mix, accelerated mean durations of 500 µs / 5 ms).
+"""
+
+from repro.workloads.synthetic import (
+    DurationSampler,
+    bimodal,
+    exponential,
+    fixed,
+    heavy_tailed,
+    noop_fountain,
+    open_loop,
+    rate_for_utilization,
+    trimodal,
+)
+from repro.workloads.google_like import GoogleTraceConfig, google_like
+from repro.workloads.locality import locality_workload
+from repro.workloads.resources import resource_phases_workload
+from repro.workloads.trace_io import accelerate, load_trace, save_trace, trace_stats
+
+__all__ = [
+    "DurationSampler",
+    "GoogleTraceConfig",
+    "bimodal",
+    "exponential",
+    "fixed",
+    "google_like",
+    "heavy_tailed",
+    "locality_workload",
+    "noop_fountain",
+    "open_loop",
+    "rate_for_utilization",
+    "resource_phases_workload",
+    "trimodal",
+    "accelerate",
+    "load_trace",
+    "save_trace",
+    "trace_stats",
+]

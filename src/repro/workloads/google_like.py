@@ -1,0 +1,148 @@
+"""Synthetic substitute for the accelerated Google 2011 cluster trace.
+
+The paper samples the public Google trace, accelerates it to a 3-minute
+run with mean task durations of 500 µs (Fig. 9) or 5 ms (Fig. 12), and
+relies on two of its properties: **burstiness** ("it may submit hundreds
+of tasks at once", §8.4) and **12 priority levels** with a skewed mix
+(§8.6 reports the mapped-to-4-levels mix as 1.2 / 1.7 / 64.6 / 32.2 %).
+
+We do not have the trace here, so this module generates a statistically
+matched substitute:
+
+* job inter-arrival gaps are lognormal (heavy-tailed, clustered);
+* job sizes are geometric with a Pareto-ish tail so occasional jobs carry
+  hundreds of tasks;
+* task durations are lognormal around the configured mean (the paper's
+  accelerated traces preserve relative durations; lognormal is the
+  standard fit for Google task durations);
+* each task gets one of 12 Google priority levels drawn from a skew that
+  maps onto the paper's 4-level mix via ``level // 3 + 1``.
+
+DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.cluster.task import SubmitEvent, TaskSpec
+from repro.errors import ConfigurationError
+from repro.sim.core import us
+
+#: fraction of tasks at each of the 12 Google priority levels, chosen so
+#: that mapping three-levels-to-one reproduces the paper's 4-level mix
+#: (1.2 %, 1.7 %, 64.6 %, 32.2 %).
+GOOGLE_PRIORITY_MIX = (
+    0.004, 0.004, 0.004,   # -> Draconis level 1: 1.2 %
+    0.006, 0.006, 0.005,   # -> Draconis level 2: 1.7 %
+    0.30, 0.25, 0.096,     # -> Draconis level 3: 64.6 %
+    0.15, 0.10, 0.072,     # -> Draconis level 4: 32.2 %
+)
+
+
+def map_google_priority(level12: int, draconis_levels: int = 4) -> int:
+    """Map a 0-based 12-level Google priority onto a 1-based Draconis level.
+
+    "We map every three levels of Google priorities to one priority level
+    in Draconis" (§8.6).
+    """
+    if not 0 <= level12 < 12:
+        raise ConfigurationError(f"google priority out of range: {level12}")
+    per_bucket = 12 // draconis_levels
+    return min(level12 // per_bucket + 1, draconis_levels)
+
+
+@dataclass(frozen=True)
+class GoogleTraceConfig:
+    """Knobs for the synthetic trace.
+
+    Attributes:
+        mean_duration_ns: mean task execution time (paper: 500 µs or 5 ms).
+        target_rate_tps: average task arrival rate.
+        horizon_ns: trace length.
+        small_job_geometric_p: job sizes are mostly small (the Google
+            trace's median job has ~1 task) — geometric with this p.
+        big_job_prob: probability a job is a large burst instead
+            ("it may submit hundreds of tasks at once", §8.4).
+        big_job_min / burst_max: size range of large bursts (uniform).
+        gap_sigma: lognormal shape of inter-arrival gaps (burstiness).
+        duration_sigma: lognormal shape of task durations.
+        with_priorities: tag tasks with Draconis priority levels.
+        draconis_levels: number of priority levels to map onto.
+    """
+
+    mean_duration_ns: int = us(500)
+    target_rate_tps: float = 200_000.0
+    horizon_ns: int = 0
+    small_job_geometric_p: float = 0.55
+    big_job_prob: float = 0.002
+    big_job_min: int = 50
+    burst_max: int = 400
+    gap_sigma: float = 1.2
+    duration_sigma: float = 0.8
+    with_priorities: bool = False
+    draconis_levels: int = 4
+
+    def mean_job_size(self) -> float:
+        small = (1 - self.big_job_prob) / self.small_job_geometric_p
+        big = self.big_job_prob * (self.big_job_min + self.burst_max) / 2.0
+        return small + big
+
+
+def _lognormal_with_mean(
+    rng: np.random.Generator, mean: float, sigma: float
+) -> float:
+    """Draw lognormal with the exact requested mean."""
+    mu = np.log(mean) - sigma * sigma / 2.0
+    return float(rng.lognormal(mu, sigma))
+
+
+def google_like(
+    rng: np.random.Generator, config: GoogleTraceConfig
+) -> Iterator[SubmitEvent]:
+    """Generate the bursty, priority-tagged synthetic trace."""
+    if config.horizon_ns <= 0:
+        raise ConfigurationError("horizon_ns must be set")
+    if config.target_rate_tps <= 0:
+        raise ConfigurationError("target_rate_tps must be positive")
+
+    priorities = np.asarray(GOOGLE_PRIORITY_MIX)
+    priorities = priorities / priorities.sum()
+    mean_gap_ns = config.mean_job_size() / config.target_rate_tps * 1e9
+
+    now = 0.0
+    while True:
+        now += _lognormal_with_mean(rng, mean_gap_ns, config.gap_sigma)
+        if now >= config.horizon_ns:
+            return
+        if rng.random() < config.big_job_prob:
+            size = int(rng.integers(config.big_job_min, config.burst_max + 1))
+        else:
+            size = int(
+                min(
+                    rng.geometric(config.small_job_geometric_p),
+                    config.burst_max,
+                )
+            )
+        tasks: List[TaskSpec] = []
+        for _ in range(size):
+            duration = max(
+                1_000,
+                int(
+                    _lognormal_with_mean(
+                        rng, config.mean_duration_ns, config.duration_sigma
+                    )
+                ),
+            )
+            if config.with_priorities:
+                level12 = int(rng.choice(12, p=priorities))
+                level = map_google_priority(level12, config.draconis_levels)
+                tasks.append(
+                    TaskSpec(duration_ns=duration, tprops=level, priority=level)
+                )
+            else:
+                tasks.append(TaskSpec(duration_ns=duration))
+        yield SubmitEvent(time_ns=int(now), tasks=tuple(tasks))

@@ -1,0 +1,164 @@
+"""The synthetic workload suite (paper §8, "Workloads").
+
+Execution-time distributions: fixed 100 µs / 250 µs / 500 µs; bimodal
+(50 % 100 µs + 50 % 500 µs); trimodal (equal thirds of 100/250/500 µs);
+exponential with mean 250 µs. Arrivals are open-loop Poisson at a rate
+chosen from a target cluster utilization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.task import FN_NOOP, SubmitEvent, TaskSpec
+from repro.errors import ConfigurationError
+from repro.sim.core import us
+
+DurationSampler = Callable[[np.random.Generator], int]
+"""Draws one task execution time in nanoseconds."""
+
+
+def fixed(duration_us: float) -> DurationSampler:
+    """Every task runs for exactly ``duration_us`` microseconds."""
+    duration_ns = us(duration_us)
+
+    def sample(_rng: np.random.Generator) -> int:
+        return duration_ns
+
+    sample.mean_ns = duration_ns  # type: ignore[attr-defined]
+    return sample
+
+
+def mixture(
+    durations_us: Sequence[float], weights: Optional[Sequence[float]] = None
+) -> DurationSampler:
+    """Tasks draw from discrete durations with the given weights."""
+    durations_ns = np.array([us(d) for d in durations_us], dtype=np.int64)
+    if weights is None:
+        probs = np.full(len(durations_ns), 1.0 / len(durations_ns))
+    else:
+        probs = np.asarray(weights, dtype=np.float64)
+        probs = probs / probs.sum()
+    if len(probs) != len(durations_ns):
+        raise ConfigurationError("weights must match durations")
+
+    def sample(rng: np.random.Generator) -> int:
+        return int(rng.choice(durations_ns, p=probs))
+
+    sample.mean_ns = float(np.dot(durations_ns, probs))  # type: ignore[attr-defined]
+    return sample
+
+
+def bimodal() -> DurationSampler:
+    """50 % 100 µs, 50 % 500 µs (paper §8)."""
+    return mixture([100, 500], [0.5, 0.5])
+
+
+def trimodal() -> DurationSampler:
+    """33.3 % each of 100, 250, 500 µs (paper §8)."""
+    return mixture([100, 250, 500])
+
+
+def exponential(mean_us: float = 250.0) -> DurationSampler:
+    """Exponential execution times with the given mean (paper §8)."""
+    mean_ns = us(mean_us)
+
+    def sample(rng: np.random.Generator) -> int:
+        return max(1, int(rng.exponential(mean_ns)))
+
+    sample.mean_ns = float(mean_ns)  # type: ignore[attr-defined]
+    return sample
+
+
+def heavy_tailed(
+    mean_us: float = 250.0, alpha: float = 1.7, cap_us: float = 50_000.0
+) -> DurationSampler:
+    """Pareto (bounded) execution times — the heavy-tailed regime where
+    FCFS suffers head-of-line blocking and RackSched's intra-node
+    processor sharing pays off (§2.2).
+
+    ``alpha`` is the Pareto shape (must exceed 1 for a finite mean); the
+    scale is solved so the uncapped mean equals ``mean_us``.
+    """
+    if alpha <= 1:
+        raise ConfigurationError(f"pareto alpha must exceed 1: {alpha}")
+    scale_ns = us(mean_us) * (alpha - 1) / alpha
+    cap_ns = us(cap_us)
+
+    def sample(rng: np.random.Generator) -> int:
+        value = scale_ns * (1.0 + rng.pareto(alpha))
+        return max(1, min(int(value), cap_ns))
+
+    sample.mean_ns = float(us(mean_us))  # type: ignore[attr-defined]
+    return sample
+
+
+def rate_for_utilization(
+    utilization: float, executors: int, mean_duration_ns: float
+) -> float:
+    """Open-loop task rate (tasks/s) hitting a target cluster utilization.
+
+    ``utilization = rate * mean_duration / executors`` — the standard
+    offered-load identity the paper's load axes are built on.
+    """
+    if not 0 < utilization:
+        raise ConfigurationError(f"utilization must be positive: {utilization}")
+    if executors <= 0 or mean_duration_ns <= 0:
+        raise ConfigurationError("need executors > 0 and mean duration > 0")
+    return utilization * executors / (mean_duration_ns / 1e9)
+
+
+def open_loop(
+    rng: np.random.Generator,
+    rate_tps: float,
+    duration_sampler: DurationSampler,
+    horizon_ns: int,
+    tasks_per_job: int = 1,
+    tprops_for: Optional[Callable[[np.random.Generator, int], int]] = None,
+    start_ns: int = 0,
+) -> Iterator[SubmitEvent]:
+    """Poisson arrivals of jobs with ``tasks_per_job`` tasks each.
+
+    ``tprops_for(rng, duration_ns)`` optionally tags each task (policy
+    properties); the job arrival rate is scaled so the *task* rate equals
+    ``rate_tps``.
+    """
+    if rate_tps <= 0:
+        raise ConfigurationError(f"rate must be positive: {rate_tps}")
+    if tasks_per_job <= 0:
+        raise ConfigurationError(f"tasks_per_job must be positive: {tasks_per_job}")
+    job_rate = rate_tps / tasks_per_job
+    mean_gap_ns = 1e9 / job_rate
+    now = float(start_ns)
+    while True:
+        now += rng.exponential(mean_gap_ns)
+        if now >= horizon_ns:
+            return
+        tasks: List[TaskSpec] = []
+        for _ in range(tasks_per_job):
+            duration = duration_sampler(rng)
+            tprops = tprops_for(rng, duration) if tprops_for else 0
+            tasks.append(TaskSpec(duration_ns=duration, tprops=tprops))
+        yield SubmitEvent(time_ns=int(now), tasks=tuple(tasks))
+
+
+def noop_fountain(
+    horizon_ns: int,
+    batch: int = 32,
+    interval_ns: int = 2_000,
+    start_ns: int = 0,
+) -> Iterator[SubmitEvent]:
+    """A deterministic firehose of no-op tasks (Fig. 5b throughput probe).
+
+    Executors drop no-ops instantly and re-request, so the scheduler —
+    not task execution — is the bottleneck. The fountain keeps the switch
+    queue topped up without modelling real work.
+    """
+    spec = TaskSpec(duration_ns=0, fn_id=FN_NOOP)
+    tasks = tuple([spec] * batch)
+    now = start_ns
+    while now < horizon_ns:
+        yield SubmitEvent(time_ns=now, tasks=tasks)
+        now += interval_ns

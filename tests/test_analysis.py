@@ -1,0 +1,149 @@
+"""Tests for the analytical models, including a DES cross-validation of
+the M/M/c formulas (the simulator must reproduce textbook queueing before
+its comparative results mean anything)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    QueueEntryLayout,
+    budget_report,
+    erlang_c,
+    jsq_d_wait_approx,
+    max_cluster_cores,
+    mmc_mean_wait,
+    mmc_wait_quantile,
+    queue_capacity_estimate,
+    scalability_sweep,
+)
+from repro.errors import ConfigurationError
+from repro.sim import Simulator, Store, us
+from repro.sim.core import ms
+from repro.switchsim.resources import TOFINO1, TOFINO2
+
+
+class TestErlangC:
+    def test_zero_load(self):
+        assert erlang_c(10, 0.0) == 0.0
+
+    def test_single_server_equals_rho(self):
+        # M/M/1: P(wait) = rho
+        assert erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_monotone_in_load(self):
+        values = [erlang_c(16, u) for u in (0.1, 0.5, 0.9, 0.99)]
+        assert values == sorted(values)
+
+    def test_more_servers_less_waiting(self):
+        assert erlang_c(100, 0.8) < erlang_c(10, 0.8)
+
+    def test_known_value(self):
+        # Classic table value: c=2, rho=0.75 -> C ~ 0.6428
+        assert erlang_c(2, 0.75) == pytest.approx(0.6428, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            erlang_c(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            erlang_c(4, 1.0)
+
+
+class TestMmcWait:
+    def test_mm1_formula(self):
+        # M/M/1: Wq = rho/(1-rho) * service
+        assert mmc_mean_wait(1, 0.5, us(100)) == pytest.approx(us(100))
+
+    def test_quantile_zero_when_wait_unlikely(self):
+        assert mmc_wait_quantile(100, 0.2, us(100), 0.5) == 0.0
+
+    def test_quantile_grows_with_q(self):
+        q90 = mmc_wait_quantile(16, 0.9, us(100), 0.90)
+        q99 = mmc_wait_quantile(16, 0.9, us(100), 0.99)
+        assert q99 > q90 > 0
+
+    def test_des_cross_validation(self):
+        """An M/M/c built on the kernel matches Erlang-C mean wait."""
+        servers, rho, service = 4, 0.7, us(100)
+        sim = Simulator()
+        queue = Store(sim)
+        rng = np.random.default_rng(7)
+        waits = []
+
+        def arrivals():
+            rate = rho * servers / service
+            while True:
+                yield sim.timeout(max(1, int(rng.exponential(1 / rate))))
+                queue.put(sim.now)
+
+        def server():
+            while True:
+                arrived = yield queue.get()
+                waits.append(sim.now - arrived)
+                yield sim.timeout(max(1, int(rng.exponential(service))))
+
+        sim.spawn(arrivals())
+        for _ in range(servers):
+            sim.spawn(server())
+        sim.run(until=ms(400))
+        expected = mmc_mean_wait(servers, rho, service)
+        assert np.mean(waits) == pytest.approx(expected, rel=0.25)
+
+
+class TestJsqApprox:
+    def test_zero_load(self):
+        assert jsq_d_wait_approx(16, 0.0, us(100)) == 0.0
+
+    def test_wait_grows_with_load(self):
+        low = jsq_d_wait_approx(16, 0.3, us(100))
+        high = jsq_d_wait_approx(16, 0.9, us(100))
+        assert high > low
+
+    def test_central_queue_beats_jsq_at_high_load(self):
+        """The premise of §2.2.2: a single queue beats power-of-two JSQ."""
+        servers, rho, service = 160, 0.9, us(500)
+        central = mmc_mean_wait(servers, rho, service)
+        sampled = jsq_d_wait_approx(servers, rho, service, d=2)
+        assert central < sampled
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            jsq_d_wait_approx(16, 0.5, us(100), d=1)
+
+
+class TestSwitchBudget:
+    def test_entry_layout_is_256_bits(self):
+        assert QueueEntryLayout().total_bits() == 256
+
+    def test_capacity_estimates_match_paper(self):
+        assert queue_capacity_estimate(TOFINO1) == pytest.approx(
+            164_000, rel=0.10
+        )
+        assert queue_capacity_estimate(TOFINO2) == pytest.approx(
+            1_000_000, rel=0.10
+        )
+
+    def test_budget_report_rows(self):
+        rows = budget_report()
+        by_model = {row.model: row for row in rows}
+        assert by_model["tofino1"].priority_levels == 4
+        assert by_model["tofino2"].priority_levels == 12
+        assert all(row.capacity_error() < 0.10 for row in rows)
+
+
+class TestScalability:
+    def test_paper_claim_millions_of_cores(self):
+        assert max_cluster_cores(task_duration_ns=us(500)) > 1_000_000
+
+    def test_shorter_tasks_reduce_ceiling(self):
+        assert max_cluster_cores(us(100)) < max_cluster_cores(us(500))
+
+    def test_sweep_marks_feasibility(self):
+        points = scalability_sweep([1_000, 10_000_000], task_duration_ns=us(500))
+        assert points[0].feasible
+        assert not points[1].feasible
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_cluster_cores(task_duration_ns=0)
+        with pytest.raises(ConfigurationError):
+            max_cluster_cores(utilization=0)

@@ -1,0 +1,293 @@
+"""Tests for the P4-compatible circular queue (paper §4.2, §4.5, §4.7).
+
+The :class:`QueueDriver` below emulates the switch pipeline the way the
+hardware behaves: one operation per packet traversal, repairs recirculated
+and applied a configurable number of packet-slots later. Property tests
+then drive random submit/retrieve interleavings and verify the FIFO
+contract: every accepted task is retrieved exactly once, in order, with
+no duplicates or losses — while the register file enforces the
+one-access-per-array constraint underneath.
+"""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import QueueEntry, SwitchCircularQueue
+from repro.protocol import TaskInfo
+from repro.switchsim import PacketContext, RegisterFile
+
+
+def entry(tid: int) -> QueueEntry:
+    return QueueEntry(uid=1, jid=1, task=TaskInfo(tid=tid), client=None)
+
+
+class QueueDriver:
+    """Serial-pipeline emulation with delayed (recirculated) repairs."""
+
+    def __init__(self, capacity: int, repair_delay: int = 0) -> None:
+        self.registers = RegisterFile()
+        self.queue = SwitchCircularQueue(self.registers, "q", capacity)
+        self.repair_delay = repair_delay
+        self._pending = deque()  # (due_step, kind, value)
+        self._step = 0
+        self.accepted = []
+        self.bounced = []
+        self.retrieved = []
+
+    def _advance(self) -> None:
+        """Apply any repair packets that have re-entered the pipeline."""
+        while self._pending and self._pending[0][0] <= self._step:
+            _due, kind, value = self._pending.popleft()
+            ctx = PacketContext()
+            if kind == "add":
+                self.queue.apply_add_repair(ctx)
+            else:
+                self.queue.apply_rtr_repair(ctx, value)
+        self._step += 1
+
+    def _schedule(self, kind: str, value: int = 0) -> None:
+        self._pending.append((self._step + self.repair_delay, kind, value))
+
+    def flush_repairs(self) -> None:
+        while self._pending:
+            due, kind, value = self._pending.popleft()
+            ctx = PacketContext()
+            if kind == "add":
+                self.queue.apply_add_repair(ctx)
+            else:
+                self.queue.apply_rtr_repair(ctx, value)
+
+    def submit(self, item: QueueEntry) -> bool:
+        self._advance()
+        outcome = self.queue.enqueue(PacketContext(), item)
+        if outcome.need_add_repair:
+            self._schedule("add")
+        if outcome.need_rtr_repair:
+            self._schedule("rtr", outcome.rtr_repair_value)
+        if outcome.accepted:
+            self.accepted.append(item.task.tid)
+        else:
+            self.bounced.append(item.task.tid)
+        return outcome.accepted
+
+    def retrieve(self):
+        self._advance()
+        outcome = self.queue.dequeue(PacketContext())
+        if outcome.entry is not None:
+            self.retrieved.append(outcome.entry.task.tid)
+        return outcome.entry
+
+    def drain(self, limit: int = 10_000) -> None:
+        """Flush repairs and retrieve until the queue is empty."""
+        for _ in range(limit):
+            self.flush_repairs()
+            if self.queue.occupancy() == 0:
+                return
+            self.retrieve()
+        raise AssertionError("queue did not drain")
+
+
+class TestBasicFifo:
+    def test_submit_then_retrieve_in_order(self):
+        driver = QueueDriver(capacity=8)
+        for tid in range(5):
+            assert driver.submit(entry(tid))
+        for tid in range(5):
+            got = driver.retrieve()
+            assert got is not None and got.task.tid == tid
+
+    def test_retrieve_empty_returns_none(self):
+        driver = QueueDriver(capacity=8)
+        assert driver.retrieve() is None
+        assert driver.queue.stats.over_reads == 1
+
+    def test_interleaved_submit_retrieve(self):
+        driver = QueueDriver(capacity=4)
+        driver.submit(entry(0))
+        assert driver.retrieve().task.tid == 0
+        driver.submit(entry(1))
+        driver.submit(entry(2))
+        assert driver.retrieve().task.tid == 1
+        assert driver.retrieve().task.tid == 2
+
+    def test_wraparound_reuses_slots(self):
+        driver = QueueDriver(capacity=4)
+        for round_start in range(0, 40, 4):
+            for tid in range(round_start, round_start + 4):
+                assert driver.submit(entry(tid))
+            for tid in range(round_start, round_start + 4):
+                assert driver.retrieve().task.tid == tid
+        assert driver.queue.pointer_state()["add_ptr"] == 40
+
+
+class TestFullQueue:
+    def test_full_queue_bounces_and_repairs(self):
+        driver = QueueDriver(capacity=4)
+        for tid in range(4):
+            assert driver.submit(entry(tid))
+        assert driver.submit(entry(99)) is False
+        driver.flush_repairs()
+        state = driver.queue.pointer_state()
+        assert state["add_ptr"] == 4  # mistaken increment undone
+        assert state["add_mistakes"] == 0
+        driver.queue.check_invariants()
+
+    def test_capacity_never_exceeded_during_storm(self):
+        driver = QueueDriver(capacity=4, repair_delay=3)
+        for tid in range(20):
+            driver.submit(entry(tid))
+        driver.flush_repairs()
+        assert driver.queue.occupancy() <= 4
+        driver.queue.check_invariants()
+
+    def test_space_freed_after_retrieval_and_repair(self):
+        driver = QueueDriver(capacity=2)
+        driver.submit(entry(0))
+        driver.submit(entry(1))
+        assert driver.submit(entry(2)) is False
+        assert driver.retrieve().task.tid == 0
+        driver.flush_repairs()
+        assert driver.submit(entry(3)) is True
+        assert driver.retrieve().task.tid == 1
+        assert driver.retrieve().task.tid == 3
+
+    def test_only_first_mistake_schedules_repair(self):
+        driver = QueueDriver(capacity=2, repair_delay=100)
+        driver.submit(entry(0))
+        driver.submit(entry(1))
+        driver.submit(entry(2))
+        driver.submit(entry(3))
+        # One repair packet in flight, both mistakes counted on it (§4.7.1).
+        assert len(driver._pending) == 1
+        assert driver.queue.pointer_state()["add_mistakes"] == 2
+        driver.flush_repairs()
+        assert driver.queue.pointer_state()["add_ptr"] == 2
+
+
+class TestEmptyQueueRepair:
+    def test_over_read_then_submission_repairs_pointer(self):
+        driver = QueueDriver(capacity=8)
+        for _ in range(5):
+            assert driver.retrieve() is None  # retrieve_ptr inflated to 5
+        assert driver.queue.pointer_state()["retrieve_ptr"] == 5
+        assert driver.submit(entry(7))  # detects overrun, repairs to 0
+        driver.flush_repairs()
+        assert driver.queue.pointer_state()["retrieve_ptr"] == 0
+        got = driver.retrieve()
+        assert got is not None and got.task.tid == 7
+
+    def test_retrieve_during_pending_repair_noops(self):
+        driver = QueueDriver(capacity=8, repair_delay=50)
+        driver.retrieve()
+        driver.retrieve()
+        driver.submit(entry(1))  # schedules rtr repair, not yet applied
+        outcome = driver.queue.dequeue(PacketContext())
+        assert outcome.entry is None and outcome.repair_pending
+        driver.flush_repairs()
+        assert driver.retrieve().task.tid == 1
+
+    def test_second_submission_does_not_duplicate_repair(self):
+        driver = QueueDriver(capacity=8, repair_delay=50)
+        driver.retrieve()
+        driver.retrieve()
+        driver.submit(entry(1))
+        # The flag is already set: the second submission is accepted (it
+        # uses the detector's corrected head for its full check) but must
+        # not launch a second repair packet (§4.7.1).
+        driver.submit(entry(2))
+        rtr_repairs = [p for p in driver._pending if p[1] == "rtr"]
+        assert len(rtr_repairs) == 1
+        driver.drain()
+        assert driver.retrieved == [1, 2]
+
+    def test_tasks_never_lost_after_idle_polling(self):
+        """Long idle polling inflates retrieve_ptr arbitrarily; the next
+        burst of submissions must still deliver every task."""
+        driver = QueueDriver(capacity=16)
+        for _ in range(200):
+            driver.retrieve()
+        submitted = []
+        for tid in range(10):
+            if driver.submit(entry(tid)):
+                submitted.append(tid)
+            driver.flush_repairs()
+        driver.drain()
+        assert driver.retrieved == submitted
+        assert submitted  # at least the repair-triggering task goes in
+
+
+class TestInvariantsUnderRandomWorkload:
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(0, 3)), max_size=300
+        ),
+        capacity=st.integers(2, 9),
+        repair_delay=st.integers(0, 6),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_fifo_exactly_once(self, ops, capacity, repair_delay):
+        driver = QueueDriver(capacity=capacity, repair_delay=repair_delay)
+        tid = 0
+        for is_submit, _weight in ops:
+            if is_submit:
+                driver.submit(entry(tid))
+                tid += 1
+            else:
+                driver.retrieve()
+        driver.drain()
+        # Exactly-once: every accepted task retrieved once, none invented.
+        assert driver.retrieved == sorted(driver.retrieved)
+        assert set(driver.retrieved) == set(driver.accepted)
+        assert len(driver.retrieved) == len(driver.accepted)
+        driver.queue.check_invariants()
+        state = driver.queue.pointer_state()
+        assert state["add_mistakes"] == 0
+        assert state["rtr_repair_flag"] == 0
+
+    @given(
+        seed=st.integers(0, 10_000),
+        capacity=st.integers(2, 6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_bounded_with_slow_repairs(self, seed, capacity):
+        import random
+
+        rng = random.Random(seed)
+        driver = QueueDriver(capacity=capacity, repair_delay=rng.randint(1, 8))
+        tid = 0
+        for _ in range(200):
+            if rng.random() < 0.6:
+                driver.submit(entry(tid))
+                tid += 1
+            else:
+                driver.retrieve()
+            assert driver.queue.occupancy() <= capacity
+        driver.drain()
+        assert set(driver.retrieved) == set(driver.accepted)
+
+
+class TestSwapPrimitive:
+    def test_swap_at_exchanges_entries(self):
+        driver = QueueDriver(capacity=8)
+        for tid in range(3):
+            driver.submit(entry(tid))
+        out = driver.queue.swap_at(PacketContext(), 1, entry(99))
+        assert out.task.tid == 1
+        assert driver.retrieve().task.tid == 0
+        assert driver.retrieve().task.tid == 99
+        assert driver.retrieve().task.tid == 2
+
+    def test_swap_into_hole_reports_none(self):
+        driver = QueueDriver(capacity=8)
+        out = driver.queue.swap_at(PacketContext(), 0, entry(5))
+        assert out is None
+        assert driver.queue.stats.holes_observed == 1
+
+
+class TestConstructionErrors:
+    def test_capacity_must_exceed_one(self):
+        with pytest.raises(Exception):
+            SwitchCircularQueue(RegisterFile(), "q", capacity=1)

@@ -1,0 +1,253 @@
+"""Smoke and shape tests for the experiment harness and figure modules.
+
+These run scaled-down versions of every figure and assert the *shape*
+properties the paper reports — the full-scale comparisons live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.core.policies import PriorityPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.common import (
+    ClusterConfig,
+    build_cluster,
+    run_workload,
+    split_round_robin,
+)
+from repro.cluster import SubmitEvent, TaskSpec
+from repro.sim.core import ms, us
+from repro.sim.rng import RngStreams
+from repro.workloads import fixed, open_loop
+
+
+def small_factory(rate=60_000, duration=ms(15), task_us=100):
+    sampler = fixed(task_us)
+
+    def factory(rngs):
+        return open_loop(rngs.stream("arrivals"), rate, sampler, duration)
+
+    return factory
+
+
+class TestHarness:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster(ClusterConfig(scheduler="nope"), [[]])
+
+    def test_workload_stream_count_must_match_clients(self):
+        with pytest.raises(ConfigurationError):
+            build_cluster(ClusterConfig(clients=2), [[]])
+
+    def test_split_round_robin(self):
+        events = [
+            SubmitEvent(time_ns=i, tasks=(TaskSpec(duration_ns=1),))
+            for i in range(5)
+        ]
+        streams = split_round_robin(events, 2)
+        assert [e.time_ns for e in streams[0]] == [0, 2, 4]
+        assert [e.time_ns for e in streams[1]] == [1, 3]
+
+    def test_run_workload_returns_consistent_result(self):
+        config = ClusterConfig(
+            scheduler="draconis", workers=2, executors_per_worker=4
+        )
+        result = run_workload(
+            config, small_factory(), duration_ns=ms(15), warmup_ns=ms(2)
+        )
+        assert result.tasks_completed == result.tasks_submitted
+        assert result.tasks_unfinished == 0
+        assert result.scheduling.count > 0
+        assert 0 < result.utilization < 1
+        assert result.throughput_tps > 0
+
+    def test_same_seed_is_deterministic(self):
+        config = ClusterConfig(
+            scheduler="draconis", workers=2, executors_per_worker=4, seed=3
+        )
+        a = run_workload(config, small_factory(), duration_ns=ms(10))
+        b = run_workload(config, small_factory(), duration_ns=ms(10))
+        assert a.scheduling_delays_ns == b.scheduling_delays_ns
+
+    def test_different_seeds_differ(self):
+        results = []
+        for seed in (1, 2):
+            config = ClusterConfig(
+                scheduler="draconis", workers=2, executors_per_worker=4,
+                seed=seed,
+            )
+            results.append(
+                run_workload(config, small_factory(), duration_ns=ms(10))
+            )
+        assert results[0].scheduling_delays_ns != results[1].scheduling_delays_ns
+
+    def test_worker_specs_rack_assignment(self):
+        config = ClusterConfig(workers=9, racks=3)
+        racks = [spec.rack_id for spec in config.worker_specs()]
+        assert racks == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_queue_delay_recording(self):
+        config = ClusterConfig(
+            scheduler="draconis",
+            workers=2,
+            executors_per_worker=4,
+            record_queue_delays=True,
+            policy=PriorityPolicy(levels=2),
+        )
+        sampler = fixed(100)
+
+        def factory(rngs):
+            return open_loop(
+                rngs.stream("arrivals"), 50_000, sampler, ms(10),
+                tprops_for=lambda rng, dur: 1 + int(rng.integers(2)),
+            )
+
+        result = run_workload(config, factory, duration_ns=ms(10))
+        assert result.queue_delays
+        levels = {q for q, _d in result.queue_delays}
+        assert levels <= {0, 1}
+
+
+class TestFigureShapes:
+    """Scaled-down shape assertions, one per figure family."""
+
+    def test_fig5a_draconis_beats_server_at_p99(self):
+        from repro.experiments import fig5a_latency
+
+        rows = fig5a_latency.run(
+            loads=[0.6], duration_ns=ms(25),
+            systems=["draconis", "draconis-socket"],
+        )
+        by = {r.system: r for r in rows}
+        assert by["draconis"].p99_us * 3 < by["draconis-socket"].p99_us
+
+    def test_fig5b_draconis_scales_servers_saturate(self):
+        from repro.experiments import fig5b_throughput
+
+        rows = fig5b_throughput.run(
+            executor_counts=[16, 64], duration_ns=ms(6),
+            systems=["draconis", "draconis-dpdk"],
+        )
+        draconis = [r for r in rows if r.system == "draconis"]
+        dpdk = [r for r in rows if r.system == "draconis-dpdk"]
+        assert draconis[1].throughput_tps > 2.5 * draconis[0].throughput_tps
+        assert dpdk[1].throughput_tps < 1.5 * dpdk[0].throughput_tps
+
+    def test_fig7_r2p2_recirculates_draconis_does_not(self):
+        from repro.experiments import fig7_recirculation
+
+        rows = fig7_recirculation.run(
+            loads=[0.93], duration_ns=ms(25), systems=["r2p2-1", "draconis"]
+        )
+        by = {r.system: r for r in rows}
+        assert by["r2p2-1"].recirculation_fraction > 0.3
+        assert by["draconis"].recirculation_fraction < 0.01
+
+    def test_fig8_r2p2_3_tail_equals_service_time(self):
+        from repro.experiments import fig8_jbsq
+
+        rows = fig8_jbsq.run(
+            task_durations_us=[250.0], loads=[0.6], duration_ns=ms(30),
+            systems=["draconis", "r2p2-3"],
+        )
+        by = {r.system: r for r in rows}
+        assert by["r2p2-3"].p99_us == pytest.approx(250.0, rel=0.8)
+        assert by["draconis"].p99_us < 60
+
+    def test_fig10_locality_beats_fcfs_on_placement(self):
+        from repro.experiments import fig10_locality
+
+        rows = fig10_locality.run(duration_ns=ms(20))
+        by = {r.policy: r for r in rows}
+        assert by["locality"].node_local > 2 * by["fcfs"].node_local
+        assert by["locality"].e2e_p50_us < by["fcfs"].e2e_p50_us
+
+    def test_fig11_group_phases(self):
+        from repro.experiments import fig11_resources
+
+        rows = fig11_resources.run(phase_ns=ms(6))
+        # first phase: G1 busy; last phase: only G3
+        first = rows[1]
+        assert first.g1_tps > 0
+        late = rows[-6]
+        assert late.g1_tps == 0 and late.g3_tps > 0
+
+    def test_fig12_priority_separation(self):
+        from repro.experiments import fig12_priority
+
+        rows = fig12_priority.run(
+            duration_ns=ms(120), mean_task_ns=ms(2),
+            workers=2, executors_per_worker=8, include_fcfs=False,
+        )
+        by_level = {r.priority: r for r in rows}
+        assert by_level[1].queueing_p50_us < by_level[3].queueing_p50_us
+        assert by_level[3].queueing_p50_us < by_level[4].queueing_p50_us
+
+    def test_fig13_ladder_spread_small(self):
+        from repro.experiments import fig13_gettask
+
+        rows = fig13_gettask.run(duration_ns=ms(10))
+        spread = fig13_gettask.level_spread(rows)
+        assert 0.5 < spread < 10  # ~1.6 us per recirculated level
+
+    def test_ablation_delayed_mode_recirculates_more(self):
+        from repro.experiments import ablation_retrieve
+
+        rows = ablation_retrieve.run(loads=[0.5], duration_ns=ms(15))
+        by = {r.retrieve_mode: r for r in rows}
+        assert (
+            by["delayed"].recirculation_fraction
+            > by["conditional"].recirculation_fraction
+        )
+        assert by["delayed"].completed == by["delayed"].submitted
+
+
+class TestRunAllScales:
+    def test_scales_define_every_figure(self):
+        from repro.experiments.run_all import SCALES
+
+        expected = {"fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9",
+                    "fig10", "fig11", "fig12", "fig13", "ablation"}
+        for scale, knobs in SCALES.items():
+            assert set(knobs) == expected, scale
+
+    def test_smoke_scale_is_cheaper_than_report(self):
+        from repro.experiments.run_all import SCALES
+
+        smoke, report = SCALES["smoke"], SCALES["report"]
+        for key in smoke:
+            s_duration = smoke[key].get("duration_ns") or smoke[key].get("phase_ns")
+            r_duration = report[key].get("duration_ns") or report[key].get("phase_ns")
+            assert s_duration <= r_duration, key
+
+
+class TestFigureCharts:
+    def test_fig5a_chart_renders(self):
+        from repro.experiments.fig5a_latency import Fig5aRow, chart
+
+        rows = [
+            Fig5aRow("draconis", 0.5, 1e5, 9.0, 3.0, 1, 1),
+            Fig5aRow("sparrow", 0.5, 1e5, 900.0, 700.0, 1, 1),
+        ]
+        out = chart(rows)
+        assert "draconis" in out and "sparrow" in out
+
+    def test_fig6_charts_render_one_panel_per_workload(self):
+        from repro.experiments.fig6_synthetic import Fig6Row, charts
+
+        rows = [
+            Fig6Row("100us", "draconis", 0.5, 2.0, 6.0),
+            Fig6Row("100us", "r2p2-3", 0.5, 2.0, 90.0),
+            Fig6Row("500us", "draconis", 0.5, 3.0, 9.0),
+        ]
+        out = charts(rows)
+        assert out.count("p99 vs utilization") == 2
+
+    def test_fig9_chart_renders(self):
+        from repro.experiments.fig9_google import Fig9Row, chart
+
+        rows = [
+            Fig9Row("draconis", 5.0, 100.0, 500.0, 0.0,
+                    [(1000.0, 0.5), (10000.0, 1.0)]),
+        ]
+        assert "log10" in chart(rows)

@@ -1,0 +1,173 @@
+"""Failure injection: packet loss and overload recovery (paper §3.3).
+
+The paper's fault model: task failures are exposed to clients, which
+resubmit (client timeouts). These tests inject losses at different points
+— submissions, assignments, completions, server receive rings — and
+assert the system converges with no task lost forever and no duplicate
+completion records.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Client, ClientConfig, SubmitEvent, TaskSpec, Worker, WorkerSpec
+from repro.core import DraconisProgram
+from repro.metrics import MetricsCollector
+from repro.net import Address, StarTopology
+from repro.net.link import Link
+from repro.protocol.messages import Completion, JobSubmission, TaskAssignment
+from repro.sim import Simulator, ms, us
+from repro.switchsim import ProgrammableSwitch
+
+
+class LossyLink(Link):
+    """Drops packets whose payload matches a predicate, with probability."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.loss_predicate = None
+        self.loss_probability = 0.0
+        self.rng = np.random.default_rng(0)
+        self.injected_losses = 0
+
+    def send(self, packet):
+        if (
+            self.loss_predicate is not None
+            and self.loss_predicate(packet)
+            and self.rng.random() < self.loss_probability
+        ):
+            self.injected_losses += 1
+            return False
+        return super().send(packet)
+
+
+def build_lossy_cluster(predicate, probability, seed=0, timeout_factor=3.0):
+    sim = Simulator()
+    program = DraconisProgram(queue_capacity=1024)
+    switch = ProgrammableSwitch(sim, program)
+    topology = StarTopology(sim, switch)
+    collector = MetricsCollector()
+    workers = [
+        Worker(
+            sim,
+            topology,
+            WorkerSpec(node_id=n, executors=4),
+            scheduler=switch.service_address,
+            collector=collector,
+            executor_id_base=n * 4,
+        )
+        for n in range(2)
+    ]
+    client_host = topology.add_host("client0")
+
+    # Swap every link for a lossy one, preserving wiring.
+    lossy_links = []
+    for port_name, link in list(switch._ports.items()):
+        lossy = LossyLink(sim, link.name, link.sink)
+        lossy.loss_predicate = predicate
+        lossy.loss_probability = probability
+        lossy.rng = np.random.default_rng(seed + hash(port_name) % 1000)
+        switch._ports[port_name] = lossy
+        lossy_links.append(lossy)
+
+    events = [
+        SubmitEvent(time_ns=us(i * 60), tasks=(TaskSpec(duration_ns=us(100)),))
+        for i in range(40)
+    ]
+    client = Client(
+        sim,
+        client_host,
+        uid=0,
+        scheduler=switch.service_address,
+        workload=events,
+        collector=collector,
+        config=ClientConfig(timeout_factor=timeout_factor),
+    )
+    return sim, client, collector, lossy_links, program
+
+
+class TestAssignmentLoss:
+    def test_lost_assignments_recovered_by_timeout(self):
+        """Assignments dropped on the wire: clients resubmit, executors
+        eventually run every task exactly once (first record wins)."""
+        sim, client, collector, links, program = build_lossy_cluster(
+            lambda pkt: isinstance(pkt.payload, TaskAssignment),
+            probability=0.25,
+        )
+        sim.run(until=ms(80))
+        losses = sum(l.injected_losses for l in links)
+        assert losses > 0, "injection never fired"
+        assert client.stats.tasks_completed == 40
+        assert collector.completed_count() == 40
+
+    def test_lost_completions_recovered(self):
+        sim, client, collector, links, program = build_lossy_cluster(
+            lambda pkt: isinstance(pkt.payload, Completion),
+            probability=0.2,
+        )
+        sim.run(until=ms(80))
+        losses = sum(l.injected_losses for l in links)
+        assert losses > 0
+        # Tasks executed even when the completion notice was lost; the
+        # collector saw the execution either way.
+        assert collector.completed_count() >= 38
+
+    def test_no_loss_baseline_has_no_timeouts(self):
+        sim, client, collector, links, program = build_lossy_cluster(
+            lambda pkt: False, probability=1.0
+        )
+        sim.run(until=ms(40))
+        assert client.stats.timeouts == 0
+        assert client.stats.tasks_completed == 40
+
+
+class TestSubmissionLoss:
+    def test_lost_submissions_resubmitted(self):
+        sim, client, collector, links, program = build_lossy_cluster(
+            lambda pkt: isinstance(pkt.payload, JobSubmission),
+            probability=0.3,
+            timeout_factor=2.0,
+        )
+        # Losses happen on the switch->worker ports only in this harness
+        # (submissions flow client->switch), so inject at the client link.
+        client_link = client.host._uplink
+        drops = {"n": 0}
+        original_send = client_link.send
+        rng = np.random.default_rng(9)
+
+        def lossy_send(packet):
+            if isinstance(packet.payload, JobSubmission) and rng.random() < 0.3:
+                drops["n"] += 1
+                return False
+            return original_send(packet)
+
+        client_link.send = lossy_send
+        sim.run(until=ms(120))
+        assert drops["n"] > 0
+        assert client.stats.timeouts > 0
+        assert client.stats.tasks_completed == 40
+
+
+class TestExecutorResponseTimeout:
+    def test_executor_recovers_from_lost_response(self):
+        """An executor whose task_request response vanishes re-polls
+        instead of wedging (the server-overload path of Fig. 5b)."""
+        from repro.cluster.executor import Executor, ExecutorConfig
+        from repro.net.topology import BaseSwitch
+
+        sim = Simulator()
+        switch = BaseSwitch(sim)  # plain switch: requests go nowhere useful
+        topology = StarTopology(sim, switch)
+        host = topology.add_host("worker0")
+        collector = MetricsCollector()
+        executor = Executor(
+            sim,
+            host,
+            executor_id=0,
+            scheduler=Address("ghost", 9000),  # unroutable: every packet lost
+            collector=collector,
+            config=ExecutorConfig(response_timeout_ns=us(200)),
+        )
+        sim.run(until=ms(5))
+        # the executor kept re-requesting rather than hanging forever
+        assert executor.stats.requests_sent > 5

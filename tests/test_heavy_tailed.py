@@ -1,0 +1,83 @@
+"""Heavy-tailed workloads and RackSched's Processor-Sharing mode (§2.2).
+
+"RackSched advises using an intra-node cFCFS policy without preemption
+for light-tailed workloads. For heavy-tailed workloads, they use an
+intra-node Processor Sharing policy with preemption to avoid head-of-line
+blocking, i.e., shorter tasks being blocked behind long running tasks."
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.metrics.summary import percentile
+from repro.sim.core import ms, us
+from repro.workloads import open_loop, rate_for_utilization
+from repro.workloads.synthetic import heavy_tailed
+
+
+class TestHeavyTailedSampler:
+    def test_mean_calibrated(self):
+        sampler = heavy_tailed(mean_us=250, alpha=1.8)
+        rng = np.random.default_rng(0)
+        mean = np.mean([sampler(rng) for _ in range(50_000)])
+        assert mean == pytest.approx(us(250), rel=0.15)
+
+    def test_tail_is_heavy(self):
+        sampler = heavy_tailed(mean_us=250)
+        rng = np.random.default_rng(0)
+        draws = [sampler(rng) for _ in range(20_000)]
+        # p99 is an order of magnitude above the median: a heavy tail.
+        assert percentile(draws, 99) > 8 * percentile(draws, 50)
+
+    def test_cap_respected(self):
+        sampler = heavy_tailed(mean_us=250, cap_us=1_000)
+        rng = np.random.default_rng(0)
+        assert max(sampler(rng) for _ in range(10_000)) <= us(1_000)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            heavy_tailed(alpha=1.0)
+
+
+def run_racksched(processor_sharing, seed=3):
+    config = ClusterConfig(
+        scheduler="racksched",
+        workers=4,
+        executors_per_worker=4,
+        seed=seed,
+        racksched_processor_sharing=processor_sharing,
+    )
+    sampler = heavy_tailed(mean_us=200, alpha=1.6, cap_us=10_000)
+    rate = rate_for_utilization(0.55, config.total_executors, sampler.mean_ns)
+    horizon = ms(60)
+
+    def factory(rngs):
+        return open_loop(rngs.stream("arrivals"), rate, sampler, horizon)
+
+    return run_workload(config, factory, duration_ns=horizon, warmup_ns=ms(8),
+                        drain_ns=ms(20))
+
+
+class TestProcessorSharing:
+    def test_both_modes_complete_everything(self):
+        for mode in (False, True):
+            result = run_racksched(mode)
+            assert result.tasks_completed == result.tasks_submitted
+
+    def test_ps_cuts_short_task_blocking(self):
+        """Short tasks' scheduling delay improves under PS: they are no
+        longer stuck behind multi-ms elephants in the node queue."""
+        fcfs = run_racksched(False)
+        ps = run_racksched(True)
+        # Compare p99 scheduling delay (dominated by short tasks stuck
+        # behind long ones under cFCFS on a heavy-tailed mix).
+        assert ps.scheduling.p99_us < fcfs.scheduling.p99_us
+
+    def test_ps_preserves_work(self):
+        """Round-robin quanta must not lose or duplicate execution time."""
+        from repro.baselines.push_worker import PushWorker
+
+        ps = run_racksched(True)
+        assert ps.tasks_unfinished == 0

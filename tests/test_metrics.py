@@ -1,0 +1,140 @@
+"""Tests for the metrics collector and latency summaries."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    MetricsCollector,
+    cdf_points,
+    percentile,
+    summarize_ns,
+)
+
+
+class TestTaskLifecycle:
+    def test_scheduling_delay_is_start_minus_first_submit(self):
+        collector = MetricsCollector()
+        key = (0, 0, 0)
+        collector.on_submit(key, 100)
+        collector.on_start(key, 450)
+        assert collector.records[key].scheduling_delay == 350
+
+    def test_resubmission_keeps_first_submit_time(self):
+        collector = MetricsCollector()
+        key = (0, 0, 0)
+        collector.on_submit(key, 100)
+        collector.on_submit(key, 5000)  # timeout resubmission
+        collector.on_start(key, 6000)
+        assert collector.records[key].scheduling_delay == 5900
+        assert collector.resubmissions == 1
+
+    def test_duplicate_completion_ignored(self):
+        collector = MetricsCollector()
+        key = (0, 0, 0)
+        collector.on_submit(key, 0)
+        collector.on_complete(key, 500)
+        collector.on_complete(key, 900)
+        assert collector.records[key].completed_at == 500
+
+    def test_end_to_end(self):
+        collector = MetricsCollector()
+        key = (1, 2, 3)
+        collector.on_submit(key, 1000)
+        collector.on_complete(key, 4500)
+        assert collector.records[key].end_to_end == 3500
+
+    def test_unfinished_counting(self):
+        collector = MetricsCollector()
+        collector.on_submit((0, 0, 0), 0)
+        collector.on_submit((0, 0, 1), 0)
+        collector.on_finish((0, 0, 0), 100)
+        assert collector.completed_count() == 1
+        assert collector.unfinished_count() == 1
+
+    def test_since_filters_warmup(self):
+        collector = MetricsCollector()
+        collector.on_submit((0, 0, 0), 10)
+        collector.on_start((0, 0, 0), 20)
+        collector.on_submit((0, 0, 1), 1000)
+        collector.on_start((0, 0, 1), 1050)
+        assert len(collector.scheduling_delays(since=500)) == 1
+
+    def test_throughput_window(self):
+        collector = MetricsCollector()
+        for i in range(10):
+            key = (0, 0, i)
+            collector.on_submit(key, 0)
+            collector.on_finish(key, i * 100)
+        # window [0, 500): finishes at 0..400 -> 5 tasks / 500ns
+        assert collector.throughput_tps(0, 500) == pytest.approx(5 / 500e-9)
+
+    def test_placement_fractions(self):
+        collector = MetricsCollector()
+        for i, placement in enumerate(["node", "node", "rack", "remote"]):
+            key = (0, 0, i)
+            collector.on_submit(key, 0)
+            collector.on_finish(key, 10)
+            collector.on_placement(key, placement)
+        fractions = collector.placement_fractions()
+        assert fractions == {"node": 0.5, "rack": 0.25, "remote": 0.25}
+
+    def test_delays_by_priority(self):
+        collector = MetricsCollector()
+        for i, level in enumerate([1, 1, 2]):
+            key = (0, 0, i)
+            collector.on_submit(key, 0, priority=level)
+            collector.on_start(key, 100 * (i + 1))
+        grouped = collector.delays_by_priority()
+        assert sorted(grouped) == [1, 2]
+        assert grouped[1] == [100, 200]
+
+
+class TestSummaries:
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(percentile([], 99))
+
+    def test_percentile_matches_numpy(self):
+        data = list(range(1, 1001))
+        assert percentile(data, 50) == pytest.approx(np.percentile(data, 50))
+
+    def test_summarize_converts_to_us(self):
+        summary = summarize_ns([1_000, 2_000, 3_000])
+        assert summary.count == 3
+        assert summary.mean_us == pytest.approx(2.0)
+        assert summary.p50_us == pytest.approx(2.0)
+        assert summary.max_us == pytest.approx(3.0)
+
+    def test_summary_row_renders(self):
+        row = summarize_ns([1_000] * 10).row()
+        assert "p99" in row and "n=" in row
+
+    def test_empty_summary(self):
+        summary = summarize_ns([])
+        assert summary.count == 0
+        assert math.isnan(summary.p99_us)
+
+    def test_cdf_points_monotone(self):
+        points = cdf_points([5, 1, 3, 2, 4], points=10)
+        values = [v for v, _f in points]
+        fractions = [f for _v, f in points]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_cdf_subsamples_large_inputs(self):
+        points = cdf_points(list(range(10_000)), points=50)
+        assert len(points) == 50
+
+    @given(st.lists(st.integers(0, 10**9), min_size=1, max_size=500))
+    @settings(max_examples=50)
+    def test_percentile_bounds_property(self, samples):
+        p0 = percentile(samples, 0)
+        p100 = percentile(samples, 100)
+        p50 = percentile(samples, 50)
+        assert min(samples) == pytest.approx(p0)
+        assert max(samples) == pytest.approx(p100)
+        assert p0 <= p50 <= p100

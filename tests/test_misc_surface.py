@@ -1,0 +1,96 @@
+"""Small public-surface behaviours not covered elsewhere."""
+
+import pytest
+
+from repro.cluster import SubmitEvent, TaskSpec, Worker, WorkerSpec
+from repro.core import DraconisProgram
+from repro.metrics import MetricsCollector
+from repro.net import Address, StarTopology
+from repro.net.topology import BaseSwitch
+from repro.sim import Simulator, ms, us
+from repro.switchsim import ProgrammableSwitch, SwitchStats
+
+
+class TestSwitchStats:
+    def test_recirculation_fraction_zero_when_idle(self):
+        assert SwitchStats().recirculation_fraction() == 0.0
+
+    def test_connected_hosts_sorted(self):
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        topo.add_hosts(["zebra", "alpha", "mid"])
+        assert switch.connected_hosts == ["alpha", "mid", "zebra"]
+
+    def test_rtt_estimate_is_microseconds(self):
+        sim = Simulator()
+        topo = StarTopology(sim, BaseSwitch(sim))
+        assert 500 < topo.rtt_estimate_ns() < 10_000
+
+
+class TestSocketPending:
+    def test_pending_counts_undelivered_packets(self):
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        a, b = topo.add_host("a"), topo.add_host("b")
+        sock = b.socket(9)
+        for _ in range(3):
+            a.socket(1).send(Address("b", 9), "x", 8)
+        sim.run()
+        assert sock.pending == 3
+
+
+class TestExecutorStop:
+    def test_stopped_executor_quiesces(self):
+        sim = Simulator()
+        program = DraconisProgram(queue_capacity=64)
+        switch = ProgrammableSwitch(sim, program)
+        topo = StarTopology(sim, switch)
+        collector = MetricsCollector()
+        worker = Worker(
+            sim,
+            topo,
+            WorkerSpec(node_id=0, executors=2),
+            scheduler=switch.service_address,
+            collector=collector,
+        )
+        sim.run(until=ms(2))
+        worker.stop()
+        requests_at_stop = sum(
+            e.stats.requests_sent for e in worker.executors
+        )
+        sim.run(until=ms(10))
+        requests_after = sum(e.stats.requests_sent for e in worker.executors)
+        # at most one in-flight poll per executor completes after stop
+        assert requests_after - requests_at_stop <= 2 * len(worker.executors)
+
+
+class TestQueueStatsConsistency:
+    def test_counters_balance_after_a_run(self):
+        from repro.cluster import Client, ClientConfig
+
+        sim = Simulator()
+        program = DraconisProgram(queue_capacity=128)
+        switch = ProgrammableSwitch(sim, program)
+        topo = StarTopology(sim, switch)
+        collector = MetricsCollector()
+        Worker(
+            sim, topo, WorkerSpec(node_id=0, executors=4),
+            scheduler=switch.service_address, collector=collector,
+        )
+        events = [
+            SubmitEvent(time_ns=us(i * 40), tasks=(TaskSpec(duration_ns=us(80)),))
+            for i in range(60)
+        ]
+        Client(
+            sim, topo.add_host("client0"), uid=0,
+            scheduler=switch.service_address, workload=events,
+            collector=collector, config=ClientConfig(),
+        )
+        sim.run(until=ms(20))
+        stats = program.queues[0].stats
+        assert stats.enqueued == 60
+        assert stats.dequeued == 60
+        assert stats.enqueued - stats.dequeued == program.total_queued()
+        assert program.sched_stats.tasks_assigned == 60

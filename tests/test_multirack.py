@@ -1,0 +1,158 @@
+"""Tests for the multi-rack deployment (§3.2)."""
+
+import pytest
+
+from repro.cluster.client import Client, ClientConfig
+from repro.cluster.executor import Executor, ExecutorConfig
+from repro.cluster.task import SubmitEvent, TaskSpec
+from repro.core import DraconisProgram
+from repro.errors import NetworkError
+from repro.metrics import MetricsCollector
+from repro.net import Address
+from repro.net.multirack import MultiRackTopology
+from repro.sim import Simulator, ms, us
+from repro.switchsim import ProgrammableSwitch
+
+
+def build(racks=2, hosts_per_rack=2):
+    sim = Simulator()
+    program = DraconisProgram(queue_capacity=256)
+    ancestor = ProgrammableSwitch(sim, program, name="ancestor")
+    topo = MultiRackTopology(sim, ancestor, racks=racks)
+    hosts = {}
+    for rack in range(racks):
+        for i in range(hosts_per_rack):
+            name = f"r{rack}h{i}"
+            hosts[name] = topo.add_host(name, rack_id=rack)
+    return sim, ancestor, topo, hosts, program
+
+
+class TestWiring:
+    def test_intra_rack_traffic_turns_around_at_tor(self):
+        sim, ancestor, topo, hosts, _ = build()
+        got = []
+        sock = hosts["r0h1"].socket(9)
+
+        def rx():
+            packet = yield sock.recv()
+            got.append(packet.payload)
+
+        sim.spawn(rx())
+        hosts["r0h0"].socket(9).send(Address("r0h1", 9), "local", 16)
+        sim.run()
+        assert got == ["local"]
+        assert topo.rack_switches[0].local_turnarounds == 1
+        assert topo.rack_switches[0].uplink_packets == 0
+
+    def test_cross_rack_traffic_climbs_to_ancestor(self):
+        sim, ancestor, topo, hosts, _ = build()
+        got = []
+        sock = hosts["r1h0"].socket(9)
+
+        def rx():
+            packet = yield sock.recv()
+            got.append(packet.payload)
+
+        sim.spawn(rx())
+        hosts["r0h0"].socket(9).send(Address("r1h0", 9), "remote", 16)
+        sim.run()
+        assert got == ["remote"]
+        assert topo.rack_switches[0].uplink_packets == 1
+        assert ancestor.forwarded_packets >= 1
+
+    def test_duplicate_and_invalid_hosts_rejected(self):
+        sim, ancestor, topo, hosts, _ = build()
+        with pytest.raises(NetworkError):
+            topo.add_host("r0h0", 0)
+        with pytest.raises(NetworkError):
+            topo.add_host("new", 99)
+
+    def test_scheduler_hops(self):
+        sim, ancestor, topo, hosts, _ = build()
+        assert topo.scheduler_hops("r0h0") == 2
+        with pytest.raises(NetworkError):
+            topo.scheduler_hops("ghost")
+
+
+class TestMultiRackScheduling:
+    def test_end_to_end_across_racks(self):
+        """Tasks scheduled at the ancestor run on executors in any rack."""
+        sim, ancestor, topo, hosts, program = build(racks=3, hosts_per_rack=1)
+        collector = MetricsCollector()
+        executors = [
+            Executor(
+                sim,
+                hosts[f"r{rack}h0"],
+                executor_id=rack,
+                scheduler=ancestor.service_address,
+                collector=collector,
+                node_id=rack,
+                rack_id=rack,
+            )
+            for rack in range(3)
+        ]
+        client_host = topo.add_host("client0", rack_id=0)
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(400)) for _ in range(6)),
+            )
+        ]
+        client = Client(
+            sim,
+            client_host,
+            uid=0,
+            scheduler=ancestor.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(),
+        )
+        sim.run(until=ms(20))
+        assert client.stats.tasks_completed == 6
+        # with 3 single-executor racks and 6 parallel tasks, every rack
+        # must have participated
+        assert all(e.stats.tasks_executed == 2 for e in executors)
+
+    def test_scheduler_rtt_slightly_above_single_rack(self):
+        """§3.2: the common-ancestor path adds modest, bounded latency."""
+        # multi-rack pull RTT
+        sim, ancestor, topo, hosts, _ = build(racks=1, hosts_per_rack=1)
+        collector = MetricsCollector()
+        executor = Executor(
+            sim, hosts["r0h0"], executor_id=0,
+            scheduler=ancestor.service_address, collector=collector,
+            config=ExecutorConfig(record_pull_rtts=True),
+        )
+        client_host = topo.add_host("client0", rack_id=0)
+        Client(
+            sim, client_host, uid=0, scheduler=ancestor.service_address,
+            workload=[SubmitEvent(time_ns=us(100), tasks=(TaskSpec(duration_ns=1000),))],
+            collector=collector, config=ClientConfig(),
+        )
+        sim.run(until=ms(5))
+        multi_rtt = min(executor.stats.pull_rtts_ns)
+
+        # single-rack (star) pull RTT
+        from repro.net import StarTopology
+        from repro.core import DraconisProgram as DP
+
+        sim2 = Simulator()
+        switch2 = ProgrammableSwitch(sim2, DP(queue_capacity=64))
+        star = StarTopology(sim2, switch2)
+        host2 = star.add_host("w0")
+        collector2 = MetricsCollector()
+        executor2 = Executor(
+            sim2, host2, executor_id=0, scheduler=switch2.service_address,
+            collector=collector2, config=ExecutorConfig(record_pull_rtts=True),
+        )
+        client_host2 = star.add_host("client0")
+        Client(
+            sim2, client_host2, uid=0, scheduler=switch2.service_address,
+            workload=[SubmitEvent(time_ns=us(100), tasks=(TaskSpec(duration_ns=1000),))],
+            collector=collector2, config=ClientConfig(),
+        )
+        sim2.run(until=ms(5))
+        single_rtt = min(executor2.stats.pull_rtts_ns)
+
+        assert multi_rtt > single_rtt          # longer path...
+        assert multi_rtt < single_rtt + us(5)  # ...by a bounded few µs

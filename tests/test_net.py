@@ -1,0 +1,219 @@
+"""Tests for links, hosts, sockets and the star topology."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import Address, Host, Link, Packet, StarTopology
+from repro.net.packet import ETHERNET_IP_UDP_OVERHEAD
+from repro.net.topology import BaseSwitch
+from repro.sim import SEC, Simulator
+
+
+def make_packet(src="a", dst="b", size=100):
+    return Packet(
+        src=Address(src, 1), dst=Address(dst, 2), payload="x", size=size
+    )
+
+
+class TestLink:
+    def test_delivery_includes_serialization_and_propagation(self):
+        sim = Simulator()
+        arrived = []
+        link = Link(
+            sim,
+            "l",
+            sink=lambda p: arrived.append(sim.now),
+            bandwidth_bps=10**9,  # 1 Gbps: 1 byte = 8 ns
+            propagation_ns=500,
+        )
+        link.send(make_packet(size=125))  # 1000 bits -> 1000 ns
+        sim.run()
+        assert arrived == [1500]
+
+    def test_fifo_backlog_serializes(self):
+        sim = Simulator()
+        arrived = []
+        link = Link(
+            sim,
+            "l",
+            sink=lambda p: arrived.append(sim.now),
+            bandwidth_bps=10**9,
+            propagation_ns=0,
+        )
+        link.send(make_packet(size=125))
+        link.send(make_packet(size=125))
+        sim.run()
+        assert arrived == [1000, 2000]
+
+    def test_serialization_never_zero(self):
+        sim = Simulator()
+        link = Link(sim, "l", sink=lambda p: None, bandwidth_bps=10**15)
+        assert link.serialization_ns(1) >= 1
+
+    def test_counters(self):
+        sim = Simulator()
+        link = Link(sim, "l", sink=lambda p: None)
+        link.send(make_packet(size=100))
+        assert link.packets_sent == 1
+        assert link.bytes_sent == 100
+
+    def test_invalid_configuration(self):
+        sim = Simulator()
+        with pytest.raises(NetworkError):
+            Link(sim, "l", sink=lambda p: None, bandwidth_bps=0)
+        with pytest.raises(NetworkError):
+            Link(sim, "l", sink=lambda p: None, propagation_ns=-1)
+
+
+class TestHostAndSockets:
+    def _pair(self):
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        a = topo.add_host("a")
+        b = topo.add_host("b")
+        return sim, a, b
+
+    def test_send_and_recv_between_hosts(self):
+        sim, a, b = self._pair()
+        sock_a = a.socket(1000)
+        sock_b = b.socket(2000)
+        got = []
+
+        def receiver():
+            packet = yield sock_b.recv()
+            got.append((packet.payload, packet.src))
+
+        sim.spawn(receiver())
+        sock_a.send(Address("b", 2000), payload="hello", payload_size=20)
+        sim.run()
+        assert got == [("hello", Address("a", 1000))]
+
+    def test_wire_size_includes_headers(self):
+        sim, a, b = self._pair()
+        sock_b = b.socket(2000)
+        sizes = []
+
+        def receiver():
+            packet = yield sock_b.recv()
+            sizes.append(packet.size)
+
+        sim.spawn(receiver())
+        a.socket(1).send(Address("b", 2000), "p", payload_size=10)
+        sim.run()
+        assert sizes == [10 + ETHERNET_IP_UDP_OVERHEAD]
+
+    def test_unbound_port_counts_unroutable(self):
+        sim, a, b = self._pair()
+        a.socket(1).send(Address("b", 4242), "p", payload_size=10)
+        sim.run()
+        assert b.rx_unroutable == 1
+
+    def test_handler_mode_delivers_synchronously(self):
+        sim, a, b = self._pair()
+        got = []
+        b.socket(2000).set_handler(lambda pkt: got.append(pkt.payload))
+        a.socket(1).send(Address("b", 2000), "sync", payload_size=10)
+        sim.run()
+        assert got == ["sync"]
+
+    def test_recv_in_handler_mode_raises(self):
+        sim, a, b = self._pair()
+        sock = b.socket(2000)
+        sock.set_handler(lambda pkt: None)
+        with pytest.raises(NetworkError):
+            sock.recv()
+
+    def test_double_uplink_rejected(self):
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        host = topo.add_host("x")
+        with pytest.raises(NetworkError):
+            switch.connect_host(host)
+
+
+class TestSwitchForwarding:
+    def test_switch_routes_by_destination_node(self):
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        hosts = topo.add_hosts(["a", "b", "c"])
+        got = []
+
+        def receiver(host):
+            packet = yield host.socket(9).recv()
+            got.append((host.name, packet.payload))
+
+        for host in hosts[1:]:
+            sim.spawn(receiver(host))
+        hosts[0].socket(9).send(Address("b", 9), "to-b", payload_size=8)
+        hosts[0].socket(9).send(Address("c", 9), "to-c", payload_size=8)
+        sim.run()
+        assert sorted(got) == [("b", "to-b"), ("c", "to-c")]
+
+    def test_unknown_destination_counted(self):
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        host = topo.add_host("a")
+        host.socket(9).send(Address("ghost", 9), "lost", payload_size=8)
+        sim.run()
+        assert switch.unroutable_packets == 1
+
+    def test_duplicate_host_names_rejected(self):
+        sim = Simulator()
+        topo = StarTopology(sim, BaseSwitch(sim))
+        topo.add_host("a")
+        with pytest.raises(NetworkError):
+            topo.add_host("a")
+
+    def test_round_trip_latency_is_microsecond_scale(self):
+        """The testbed substitute must produce a few-µs RTT (paper §3.1)."""
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        a, b = topo.add_hosts(["a", "b"])
+        sock_a, sock_b = a.socket(1), b.socket(1)
+        times = []
+
+        def ping():
+            sock_a.send(Address("b", 1), "ping", payload_size=64)
+            yield sock_a.recv()
+            times.append(sim.now)
+
+        def pong():
+            packet = yield sock_b.recv()
+            sock_b.send(packet.src, "pong", payload_size=64)
+
+        sim.spawn(pong())
+        sim.spawn(ping())
+        sim.run()
+        assert len(times) == 1
+        assert 1_000 < times[0] < 10_000  # 1-10 µs round trip
+
+
+class TestLinkTailDrop:
+    def test_overloaded_link_drops(self):
+        """A link with a tiny queue tail-drops under a burst."""
+        sim = Simulator()
+        delivered = []
+        link = Link(
+            sim,
+            "l",
+            sink=lambda p: delivered.append(p),
+            bandwidth_bps=10**6,  # 1 Mbps: 1 kB takes 8 ms
+            propagation_ns=0,
+        )
+        link.queue_packets = 2
+        results = [link.send(make_packet(size=1000)) for _ in range(10)]
+        sim.run()
+        assert results.count(False) > 0
+        assert link.packets_dropped == results.count(False)
+        assert len(delivered) == results.count(True)
+
+    def test_fast_link_never_drops_sequential_sends(self):
+        sim = Simulator()
+        link = Link(sim, "l", sink=lambda p: None)
+        assert all(link.send(make_packet(size=100)) for _ in range(100))
+        assert link.packets_dropped == 0

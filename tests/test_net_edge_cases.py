@@ -1,0 +1,92 @@
+"""Edge-case tests: cancellable receives, packet validation, store
+semantics under cancellation."""
+
+import pytest
+
+from repro.net import Address, Packet, StarTopology
+from repro.net.topology import BaseSwitch
+from repro.sim import Simulator, Store, us
+
+
+class TestStoreCancellation:
+    def test_cancel_pending_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        event = store.get()
+        assert store.cancel_get(event) is True
+        store.put("item")
+        # the cancelled getter must not consume the item
+        assert store.try_get() == "item"
+
+    def test_cancel_after_delivery_returns_false(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        event = store.get()  # satisfied immediately
+        assert store.cancel_get(event) is False
+
+    def test_cancel_is_idempotent_for_unknown_event(self):
+        sim = Simulator()
+        store = Store(sim)
+        stray = sim.event()
+        # not a getter, not triggered: treated as successfully withdrawn
+        assert store.cancel_get(stray) is True
+
+    def test_items_flow_to_remaining_getters_after_cancel(self):
+        sim = Simulator()
+        store = Store(sim)
+        first = store.get()
+        second = store.get()
+        store.cancel_get(first)
+        store.put("for-second")
+        sim.run()
+        assert second.triggered and second.value == "for-second"
+
+
+class TestSocketCancelRecv:
+    def test_cancelled_recv_does_not_eat_packets(self):
+        sim = Simulator()
+        switch = BaseSwitch(sim)
+        topo = StarTopology(sim, switch)
+        a, b = topo.add_host("a"), topo.add_host("b")
+        sock = b.socket(9)
+        cancelled = sock.recv()
+        assert sock.cancel_recv(cancelled) is True
+        got = []
+
+        def rx():
+            packet = yield sock.recv()
+            got.append(packet.payload)
+
+        sim.spawn(rx())
+        a.socket(1).send(Address("b", 9), "payload", 16)
+        sim.run()
+        assert got == ["payload"]
+
+
+class TestPacketValidation:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Packet(src=Address("a", 1), dst=Address("b", 2), payload=None, size=0)
+
+    def test_reply_to_is_source(self):
+        packet = Packet(
+            src=Address("a", 1), dst=Address("b", 2), payload=None, size=10
+        )
+        assert packet.reply_to() == Address("a", 1)
+
+    def test_packet_ids_unique(self):
+        packets = [
+            Packet(src=Address("a", 1), dst=Address("b", 2), payload=None, size=1)
+            for _ in range(10)
+        ]
+        ids = [p.pkt_id for p in packets]
+        assert len(set(ids)) == 10
+
+    def test_address_fields(self):
+        address = Address("node7", 4242)
+        assert address.node == "node7"
+        assert address.port == 4242
+        # NamedTuple: usable as a dict key and unpackable
+        node, port = address
+        assert (node, port) == ("node7", 4242)

@@ -1,0 +1,72 @@
+"""Tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.experiments.persist import (
+    SCHEMA,
+    load_result,
+    result_to_dict,
+    save_result,
+    summary_from_dict,
+)
+from repro.sim.core import ms
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ClusterConfig(
+        scheduler="draconis", workers=2, executors_per_worker=4, seed=1
+    )
+    sampler = fixed(100)
+    rate = rate_for_utilization(0.5, config.total_executors, sampler.mean_ns)
+    horizon = ms(10)
+
+    def factory(rngs):
+        return open_loop(rngs.stream("arrivals"), rate, sampler, horizon)
+
+    return run_workload(config, factory, duration_ns=horizon)
+
+
+class TestPersistence:
+    def test_roundtrip(self, result, tmp_path):
+        path = save_result(result, tmp_path / "r.json")
+        loaded = load_result(path)
+        assert loaded["schema"] == SCHEMA
+        assert loaded["config"]["scheduler"] == "draconis"
+        assert loaded["tasks"]["completed"] == result.tasks_completed
+        assert loaded["throughput_tps"] == pytest.approx(result.throughput_tps)
+
+    def test_samples_optional(self, result, tmp_path):
+        lean = load_result(save_result(result, tmp_path / "lean.json"))
+        fat = load_result(
+            save_result(result, tmp_path / "fat.json", include_samples=True)
+        )
+        assert "samples" not in lean
+        assert fat["samples"]["scheduling_delays_ns"]
+
+    def test_summary_rehydration(self, result, tmp_path):
+        loaded = load_result(save_result(result, tmp_path / "r.json"))
+        summary = summary_from_dict(loaded, "scheduling")
+        assert summary.p99_us == pytest.approx(result.scheduling.p99_us)
+        assert summary.count == result.scheduling.count
+
+    def test_schema_validation(self, tmp_path):
+        bogus = tmp_path / "bad.json"
+        bogus.write_text(json.dumps({"schema": "other/9"}))
+        with pytest.raises(ConfigurationError, match="schema"):
+            load_result(bogus)
+
+    def test_json_is_valid_and_humane(self, result, tmp_path):
+        path = save_result(result, tmp_path / "r.json")
+        text = path.read_text()
+        json.loads(text)
+        assert "\n" in text  # indented, diffable
+
+    def test_directories_created(self, result, tmp_path):
+        path = save_result(result, tmp_path / "deep" / "nested" / "r.json")
+        assert path.exists()

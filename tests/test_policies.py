@@ -1,0 +1,194 @@
+"""Unit tests for scheduling policies (§4.8, §5, §6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    ExecProps,
+    FcfsPolicy,
+    LocalityPolicy,
+    PriorityPolicy,
+    ResourcePolicy,
+    Verdict,
+    decode_locality_tprops,
+    encode_locality_tprops,
+    MAX_LOCALITY_NODES,
+)
+from repro.core.queue import QueueEntry
+from repro.errors import PolicyError
+from repro.protocol import TaskInfo, TaskRequest
+
+
+def entry(tprops=0, skips=0):
+    return QueueEntry(
+        uid=1,
+        jid=1,
+        task=TaskInfo(tid=0, tprops=tprops),
+        client=None,
+        skip_counter=skips,
+    )
+
+
+class TestFcfs:
+    def test_single_queue_always_assign(self):
+        policy = FcfsPolicy()
+        policy.validate()
+        assert policy.num_queues == 1
+        assert policy.submit_queue(TaskInfo(tid=0)) == 0
+        assert policy.examine(entry(), ExecProps()) is Verdict.ASSIGN
+        assert policy.next_queue_on_empty(0) is None
+
+
+class TestPriority:
+    def test_submit_routes_by_level(self):
+        policy = PriorityPolicy(levels=4)
+        assert policy.submit_queue(TaskInfo(tid=0, tprops=1)) == 0
+        assert policy.submit_queue(TaskInfo(tid=0, tprops=4)) == 3
+
+    def test_out_of_range_level_rejected(self):
+        policy = PriorityPolicy(levels=4)
+        with pytest.raises(PolicyError):
+            policy.submit_queue(TaskInfo(tid=0, tprops=0))
+        with pytest.raises(PolicyError):
+            policy.submit_queue(TaskInfo(tid=0, tprops=5))
+
+    def test_ladder_descends_and_terminates(self):
+        policy = PriorityPolicy(levels=3)
+        assert policy.next_queue_on_empty(0) == 1
+        assert policy.next_queue_on_empty(1) == 2
+        assert policy.next_queue_on_empty(2) is None
+
+    def test_request_queue_clamped(self):
+        policy = PriorityPolicy(levels=4)
+        assert policy.first_request_queue(TaskRequest(rtrv_prio=0)) == 0
+        assert policy.first_request_queue(TaskRequest(rtrv_prio=9)) == 3
+
+    def test_invalid_levels(self):
+        with pytest.raises(PolicyError):
+            PriorityPolicy(levels=0)
+
+
+class TestResource:
+    def test_requires_builds_bitmap(self):
+        assert ResourcePolicy.requires(0) == 1
+        assert ResourcePolicy.requires(0, 2) == 0b101
+
+    def test_assign_iff_all_bits_available(self):
+        policy = ResourcePolicy()
+        gpu = ResourcePolicy.requires(0)
+        task = entry(tprops=gpu)
+        assert policy.examine(task, ExecProps(exec_rsrc=gpu)) is Verdict.ASSIGN
+        assert policy.examine(task, ExecProps(exec_rsrc=0)) is Verdict.SWAP
+        both = ResourcePolicy.requires(0, 1)
+        assert policy.examine(task, ExecProps(exec_rsrc=both)) is Verdict.ASSIGN
+
+    def test_unconstrained_task_runs_anywhere(self):
+        policy = ResourcePolicy()
+        assert policy.examine(entry(tprops=0), ExecProps()) is Verdict.ASSIGN
+
+    @given(
+        required=st.integers(0, 2**16 - 1), available=st.integers(0, 2**16 - 1)
+    )
+    @settings(max_examples=100)
+    def test_verdict_matches_bitmap_subset(self, required, available):
+        policy = ResourcePolicy()
+        verdict = policy.examine(
+            entry(tprops=required), ExecProps(exec_rsrc=available)
+        )
+        expected = (
+            Verdict.ASSIGN if required & ~available == 0 else Verdict.SWAP
+        )
+        assert verdict is expected
+
+
+class TestLocalityEncoding:
+    def test_roundtrip_single(self):
+        assert decode_locality_tprops(encode_locality_tprops([5])) == [5]
+
+    def test_roundtrip_multiple(self):
+        nodes = [0, 7, 300]
+        assert decode_locality_tprops(encode_locality_tprops(nodes)) == nodes
+
+    def test_node_zero_distinguished_from_empty(self):
+        assert decode_locality_tprops(encode_locality_tprops([0])) == [0]
+        assert decode_locality_tprops(0) == []
+
+    def test_too_many_nodes_rejected(self):
+        with pytest.raises(PolicyError):
+            encode_locality_tprops(list(range(MAX_LOCALITY_NODES + 1)))
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(PolicyError):
+            encode_locality_tprops([1 << 16])
+
+    @given(
+        nodes=st.lists(
+            st.integers(0, 60_000), max_size=MAX_LOCALITY_NODES, unique=True
+        )
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, nodes):
+        assert decode_locality_tprops(encode_locality_tprops(nodes)) == nodes
+
+
+class TestLocalityPolicy:
+    RACKS = {0: 0, 1: 0, 2: 1, 3: 1}
+
+    def _policy(self, rack=2, global_=5):
+        return LocalityPolicy(
+            self.RACKS, rack_start_limit=rack, global_start_limit=global_
+        )
+
+    def test_node_local_always_assigned(self):
+        policy = self._policy()
+        task = entry(tprops=encode_locality_tprops([2]), skips=0)
+        assert (
+            policy.examine(task, ExecProps(node_id=2, rack_id=1))
+            is Verdict.ASSIGN
+        )
+
+    def test_below_rack_limit_requires_node_local(self):
+        policy = self._policy(rack=2)
+        task = entry(tprops=encode_locality_tprops([2]), skips=1)
+        assert (
+            policy.examine(task, ExecProps(node_id=3, rack_id=1))
+            is Verdict.SWAP
+        )
+
+    def test_between_limits_allows_rack_local(self):
+        policy = self._policy(rack=2, global_=5)
+        task = entry(tprops=encode_locality_tprops([2]), skips=3)
+        assert (
+            policy.examine(task, ExecProps(node_id=3, rack_id=1))
+            is Verdict.ASSIGN
+        )
+        assert (
+            policy.examine(task, ExecProps(node_id=0, rack_id=0))
+            is Verdict.SWAP
+        )
+
+    def test_past_global_limit_any_node(self):
+        policy = self._policy(rack=2, global_=5)
+        task = entry(tprops=encode_locality_tprops([2]), skips=6)
+        assert (
+            policy.examine(task, ExecProps(node_id=0, rack_id=0))
+            is Verdict.ASSIGN
+        )
+
+    def test_placement_level_classification(self):
+        policy = self._policy()
+        task = entry(tprops=encode_locality_tprops([2]))
+        assert policy.placement_level(task, ExecProps(node_id=2, rack_id=1)) == "node"
+        assert policy.placement_level(task, ExecProps(node_id=3, rack_id=1)) == "rack"
+        assert policy.placement_level(task, ExecProps(node_id=0, rack_id=0)) == "remote"
+
+    def test_max_swaps_tracks_global_limit(self):
+        policy = self._policy(rack=2, global_=7)
+        assert policy.max_swaps == 8
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(PolicyError):
+            LocalityPolicy({}, rack_start_limit=5, global_start_limit=2)
+        with pytest.raises(PolicyError):
+            LocalityPolicy({}, rack_start_limit=-1, global_start_limit=2)

@@ -1,0 +1,195 @@
+"""Randomized race tests for the Draconis program (paper §4.7).
+
+The harness interleaves job_submissions, task_requests and the resulting
+repair/swap recirculations in adversarial orders — recirculated packets
+are delayed behind freshly arriving traffic, exactly the window where
+§4.7's race conditions live — and asserts the system-level contract:
+every accepted task is assigned exactly once, nothing is invented, and
+the queue ends consistent.
+"""
+
+import random
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DraconisProgram, PriorityPolicy, ResourcePolicy
+from repro.net.packet import Address, Packet
+from repro.protocol import (
+    ErrorPacket,
+    JobSubmission,
+    NoOpTask,
+    SubmissionAck,
+    TaskAssignment,
+    TaskInfo,
+    TaskRequest,
+)
+from repro.switchsim.pipeline import Drop, Forward, Recirculate, Reply
+from repro.switchsim.registers import PacketContext
+
+CLIENT = Address("client0", 6000)
+
+
+class RacingHarness:
+    """Processes packets with recirculations queued behind new arrivals."""
+
+    def __init__(self, program: DraconisProgram, seed: int) -> None:
+        self.program = program
+        self.rng = random.Random(seed)
+        self.pending = deque()  # recirculating packets
+        self.assigned = []
+        self.errored = []
+        self.noops = 0
+
+    def _consume(self, actions) -> None:
+        for action in actions:
+            if isinstance(action, Recirculate):
+                # Adversarial delay: recirculated packets re-enter at a
+                # random position relative to other pending packets.
+                if self.pending and self.rng.random() < 0.5:
+                    self.pending.insert(
+                        self.rng.randrange(len(self.pending) + 1),
+                        action.packet,
+                    )
+                else:
+                    self.pending.append(action.packet)
+            elif isinstance(action, Reply):
+                payload = action.payload
+                if isinstance(payload, TaskAssignment):
+                    self.assigned.append(payload.key)
+                elif isinstance(payload, ErrorPacket):
+                    self.errored.extend(
+                        (payload.uid, payload.jid, t.tid) for t in payload.tasks
+                    )
+                elif isinstance(payload, NoOpTask):
+                    self.noops += 1
+
+    def _step_pending(self, count: int = 1) -> None:
+        for _ in range(count):
+            if not self.pending:
+                return
+            packet = self.pending.popleft()
+            self._consume(self.program.process(PacketContext(packet), packet))
+
+    def inject(self, payload) -> None:
+        packet = Packet(
+            src=CLIENT, dst=Address("switch", 9000), payload=payload, size=64
+        )
+        self._consume(self.program.process(PacketContext(packet), packet))
+        # let a random amount of recirculating work proceed
+        self._step_pending(self.rng.randrange(0, 3))
+
+    def drain(self) -> None:
+        guard = 100_000
+        while self.pending and guard:
+            self._step_pending()
+            guard -= 1
+        assert guard, "recirculation never converged"
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    ops=st.lists(st.sampled_from(["submit", "request"]), max_size=120),
+    capacity=st.integers(2, 8),
+)
+@settings(max_examples=80, deadline=None)
+def test_fcfs_exactly_once_under_races(seed, ops, capacity):
+    program = DraconisProgram(
+        queue_capacity=capacity, retrieve_mode="delayed"
+    )
+    harness = RacingHarness(program, seed)
+    tid = 0
+    submitted = []
+    for op in ops:
+        if op == "submit":
+            harness.inject(
+                JobSubmission(uid=1, jid=0, tasks=[TaskInfo(tid=tid)])
+            )
+            submitted.append((1, 0, tid))
+            tid += 1
+        else:
+            harness.inject(TaskRequest(executor_id=0))
+    harness.drain()
+    # drain the queue completely
+    for _ in range(len(submitted) + capacity + 8):
+        harness.inject(TaskRequest(executor_id=0))
+        harness.drain()
+
+    assigned = harness.assigned
+    # exactly-once: no duplicates
+    assert len(assigned) == len(set(assigned))
+    # conservation: every submitted task either assigned or bounced
+    assert set(assigned) | set(harness.errored) >= set(submitted) - set()
+    assert set(assigned).issubset(set(submitted))
+    # relative order preserved among assigned tasks (FCFS)
+    tids = [key[2] for key in assigned]
+    assert tids == sorted(tids)
+    program.check_invariants()
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=40, deadline=None)
+def test_resource_swaps_conserve_tasks_under_races(seed):
+    rng = random.Random(seed)
+    program = DraconisProgram(
+        policy=ResourcePolicy(max_swaps=6), queue_capacity=16
+    )
+    harness = RacingHarness(program, seed)
+    gpu = ResourcePolicy.requires(0)
+    fpga = ResourcePolicy.requires(1)
+    submitted = set()
+    tid = 0
+    for _ in range(60):
+        roll = rng.random()
+        if roll < 0.4:
+            tprops = gpu if rng.random() < 0.5 else fpga
+            harness.inject(
+                JobSubmission(uid=1, jid=0, tasks=[TaskInfo(tid=tid, tprops=tprops)])
+            )
+            submitted.add((1, 0, tid))
+            tid += 1
+        else:
+            rsrc = gpu if rng.random() < 0.5 else fpga
+            harness.inject(TaskRequest(executor_id=0, exec_rsrc=rsrc))
+    harness.drain()
+    # drain with omnipotent executors
+    for _ in range(len(submitted) + 40):
+        harness.inject(TaskRequest(executor_id=0, exec_rsrc=gpu | fpga))
+        harness.drain()
+
+    assigned = set(harness.assigned)
+    assert len(harness.assigned) == len(assigned)  # no duplicates
+    assert assigned | set(harness.errored) == submitted
+    program.check_invariants()
+
+
+@given(seed=st.integers(0, 5_000))
+@settings(max_examples=40, deadline=None)
+def test_priority_conservation_under_races(seed):
+    rng = random.Random(seed)
+    program = DraconisProgram(
+        policy=PriorityPolicy(levels=3), queue_capacity=8
+    )
+    harness = RacingHarness(program, seed)
+    submitted = set()
+    tid = 0
+    for _ in range(80):
+        if rng.random() < 0.5:
+            level = rng.randint(1, 3)
+            harness.inject(
+                JobSubmission(uid=1, jid=0, tasks=[TaskInfo(tid=tid, tprops=level)])
+            )
+            submitted.add((1, 0, tid))
+            tid += 1
+        else:
+            harness.inject(TaskRequest(executor_id=0))
+    harness.drain()
+    for _ in range(len(submitted) + 30):
+        harness.inject(TaskRequest(executor_id=0))
+        harness.drain()
+
+    assigned = set(harness.assigned)
+    assert len(harness.assigned) == len(assigned)
+    assert assigned | set(harness.errored) == submitted
+    program.check_invariants()

@@ -1,0 +1,134 @@
+"""Tests for the Tofino register-access constraint model (paper §2.1.1)."""
+
+import pytest
+
+from repro.errors import PipelineResourceError, RegisterAccessError, SwitchError
+from repro.switchsim import PacketContext, RegisterFile
+from repro.switchsim.resources import TOFINO1, TOFINO2
+
+
+@pytest.fixture
+def registers():
+    return RegisterFile()
+
+
+class TestSingleAccessConstraint:
+    def test_second_read_same_packet_raises(self, registers):
+        array = registers.declare("r", 4)
+        ctx = PacketContext()
+        array.read(ctx, 0)
+        with pytest.raises(RegisterAccessError, match="accessed twice"):
+            array.read(ctx, 1)
+
+    def test_read_then_write_same_packet_raises(self, registers):
+        array = registers.declare("r", 4)
+        ctx = PacketContext()
+        array.read(ctx, 0)
+        with pytest.raises(RegisterAccessError):
+            array.write(ctx, 0, 1)
+
+    def test_rmw_counts_as_single_access(self, registers):
+        array = registers.declare("r", 1, initial=5)
+        ctx = PacketContext()
+        assert array.read_and_increment(ctx) == 5
+        assert array.cp_read(0) == 6
+        with pytest.raises(RegisterAccessError):
+            array.read(ctx, 0)
+
+    def test_distinct_arrays_are_independent(self, registers):
+        a = registers.declare("a", 1)
+        b = registers.declare("b", 1)
+        ctx = PacketContext()
+        a.read(ctx, 0)
+        b.read(ctx, 0)  # allowed: different array
+
+    def test_new_traversal_resets_constraint(self, registers):
+        array = registers.declare("r", 1)
+        array.read(PacketContext(), 0)
+        array.read(PacketContext(), 0)  # fresh context = recirculation
+
+    def test_compare_and_swap_is_one_access(self, registers):
+        array = registers.declare("flag", 1, width_bits=1)
+        ctx = PacketContext()
+        assert array.compare_and_swap(ctx, 0, 0, 1) is True
+        with pytest.raises(RegisterAccessError):
+            array.read(ctx, 0)
+        assert array.compare_and_swap(PacketContext(), 0, 0, 1) is False
+
+    def test_control_plane_access_is_exempt(self, registers):
+        array = registers.declare("r", 2)
+        ctx = PacketContext()
+        array.read(ctx, 0)
+        array.cp_write(1, 9)  # control plane: no constraint
+        assert array.cp_read(1) == 9
+
+
+class TestRegisterSemantics:
+    def test_out_of_range_index(self, registers):
+        array = registers.declare("r", 2)
+        with pytest.raises(SwitchError):
+            array.read(PacketContext(), 2)
+
+    def test_rmw_returns_pre_update_value(self, registers):
+        array = registers.declare("r", 1, initial=10)
+        old = array.read_modify_write(PacketContext(), 0, lambda v: v - 3)
+        assert old == 10
+        assert array.cp_read(0) == 7
+
+    def test_object_array_exchange(self, registers):
+        slots = registers.declare_objects("slots", 4, entry_width_bits=256)
+        ctx = PacketContext()
+        assert slots.exchange(ctx, 1, "task-a") is None
+        assert slots.exchange(PacketContext(), 1, "task-b") == "task-a"
+
+    def test_object_array_read_and_clear(self, registers):
+        slots = registers.declare_objects("slots", 4, entry_width_bits=256)
+        slots.cp_write(2, "entry")
+        assert slots.read_and_clear(PacketContext(), 2) == "entry"
+        assert slots.cp_read(2) is None
+
+    def test_duplicate_declaration_rejected(self, registers):
+        registers.declare("dup", 1)
+        with pytest.raises(SwitchError):
+            registers.declare("dup", 1)
+
+    def test_invalid_sizes_rejected(self, registers):
+        with pytest.raises(SwitchError):
+            registers.declare("bad", 0)
+        with pytest.raises(SwitchError):
+            registers.declare("bad2", 1, width_bits=0)
+
+
+class TestResourceAccounting:
+    def test_sram_accounting(self, registers):
+        registers.declare("a", 100, width_bits=32, stage=0)
+        registers.declare("b", 10, width_bits=8, stage=1)
+        assert registers.total_sram_bits() == 100 * 32 + 10 * 8
+        assert registers.per_stage_sram_bits() == {0: 3200, 1: 80}
+        assert registers.stages_used() == [0, 1]
+
+    def test_budget_check_passes_small_program(self, registers):
+        registers.declare("a", 1024, width_bits=32, stage=0)
+        TOFINO1.check_fits(registers)
+
+    def test_budget_check_rejects_oversized_stage(self, registers):
+        registers.declare("huge", 10**7, width_bits=32, stage=0)
+        with pytest.raises(PipelineResourceError, match="per-stage budget"):
+            TOFINO1.check_fits(registers)
+
+    def test_budget_check_rejects_stage_out_of_range(self, registers):
+        registers.declare("far", 1, width_bits=32, stage=99)
+        with pytest.raises(PipelineResourceError, match="beyond"):
+            TOFINO1.check_fits(registers)
+
+    def test_paper_capacity_claims(self):
+        """§7: 164 K tasks on the Tofino 1 deployment, ~1 M on Tofino 2."""
+        t1 = TOFINO1.queue_capacity(entry_width_bits=256)
+        t2 = TOFINO2.queue_capacity(entry_width_bits=256)
+        assert abs(t1 - 164_000) / 164_000 < 0.10
+        assert abs(t2 - 1_000_000) / 1_000_000 < 0.10
+
+    def test_paper_priority_level_claims(self):
+        """§7: 4 levels on the old switch, 12 on Tofino 2."""
+        assert TOFINO1.max_priority_levels(stages_per_queue=5) >= 4
+        assert TOFINO2.max_priority_levels(stages_per_queue=3) >= 12

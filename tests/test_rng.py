@@ -1,0 +1,50 @@
+"""Tests for deterministic named RNG streams."""
+
+from repro.sim import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream_is_reproducible(self):
+        a = RngStreams(seed=7).stream("arrivals")
+        b = RngStreams(seed=7).stream("arrivals")
+        assert a.integers(0, 1 << 30, size=8).tolist() == b.integers(
+            0, 1 << 30, size=8
+        ).tolist()
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(seed=7)
+        a = streams.stream("arrivals").integers(0, 1 << 30, size=8).tolist()
+        b = streams.stream("durations").integers(0, 1 << 30, size=8).tolist()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(seed=1).stream("s").integers(0, 1 << 30, size=8).tolist()
+        b = RngStreams(seed=2).stream("s").integers(0, 1 << 30, size=8).tolist()
+        assert a != b
+
+    def test_stream_is_cached_not_restarted(self):
+        streams = RngStreams(seed=0)
+        first = streams.stream("x").integers(0, 1 << 30, size=4).tolist()
+        second = streams.stream("x").integers(0, 1 << 30, size=4).tolist()
+        assert first != second  # continuation, not a restart
+
+    def test_creation_order_does_not_matter(self):
+        fwd = RngStreams(seed=3)
+        fwd.stream("a")  # created before "b"
+        b_after_a = fwd.stream("b").integers(0, 1 << 30, size=4).tolist()
+        rev = RngStreams(seed=3)
+        rev.stream("z")  # a different stream created first
+        b_after_z = rev.stream("b").integers(0, 1 << 30, size=4).tolist()
+        assert b_after_a == b_after_z
+
+    def test_getitem_aliases_stream(self):
+        streams = RngStreams(seed=5)
+        assert streams["alias"] is streams.stream("alias")
+
+    def test_fork_is_deterministic_and_distinct(self):
+        root = RngStreams(seed=11)
+        fork_a = root.fork("worker-0")
+        fork_b = root.fork("worker-1")
+        again = RngStreams(seed=11).fork("worker-0")
+        assert fork_a.seed == again.seed
+        assert fork_a.seed != fork_b.seed

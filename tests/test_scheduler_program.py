@@ -1,0 +1,461 @@
+"""Unit tests for the Draconis switch program (paper §4–§6).
+
+A :class:`ProgramHarness` drives the program the way the switch would —
+one PacketContext per traversal, recirculated packets re-processed —
+without the network stack, so every dataplane path can be exercised
+deterministically.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.core import DraconisProgram, FcfsPolicy, PriorityPolicy, ResourcePolicy
+from repro.core.policies import LocalityPolicy, encode_locality_tprops
+from repro.errors import SwitchError
+from repro.net.packet import Address, Packet
+from repro.protocol import (
+    Completion,
+    ErrorPacket,
+    JobSubmission,
+    NoOpTask,
+    SubmissionAck,
+    TaskAssignment,
+    TaskInfo,
+    TaskRequest,
+    codec,
+)
+from repro.switchsim.pipeline import Drop, Forward, Recirculate, Reply
+from repro.switchsim.registers import PacketContext
+
+CLIENT = Address("client0", 6000)
+EXECUTOR = Address("worker0", 7000)
+
+
+class ProgramHarness:
+    """Feed packets through a program, following recirculations."""
+
+    def __init__(self, program: DraconisProgram) -> None:
+        self.program = program
+        self.outputs = []  # (kind, dst, payload)
+
+    def inject(self, payload, src: Address, follow_recirc: bool = True):
+        try:
+            size = codec.wire_size(payload) + 42
+        except Exception:
+            size = 64  # non-protocol payloads (colocation traffic)
+        packet = Packet(
+            src=src,
+            dst=Address("switch", 9000),
+            payload=payload,
+            size=size,
+        )
+        queue = deque([packet])
+        emitted = []
+        while queue:
+            current = queue.popleft()
+            actions = self.program.process(PacketContext(current), current)
+            for action in actions:
+                if isinstance(action, Recirculate) and follow_recirc:
+                    queue.append(action.packet)
+                elif isinstance(action, Recirculate):
+                    emitted.append(("recirc", None, action.packet.payload))
+                elif isinstance(action, Reply):
+                    emitted.append(("reply", action.dst, action.payload))
+                elif isinstance(action, Forward):
+                    emitted.append(("forward", action.packet.dst, action.packet.payload))
+                elif isinstance(action, Drop):
+                    emitted.append(("drop", None, action.reason))
+        self.outputs.extend(emitted)
+        return emitted
+
+    def replies_of(self, emitted, message_type):
+        return [p for kind, _dst, p in emitted if kind == "reply" and isinstance(p, message_type)]
+
+
+def submit(harness, tids, uid=1, jid=1, tprops=0):
+    job = JobSubmission(
+        uid=uid,
+        jid=jid,
+        tasks=[TaskInfo(tid=t, tprops=tprops) for t in tids],
+    )
+    return harness.inject(job, CLIENT)
+
+
+def request(harness, executor_id=0, exec_rsrc=0, node_id=0, rack_id=0, rtrv_prio=1):
+    req = TaskRequest(
+        executor_id=executor_id,
+        exec_rsrc=exec_rsrc,
+        node_id=node_id,
+        rack_id=rack_id,
+        rtrv_prio=rtrv_prio,
+    )
+    return harness.inject(req, EXECUTOR)
+
+
+class TestFcfsPaths:
+    def test_submission_acked_and_enqueued(self):
+        harness = ProgramHarness(DraconisProgram(queue_capacity=8))
+        emitted = submit(harness, [0])
+        acks = harness.replies_of(emitted, SubmissionAck)
+        assert len(acks) == 1
+        assert harness.program.total_queued() == 1
+
+    def test_multi_task_submission_recirculates_per_task(self):
+        program = DraconisProgram(queue_capacity=16)
+        harness = ProgramHarness(program)
+        submit(harness, list(range(5)))
+        assert program.total_queued() == 5
+        assert program.sched_stats.tasks_enqueued == 5
+
+    def test_retrieval_returns_fcfs_order(self):
+        program = DraconisProgram(queue_capacity=8)
+        harness = ProgramHarness(program)
+        submit(harness, [0, 1, 2])
+        for expected in range(3):
+            emitted = request(harness)
+            assignments = harness.replies_of(emitted, TaskAssignment)
+            assert len(assignments) == 1
+            assert assignments[0].task.tid == expected
+            assert assignments[0].client == CLIENT
+
+    def test_empty_queue_returns_noop(self):
+        harness = ProgramHarness(DraconisProgram(queue_capacity=8))
+        emitted = request(harness)
+        assert harness.replies_of(emitted, NoOpTask)
+
+    def test_full_queue_bounces_with_error_packet(self):
+        program = DraconisProgram(queue_capacity=4)
+        harness = ProgramHarness(program)
+        submit(harness, [0, 1, 2, 3])
+        emitted = submit(harness, [9])
+        errors = harness.replies_of(emitted, ErrorPacket)
+        assert len(errors) == 1
+        assert [t.tid for t in errors[0].tasks] == [9]
+        # the repair packet (recirculated) restored the pointer
+        assert program.queues[0].pointer_state()["add_mistakes"] == 0
+        assert program.total_queued() == 4
+
+    def test_error_packet_carries_all_remaining_tasks(self):
+        program = DraconisProgram(queue_capacity=2)
+        harness = ProgramHarness(program)
+        emitted = submit(harness, [0, 1, 2, 3])
+        errors = harness.replies_of(emitted, ErrorPacket)
+        assert len(errors) == 1
+        assert [t.tid for t in errors[0].tasks] == [2, 3]
+
+    def test_completion_forwarded_and_piggyback_served(self):
+        program = DraconisProgram(queue_capacity=8)
+        harness = ProgramHarness(program)
+        submit(harness, [0, 1])
+        request(harness)  # consume task 0
+        completion = Completion(
+            uid=1,
+            jid=1,
+            tid=0,
+            executor_id=0,
+            client=CLIENT,
+            piggyback_request=TaskRequest(executor_id=0),
+        )
+        emitted = harness.inject(completion, EXECUTOR)
+        notices = harness.replies_of(emitted, Completion)
+        assignments = harness.replies_of(emitted, TaskAssignment)
+        assert len(notices) == 1 and notices[0].piggyback_request is None
+        assert len(assignments) == 1 and assignments[0].task.tid == 1
+
+    def test_completion_without_piggyback_only_forwards(self):
+        program = DraconisProgram(queue_capacity=8)
+        harness = ProgramHarness(program)
+        completion = Completion(uid=1, jid=1, tid=0, client=CLIENT)
+        emitted = harness.inject(completion, EXECUTOR)
+        assert harness.replies_of(emitted, Completion)
+        assert not harness.replies_of(emitted, TaskAssignment)
+
+    def test_unknown_payload_forwarded_as_plain_traffic(self):
+        harness = ProgramHarness(DraconisProgram())
+        emitted = harness.inject("not-a-scheduler-message", CLIENT)
+        assert emitted[0][0] == "forward"
+
+    def test_empty_job_submission_is_acked(self):
+        harness = ProgramHarness(DraconisProgram())
+        emitted = submit(harness, [])
+        assert harness.replies_of(emitted, SubmissionAck)
+
+
+class TestDelayedRetrieveMode:
+    def test_over_read_repaired_by_next_submission(self):
+        program = DraconisProgram(queue_capacity=8, retrieve_mode="delayed")
+        harness = ProgramHarness(program)
+        for _ in range(4):
+            emitted = request(harness)
+            assert harness.replies_of(emitted, NoOpTask)
+        assert program.queues[0].pointer_state()["retrieve_ptr"] == 4
+        submit(harness, [7])  # repair packet recirculates inline
+        assert program.queues[0].pointer_state()["retrieve_ptr"] == 0
+        emitted = request(harness)
+        assignments = harness.replies_of(emitted, TaskAssignment)
+        assert assignments and assignments[0].task.tid == 7
+
+    def test_conditional_mode_never_inflates_pointer(self):
+        program = DraconisProgram(queue_capacity=8, retrieve_mode="conditional")
+        harness = ProgramHarness(program)
+        for _ in range(4):
+            request(harness)
+        assert program.queues[0].pointer_state()["retrieve_ptr"] == 0
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(SwitchError):
+            DraconisProgram(retrieve_mode="bogus")
+
+
+class TestPriorityScheduling:
+    def test_tasks_route_to_priority_queues(self):
+        program = DraconisProgram(
+            policy=PriorityPolicy(levels=4), queue_capacity=8
+        )
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=3)
+        submit(harness, [1], tprops=1)
+        assert program.queues[2].occupancy() == 1
+        assert program.queues[0].occupancy() == 1
+
+    def test_request_walks_ladder_to_lower_priority(self):
+        program = DraconisProgram(
+            policy=PriorityPolicy(levels=4), queue_capacity=8
+        )
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=3)  # only a level-3 task queued
+        emitted = request(harness)
+        assignments = harness.replies_of(emitted, TaskAssignment)
+        assert assignments and assignments[0].task.tid == 0
+        assert program.sched_stats.priority_ladder_recircs == 2
+
+    def test_highest_priority_served_first(self):
+        program = DraconisProgram(
+            policy=PriorityPolicy(levels=4), queue_capacity=8
+        )
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=4)
+        submit(harness, [1], tprops=1)
+        emitted = request(harness)
+        assignments = harness.replies_of(emitted, TaskAssignment)
+        assert assignments[0].task.tid == 1
+
+    def test_all_queues_empty_noops_after_full_ladder(self):
+        program = DraconisProgram(
+            policy=PriorityPolicy(levels=3), queue_capacity=8
+        )
+        harness = ProgramHarness(program)
+        emitted = request(harness)
+        assert harness.replies_of(emitted, NoOpTask)
+        assert program.sched_stats.priority_ladder_recircs == 2
+
+    def test_fcfs_within_level(self):
+        program = DraconisProgram(
+            policy=PriorityPolicy(levels=2), queue_capacity=8
+        )
+        harness = ProgramHarness(program)
+        submit(harness, [0, 1, 2], tprops=2)
+        tids = []
+        for _ in range(3):
+            emitted = request(harness)
+            tids.append(harness.replies_of(emitted, TaskAssignment)[0].task.tid)
+        assert tids == [0, 1, 2]
+
+
+class TestResourceScheduling:
+    GPU = ResourcePolicy.requires(0)
+    FPGA = ResourcePolicy.requires(1)
+
+    def _program(self):
+        return DraconisProgram(
+            policy=ResourcePolicy(max_swaps=8), queue_capacity=16
+        )
+
+    def test_matching_executor_gets_task(self):
+        harness = ProgramHarness(self._program())
+        submit(harness, [0], tprops=self.GPU)
+        emitted = request(harness, exec_rsrc=self.GPU)
+        assert harness.replies_of(emitted, TaskAssignment)
+
+    def test_mismatched_executor_noops_and_task_reinserted(self):
+        program = self._program()
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=self.GPU)
+        emitted = request(harness, exec_rsrc=self.FPGA)
+        assert harness.replies_of(emitted, NoOpTask)
+        assert program.total_queued() == 1  # swapped back in
+        # a capable executor still gets it afterwards
+        emitted = request(harness, exec_rsrc=self.GPU)
+        assert harness.replies_of(emitted, TaskAssignment)
+
+    def test_swap_skips_to_deeper_matching_task(self):
+        program = self._program()
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=self.GPU)
+        submit(harness, [1], tprops=self.FPGA)
+        emitted = request(harness, exec_rsrc=self.FPGA)
+        assignments = harness.replies_of(emitted, TaskAssignment)
+        assert assignments and assignments[0].task.tid == 1
+        # the GPU task is still queued (parked by the swap)
+        assert program.total_queued() == 1
+        emitted = request(harness, exec_rsrc=self.GPU)
+        assert harness.replies_of(emitted, TaskAssignment)[0].task.tid == 0
+
+    def test_superset_resources_accepted(self):
+        harness = ProgramHarness(self._program())
+        submit(harness, [0], tprops=self.GPU)
+        emitted = request(harness, exec_rsrc=self.GPU | self.FPGA)
+        assert harness.replies_of(emitted, TaskAssignment)
+
+    def test_multi_constraint_task(self):
+        both = self.GPU | self.FPGA
+        program = self._program()
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=both)
+        emitted = request(harness, exec_rsrc=self.GPU)
+        assert harness.replies_of(emitted, NoOpTask)
+        emitted = request(harness, exec_rsrc=both)
+        assert harness.replies_of(emitted, TaskAssignment)
+
+    def test_swap_preserves_relative_order(self):
+        """§5.1: swapping keeps the queue's relative task order."""
+        program = self._program()
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=self.GPU)
+        submit(harness, [1], tprops=self.GPU)
+        submit(harness, [2], tprops=self.GPU)
+        # FPGA request walks the whole queue, reinserts everything.
+        request(harness, exec_rsrc=self.FPGA)
+        tids = []
+        for _ in range(3):
+            emitted = request(harness, exec_rsrc=self.GPU)
+            assignments = harness.replies_of(emitted, TaskAssignment)
+            if assignments:
+                tids.append(assignments[0].task.tid)
+        assert tids == sorted(tids)
+
+
+class TestLocalityScheduling:
+    RACKS = {0: 0, 1: 0, 2: 1, 3: 1}
+
+    def _program(self, rack_limit=1, global_limit=3):
+        return DraconisProgram(
+            policy=LocalityPolicy(
+                self.RACKS,
+                rack_start_limit=rack_limit,
+                global_start_limit=global_limit,
+            ),
+            queue_capacity=16,
+        )
+
+    def test_data_local_node_served_immediately(self):
+        harness = ProgramHarness(self._program())
+        submit(harness, [0], tprops=encode_locality_tprops([2]))
+        emitted = request(harness, node_id=2, rack_id=1)
+        assert harness.replies_of(emitted, TaskAssignment)
+
+    def test_remote_node_skipped_at_low_skip_count(self):
+        program = self._program(rack_limit=2, global_limit=5)
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=encode_locality_tprops([2]))
+        emitted = request(harness, node_id=0, rack_id=0)
+        assert harness.replies_of(emitted, NoOpTask)
+        assert program.total_queued() == 1
+
+    def test_rack_local_allowed_after_rack_limit(self):
+        program = self._program(rack_limit=1, global_limit=5)
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=encode_locality_tprops([2]))
+        # two skips from a remote-rack node push the counter past 1
+        request(harness, node_id=0, rack_id=0)
+        request(harness, node_id=0, rack_id=0)
+        emitted = request(harness, node_id=3, rack_id=1)  # same rack as node 2
+        assert harness.replies_of(emitted, TaskAssignment)
+
+    def test_any_node_allowed_after_global_limit(self):
+        program = self._program(rack_limit=1, global_limit=2)
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=encode_locality_tprops([2]))
+        for _ in range(3):
+            request(harness, node_id=0, rack_id=0)
+        emitted = request(harness, node_id=0, rack_id=0)
+        assert harness.replies_of(emitted, TaskAssignment)
+
+    def test_untagged_task_runs_anywhere(self):
+        harness = ProgramHarness(self._program())
+        submit(harness, [0], tprops=0)
+        emitted = request(harness, node_id=0, rack_id=0)
+        assert harness.replies_of(emitted, TaskAssignment)
+
+
+class TestSwapEdgeCases:
+    def test_swap_walk_bounded_by_max_swaps(self):
+        program = DraconisProgram(
+            policy=ResourcePolicy(max_swaps=2), queue_capacity=16
+        )
+        harness = ProgramHarness(program)
+        gpu = ResourcePolicy.requires(0)
+        for tid in range(6):
+            submit(harness, [tid], tprops=gpu)
+        emitted = request(harness, exec_rsrc=ResourcePolicy.requires(1))
+        assert harness.replies_of(emitted, NoOpTask)
+        # nothing lost: all six tasks still retrievable
+        assert program.total_queued() == 6
+
+    def test_swap_insert_into_full_queue_errors_to_client(self):
+        program = DraconisProgram(
+            policy=ResourcePolicy(max_swaps=8), queue_capacity=2
+        )
+        harness = ProgramHarness(program)
+        gpu = ResourcePolicy.requires(0)
+        submit(harness, [0], tprops=gpu)
+        submit(harness, [1], tprops=gpu)
+        # Mismatched request pops task 0 and walks; with the queue full
+        # the reinsertion may bounce — the client must hear about it.
+        emitted = request(harness, exec_rsrc=ResourcePolicy.requires(1))
+        errors = harness.replies_of(emitted, ErrorPacket)
+        survivors = program.total_queued()
+        # either everything is back in the queue, or the client was told
+        assert survivors + len(errors) >= 2
+
+
+class TestStagedPriorityQueues:
+    """§6.1/§8.7: Tofino 2 places each priority queue in its own stages,
+    walking the ladder within one traversal — no recirculation."""
+
+    def _program(self, **kw):
+        return DraconisProgram(
+            policy=PriorityPolicy(levels=4), queue_capacity=8, **kw
+        )
+
+    def test_no_recirculation_in_staged_mode(self):
+        program = self._program(queues_in_stages=True)
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=4)  # lowest priority only
+        emitted = request(harness)
+        assignments = harness.replies_of(emitted, TaskAssignment)
+        assert assignments and assignments[0].task.tid == 0
+        assert program.sched_stats.priority_ladder_recircs == 0
+
+    def test_staged_mode_preserves_priority_order(self):
+        program = self._program(queues_in_stages=True)
+        harness = ProgramHarness(program)
+        submit(harness, [0], tprops=4)
+        submit(harness, [1], tprops=2)
+        emitted = request(harness)
+        assert harness.replies_of(emitted, TaskAssignment)[0].task.tid == 1
+
+    def test_staged_queues_occupy_distinct_stages(self):
+        staged = self._program(queues_in_stages=True)
+        shared = self._program(queues_in_stages=False)
+        assert len(staged.registers.stages_used()) > len(
+            shared.registers.stages_used()
+        )
+
+    def test_staged_empty_ladder_noops_without_recirc(self):
+        program = self._program(queues_in_stages=True)
+        harness = ProgramHarness(program)
+        emitted = request(harness)
+        assert harness.replies_of(emitted, NoOpTask)
+        assert program.sched_stats.priority_ladder_recircs == 0

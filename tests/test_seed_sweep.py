@@ -1,0 +1,72 @@
+"""Seed-sweep statistics: the paper's run-to-run variance claim (§8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import ClusterConfig
+from repro.experiments.stats import MetricStats, seed_sweep
+from repro.sim.core import ms
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+
+def factory_for(config, utilization, task_us, horizon):
+    sampler = fixed(task_us)
+    rate = rate_for_utilization(
+        utilization, config.total_executors, sampler.mean_ns
+    )
+
+    def factory(rngs):
+        return open_loop(rngs.stream("arrivals"), rate, sampler, horizon)
+
+    return factory
+
+
+class TestMetricStats:
+    def test_cv(self):
+        stats = MetricStats(name="x", mean=100.0, std=4.0, values=(96, 104))
+        assert stats.cv == pytest.approx(0.04)
+
+    def test_row_renders(self):
+        assert "cv=" in MetricStats("x", 1.0, 0.1, (1,)).row()
+
+
+class TestSeedSweep:
+    def test_requires_seeds(self):
+        with pytest.raises(ConfigurationError):
+            seed_sweep(ClusterConfig(), lambda rngs: iter([]), ms(1), seeds=[])
+
+    def test_paper_variance_claim_at_mid_load(self):
+        """§8: "we report the average of 10 runs. The standard deviation
+        in all our experiments was under 5%." Checked for the headline
+        configuration (Draconis, 500 µs, mid load) across 5 seeds at a
+        shorter horizon — the p50 metric, which the paper's averages are
+        built from, stays well inside 5 % CV."""
+        config = ClusterConfig(
+            scheduler="draconis", workers=4, executors_per_worker=8
+        )
+        horizon = ms(40)
+        sweep = seed_sweep(
+            config,
+            factory_for(config, 0.6, 500, horizon),
+            duration_ns=horizon,
+            warmup_ns=ms(5),
+            seeds=[1, 2, 3, 4, 5],
+        )
+        assert sweep.p50_us.cv < 0.05
+        assert sweep.throughput_tps.cv < 0.05
+        # the extreme tail is allowed more spread at this horizon, but
+        # stays within a factor
+        assert sweep.p99_us.cv < 0.5
+
+    def test_distinct_seeds_distinct_results(self):
+        config = ClusterConfig(
+            scheduler="draconis", workers=2, executors_per_worker=4
+        )
+        horizon = ms(15)
+        sweep = seed_sweep(
+            config,
+            factory_for(config, 0.5, 250, horizon),
+            duration_ns=horizon,
+            seeds=[1, 2],
+        )
+        assert sweep.runs[0].scheduling_delays_ns != sweep.runs[1].scheduling_delays_ns

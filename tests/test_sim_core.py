@@ -1,0 +1,277 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import MS, SEC, US, Simulator, ms, seconds, us
+from repro.sim.core import Interrupted
+
+
+class TestTimeHelpers:
+    def test_us_converts_to_nanoseconds(self):
+        assert us(1) == 1_000
+        assert us(2.5) == 2_500
+
+    def test_ms_converts_to_nanoseconds(self):
+        assert ms(1) == 1_000_000
+
+    def test_seconds_converts_to_nanoseconds(self):
+        assert seconds(1) == 1_000_000_000
+
+    def test_constants_are_consistent(self):
+        assert SEC == 1000 * MS == 1_000_000 * US
+
+    def test_fractional_rounding(self):
+        assert us(0.0015) == 2  # rounds, never truncates
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.call_in(30, order.append, "c")
+        sim.call_in(10, order.append, "a")
+        sim.call_in(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_run_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+        for tag in range(5):
+            sim.call_at(100, order.append, tag)
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances_to_callback_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+
+    def test_run_until_stops_clock_at_until(self):
+        sim = Simulator()
+        fired = []
+        sim.call_in(100, fired.append, 1)
+        end = sim.run(until=50)
+        assert end == 50
+        assert fired == []
+        sim.run()
+        assert fired == [1]
+
+    def test_run_until_beyond_last_event_advances_clock(self):
+        sim = Simulator()
+        sim.call_in(10, lambda: None)
+        assert sim.run(until=1000) == 1000
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.call_in(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(5, lambda: None)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def rearm():
+            sim.call_in(1, rearm)
+
+        sim.call_in(1, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_step_and_peek(self):
+        sim = Simulator()
+        sim.call_in(7, lambda: None)
+        assert sim.peek() == 7
+        assert sim.step() is True
+        assert sim.step() is False
+        assert sim.peek() is None
+
+
+class TestEvents:
+    def test_succeed_delivers_value_to_callbacks(self):
+        sim = Simulator()
+        event = sim.event()
+        got = []
+        event.add_callback(lambda e: got.append(e.value))
+        event.succeed(99)
+        sim.run()
+        assert got == [99]
+
+    def test_callback_added_after_trigger_still_runs(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed("late")
+        sim.run()
+        got = []
+        event.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == ["late"]
+
+    def test_double_trigger_raises(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+    def test_value_before_trigger_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            _ = sim.event().value
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+class TestProcesses:
+    def test_process_advances_through_timeouts(self):
+        sim = Simulator()
+        ticks = []
+
+        def actor():
+            yield sim.timeout(10)
+            ticks.append(sim.now)
+            yield sim.timeout(15)
+            ticks.append(sim.now)
+
+        sim.spawn(actor())
+        sim.run()
+        assert ticks == [10, 25]
+
+    def test_process_return_value_becomes_event_value(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(5)
+            return "done"
+
+        def parent(results):
+            value = yield sim.spawn(child())
+            results.append(value)
+
+        results = []
+        sim.spawn(parent(results))
+        sim.run()
+        assert results == ["done"]
+
+    def test_timeout_value_is_delivered(self):
+        sim = Simulator()
+        seen = []
+
+        def actor():
+            value = yield sim.timeout(1, value="payload")
+            seen.append(value)
+
+        sim.spawn(actor())
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_yielding_non_event_fails_process(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42  # type: ignore[misc]
+
+        proc = sim.spawn(bad())
+        sim.run()
+        assert proc.failed
+
+    def test_exception_in_process_marks_failure(self):
+        sim = Simulator()
+
+        def boom():
+            yield sim.timeout(1)
+            raise ValueError("kaput")
+
+        proc = sim.spawn(boom())
+        sim.run()
+        assert proc.failed
+        assert isinstance(proc.failure, ValueError)
+
+    def test_failed_event_raises_inside_waiter(self):
+        sim = Simulator()
+        event = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield event
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(waiter())
+        sim.call_in(5, event.fail, RuntimeError("downstream"))
+        sim.run()
+        assert caught == ["downstream"]
+
+    def test_interrupt_throws_into_process(self):
+        sim = Simulator()
+        log = []
+
+        def sleeper():
+            try:
+                yield sim.timeout(1000)
+            except Interrupted:
+                log.append(sim.now)
+
+        proc = sim.spawn(sleeper())
+        sim.call_in(50, proc.interrupt)
+        sim.run()
+        assert log == [50]
+
+    def test_negative_timeout_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1)
+
+
+class TestConditions:
+    def test_any_of_triggers_on_first(self):
+        sim = Simulator()
+        winners = []
+
+        def actor():
+            t_fast = sim.timeout(10, value="fast")
+            t_slow = sim.timeout(100, value="slow")
+            first = yield sim.any_of([t_fast, t_slow])
+            winners.append(first.value)
+
+        sim.spawn(actor())
+        sim.run()
+        assert winners == ["fast"]
+        assert sim.now == 100  # the slow timeout still fires
+
+    def test_all_of_collects_values_in_order(self):
+        sim = Simulator()
+        collected = []
+
+        def actor():
+            values = yield sim.all_of(
+                [sim.timeout(30, "c"), sim.timeout(10, "a")]
+            )
+            collected.append(values)
+
+        sim.spawn(actor())
+        sim.run()
+        assert collected == [["c", "a"]]
+
+    def test_empty_condition_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.any_of([])
+
+    def test_simulator_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run()
+
+        sim.call_in(1, nested)
+        with pytest.raises(SimulationError, match="reentrant"):
+            sim.run()

@@ -1,0 +1,153 @@
+"""Property tests for the simulation kernel against a reference model.
+
+The kernel underpins every result in the repository; these tests check
+its scheduling semantics against a sorted-list reference executor and
+exercise composition corners the unit tests don't reach.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, Store
+
+
+class TestDispatchOrderProperty:
+    @given(
+        delays=st.lists(st.integers(0, 1_000), min_size=1, max_size=60)
+    )
+    @settings(max_examples=100)
+    def test_matches_stable_sort_reference(self, delays):
+        """Callbacks fire in (time, insertion order) — exactly a stable
+        sort of the scheduled delays."""
+        sim = Simulator()
+        fired = []
+        for tag, delay in enumerate(delays):
+            sim.call_in(delay, lambda t=tag: fired.append(t))
+        sim.run()
+        expected = [
+            tag
+            for tag, _delay in sorted(
+                enumerate(delays), key=lambda pair: pair[1]
+            )
+        ]
+        assert fired == expected
+
+    @given(delays=st.lists(st.integers(1, 500), min_size=1, max_size=40))
+    @settings(max_examples=60)
+    def test_clock_is_monotone_and_lands_on_last_event(self, delays):
+        sim = Simulator()
+        seen = []
+        for delay in delays:
+            sim.call_in(delay, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.now == max(delays)
+
+    @given(
+        schedule=st.lists(
+            st.tuples(st.integers(0, 100), st.integers(0, 100)),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=60)
+    def test_nested_scheduling_preserves_order(self, schedule):
+        """Callbacks scheduled from inside callbacks still honour time
+        order (and same-time FIFO)."""
+        sim = Simulator()
+        fired = []
+
+        def outer(tag, inner_delay):
+            fired.append(("outer", tag, sim.now))
+            sim.call_in(inner_delay, inner, tag)
+
+        def inner(tag):
+            fired.append(("inner", tag, sim.now))
+
+        for tag, (outer_delay, inner_delay) in enumerate(schedule):
+            sim.call_in(outer_delay, outer, tag, inner_delay)
+        sim.run()
+        times = [t for _kind, _tag, t in fired]
+        assert times == sorted(times)
+        assert len(fired) == 2 * len(schedule)
+
+
+class TestStoreFairnessProperty:
+    @given(
+        producers=st.integers(1, 5),
+        consumers=st.integers(1, 5),
+        items=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_items_consumed_exactly_once(self, producers, consumers, items):
+        sim = Simulator()
+        store = Store(sim)
+        consumed = []
+
+        def producer(base):
+            for i in range(items):
+                yield sim.timeout(1 + (base + i) % 7)
+                store.put((base, i))
+
+        def consumer():
+            while True:
+                item = yield store.get()
+                consumed.append(item)
+
+        for p in range(producers):
+            sim.spawn(producer(p * 1000))
+        for _ in range(consumers):
+            sim.spawn(consumer())
+        sim.run(until=10_000_000)
+        expected = {(p * 1000, i) for p in range(producers) for i in range(items)}
+        assert set(consumed) == expected
+        assert len(consumed) == len(expected)
+
+    @given(values=st.lists(st.integers(), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_single_consumer_sees_fifo(self, values):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            for _ in values:
+                got.append((yield store.get()))
+
+        sim.spawn(consumer())
+        for i, value in enumerate(values):
+            sim.call_in(i + 1, store.put, value)
+        sim.run()
+        assert got == values
+
+
+class TestConditionComposition:
+    def test_any_of_all_of_nesting(self):
+        sim = Simulator()
+        results = []
+
+        def actor():
+            pair = sim.all_of([sim.timeout(10, "a"), sim.timeout(20, "b")])
+            fast = sim.timeout(5, "fast")
+            winner = yield sim.any_of([pair, fast])
+            results.append((winner is fast, sim.now))
+
+        sim.spawn(actor())
+        sim.run()
+        assert results == [(True, 5)]
+
+    def test_all_of_containing_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(7)
+            return "child-done"
+
+        def parent(out):
+            values = yield sim.all_of([sim.spawn(child()), sim.timeout(3, "t")])
+            out.append(values)
+
+        out = []
+        sim.spawn(parent(out))
+        sim.run()
+        assert out == [["child-done", "t"]]

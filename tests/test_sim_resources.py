@@ -1,0 +1,159 @@
+"""Unit tests for Store and Resource primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulator, Store
+
+
+class TestStore:
+    def test_put_then_get_is_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+            got.append((yield store.get()))
+
+        sim.spawn(consumer())
+        sim.run()
+        assert got == ["a", "b"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((sim.now, item))
+
+        sim.spawn(consumer())
+        sim.call_in(40, store.put, "late")
+        sim.run()
+        assert got == [(40, "late")]
+
+    def test_waiting_getters_served_in_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer(tag):
+            item = yield store.get()
+            got.append((tag, item))
+
+        sim.spawn(consumer("first"))
+        sim.spawn(consumer("second"))
+        sim.call_in(1, store.put, "x")
+        sim.call_in(2, store.put, "y")
+        sim.run()
+        assert got == [("first", "x"), ("second", "y")]
+
+    def test_capacity_drop(self):
+        sim = Simulator()
+        store = Store(sim, capacity=2)
+        assert store.put(1) and store.put(2)
+        assert store.put(3) is False
+        assert store.total_dropped == 1
+        assert len(store) == 2
+
+    def test_put_to_waiting_getter_bypasses_capacity(self):
+        sim = Simulator()
+        store = Store(sim, capacity=1)
+        got = []
+
+        def consumer():
+            got.append((yield store.get()))
+
+        sim.spawn(consumer())
+        sim.run()
+        assert store.put("direct") is True
+        sim.run()
+        assert got == ["direct"]
+
+    def test_try_get_and_peek(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        assert store.peek() is None
+        store.put("v")
+        assert store.peek() == "v"
+        assert store.try_get() == "v"
+        assert store.try_get() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            Store(Simulator(), capacity=0)
+
+
+class TestResource:
+    def test_serializes_access(self):
+        sim = Simulator()
+        cpu = Resource(sim, capacity=1)
+        spans = []
+
+        def job(tag, cost):
+            yield cpu.acquire()
+            start = sim.now
+            yield sim.timeout(cost)
+            cpu.release()
+            spans.append((tag, start, sim.now))
+
+        sim.spawn(job("a", 10))
+        sim.spawn(job("b", 10))
+        sim.run()
+        assert spans == [("a", 0, 10), ("b", 10, 20)]
+
+    def test_capacity_two_runs_in_parallel(self):
+        sim = Simulator()
+        cpu = Resource(sim, capacity=2)
+        done = []
+
+        def job(tag):
+            yield cpu.acquire()
+            yield sim.timeout(10)
+            cpu.release()
+            done.append((tag, sim.now))
+
+        for tag in "abc":
+            sim.spawn(job(tag))
+        sim.run()
+        assert done == [("a", 10), ("b", 10), ("c", 20)]
+
+    def test_release_without_acquire_raises(self):
+        with pytest.raises(SimulationError):
+            Resource(Simulator()).release()
+
+    def test_utilization_tracks_busy_time(self):
+        sim = Simulator()
+        cpu = Resource(sim)
+
+        def job():
+            yield cpu.acquire()
+            yield sim.timeout(25)
+            cpu.release()
+
+        sim.spawn(job())
+        sim.run(until=100)
+        assert cpu.utilization() == pytest.approx(0.25)
+
+    def test_process_helper(self):
+        sim = Simulator()
+        cpu = Resource(sim)
+        sim.spawn(cpu.process(30))
+        sim.spawn(cpu.process(30))
+        sim.run()
+        assert sim.now == 60
+        assert cpu.total_acquired == 2
+
+    def test_queue_length_visible(self):
+        sim = Simulator()
+        cpu = Resource(sim)
+        cpu.acquire()
+        cpu.acquire()
+        cpu.acquire()
+        assert cpu.in_use == 1
+        assert cpu.queue_length == 2

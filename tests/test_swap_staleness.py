@@ -1,0 +1,180 @@
+"""Directed tests for the task-swapping concurrency guard (§5.1).
+
+"To avoid complex concurrency conflicts, the swap_task packet also
+contains the retrieve pointer value ... If the scheduler receives a
+swap_task packet with a pkt_retrieve_ptr value that is lower than the
+current retrieve_ptr, then the scheduler will ignore the packet's
+SWAP_INDX value and swap its task with the task at the head of the
+queue. This is done to avoid scenarios where the task within the packet
+is swapped into a location which has already been passed over by the
+retrieve_ptr and is lost."
+
+These tests craft swap packets by hand and race them against retrievals.
+"""
+
+from collections import deque
+
+from repro.core import DraconisProgram, ResourcePolicy
+from repro.net.packet import Address, Packet
+from repro.protocol import (
+    JobSubmission,
+    SwapTaskPacket,
+    TaskAssignment,
+    TaskInfo,
+    TaskRequest,
+)
+from repro.switchsim.pipeline import Recirculate, Reply
+from repro.switchsim.registers import PacketContext
+
+CLIENT = Address("client0", 6000)
+EXECUTOR = Address("worker0", 7000)
+GPU = ResourcePolicy.requires(0)
+FPGA = ResourcePolicy.requires(1)
+
+
+def make_program():
+    return DraconisProgram(policy=ResourcePolicy(max_swaps=8), queue_capacity=8)
+
+
+def process(program, payload, src=CLIENT):
+    packet = Packet(src=src, dst=Address("switch", 9000), payload=payload, size=64)
+    return packet, program.process(PacketContext(packet), packet)
+
+
+def run_to_completion(program, first_actions):
+    """Follow recirculations; return all replies."""
+    replies = []
+    queue = deque()
+
+    def take(actions):
+        for action in actions:
+            if isinstance(action, Recirculate):
+                queue.append(action.packet)
+            elif isinstance(action, Reply):
+                replies.append(action)
+
+    take(first_actions)
+    while queue:
+        packet = queue.popleft()
+        take(program.process(PacketContext(packet), packet))
+    return replies
+
+
+def submit_one(program, tid, tprops):
+    _pkt, actions = process(
+        program, JobSubmission(uid=1, jid=0, tasks=[TaskInfo(tid=tid, tprops=tprops)])
+    )
+    run_to_completion(program, actions)
+
+
+class TestStalenessGuard:
+    def test_stale_swap_redirects_to_head(self):
+        """A swap whose pkt_retrieve_ptr lags the live pointer must
+        exchange at the current head, not at its recorded index —
+        otherwise the carried task lands behind the pointer and is lost."""
+        program = make_program()
+        for tid in range(4):
+            submit_one(program, tid, GPU)
+        # Craft a stale swap: pkt_retrieve_ptr=0 while we advance the
+        # real pointer past index 1 with two matching retrievals.
+        for _ in range(2):
+            _pkt, actions = process(
+                program, TaskRequest(executor_id=0, exec_rsrc=GPU), src=EXECUTOR
+            )
+            run_to_completion(program, actions)
+        assert program.queues[0].pointer_state()["retrieve_ptr"] == 2
+
+        stale = SwapTaskPacket(
+            uid=1,
+            jid=0,
+            task=TaskInfo(tid=99, tprops=GPU),  # the carried task
+            client=CLIENT,
+            swap_indx=0,            # points below the live pointer
+            pkt_retrieve_ptr=0,     # stale
+            requester=EXECUTOR,
+            exec_props=FPGA,        # mismatched: forces a swap, not assign
+            swaps_left=3,
+            queue_index=0,
+        )
+        _pkt, actions = process(program, stale, src=EXECUTOR)
+        run_to_completion(program, actions)
+
+        # The carried task 99 must be retrievable: it was parked at (or
+        # beyond) the head, never below the pointer.
+        seen = set()
+        for _ in range(8):
+            _pkt, actions = process(
+                program, TaskRequest(executor_id=0, exec_rsrc=GPU), src=EXECUTOR
+            )
+            for reply in run_to_completion(program, actions):
+                if isinstance(reply.payload, TaskAssignment):
+                    seen.add(reply.payload.task.tid)
+        assert 99 in seen
+
+    def test_fresh_swap_uses_its_index(self):
+        """A non-stale swap exchanges exactly at SWAP_INDX, preserving
+        relative order of the untouched entries."""
+        program = make_program()
+        for tid in range(3):
+            submit_one(program, tid, GPU)
+        swap = SwapTaskPacket(
+            uid=1,
+            jid=0,
+            task=TaskInfo(tid=50, tprops=GPU),
+            client=CLIENT,
+            swap_indx=1,
+            pkt_retrieve_ptr=0,  # equals the live pointer: fresh
+            requester=EXECUTOR,
+            exec_props=GPU,      # the extracted entry matches: assign it
+            swaps_left=3,
+            queue_index=0,
+        )
+        _pkt, actions = process(program, swap, src=EXECUTOR)
+        replies = run_to_completion(program, actions)
+        assigned = [
+            r.payload.task.tid
+            for r in replies
+            if isinstance(r.payload, TaskAssignment)
+        ]
+        assert assigned == [1]  # the entry formerly at index 1
+        # Retrieval now sees 0, 50 (parked at index 1), 2 — order kept.
+        order = []
+        for _ in range(3):
+            _pkt, actions = process(
+                program, TaskRequest(executor_id=0, exec_rsrc=GPU), src=EXECUTOR
+            )
+            for reply in run_to_completion(program, actions):
+                if isinstance(reply.payload, TaskAssignment):
+                    order.append(reply.payload.task.tid)
+        assert order == [0, 50, 2]
+
+    def test_swap_past_tail_reinserts_carried_task(self):
+        """SWAP_INDX beyond add_ptr: the carried task re-enters via the
+        submission logic (§5.1 "treats the swap_task packet as a
+        job_submission packet")."""
+        program = make_program()
+        swap = SwapTaskPacket(
+            uid=1,
+            jid=0,
+            task=TaskInfo(tid=77, tprops=GPU),
+            client=CLIENT,
+            swap_indx=5,            # empty queue: far past the tail
+            pkt_retrieve_ptr=0,
+            requester=EXECUTOR,
+            exec_props=FPGA,
+            swaps_left=3,
+            queue_index=0,
+        )
+        _pkt, actions = process(program, swap, src=EXECUTOR)
+        run_to_completion(program, actions)
+        assert program.total_queued() == 1
+        _pkt, actions = process(
+            program, TaskRequest(executor_id=0, exec_rsrc=GPU), src=EXECUTOR
+        )
+        replies = run_to_completion(program, actions)
+        assigned = [
+            r.payload.task.tid
+            for r in replies
+            if isinstance(r.payload, TaskAssignment)
+        ]
+        assert assigned == [77]

@@ -1,0 +1,188 @@
+"""Tests for the programmable-switch pipeline mechanics."""
+
+import pytest
+
+from repro.errors import SwitchError
+from repro.net import Address, Packet, StarTopology
+from repro.sim import Simulator, ms, us
+from repro.switchsim import (
+    Drop,
+    Forward,
+    P4Program,
+    ProgrammableSwitch,
+    Recirculate,
+    Reply,
+)
+from repro.switchsim.registers import PacketContext
+
+
+class EchoProgram(P4Program):
+    """Replies 'pong' to every scheduler-port packet."""
+
+    def process(self, ctx, packet):
+        return [Reply(dst=packet.src, payload="pong", size=16)]
+
+
+class RecircNTimes(P4Program):
+    """Recirculates each packet ``n`` times, then drops it."""
+
+    def __init__(self, n):
+        super().__init__()
+        self.n = n
+        self.finished = 0
+
+    def process(self, ctx, packet):
+        if packet.recirculated < self.n:
+            return [Recirculate(packet)]
+        self.finished += 1
+        return [Drop(packet)]
+
+
+def build(program, **switch_kw):
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim, program, **switch_kw)
+    topo = StarTopology(sim, switch)
+    return sim, switch, topo
+
+
+class TestDispatch:
+    def test_service_port_packets_enter_pipeline(self):
+        sim, switch, topo = build(EchoProgram())
+        a = topo.add_host("a")
+        sock = a.socket(1234)
+        got = []
+
+        def rx():
+            packet = yield sock.recv()
+            got.append(packet.payload)
+
+        sim.spawn(rx())
+        sock.send(Address("switch", 9000), "ping", 16)
+        sim.run()
+        assert got == ["pong"]
+        assert switch.stats.pipeline_packets == 1
+        assert switch.stats.replies == 1
+
+    def test_other_ports_forwarded_as_plain_switch(self):
+        """Colocation safety (§4.1): non-scheduler traffic passes through."""
+        sim, switch, topo = build(EchoProgram())
+        a, b = topo.add_host("a"), topo.add_host("b")
+        sock_b = b.socket(4242)
+        got = []
+
+        def rx():
+            packet = yield sock_b.recv()
+            got.append(packet.payload)
+
+        sim.spawn(rx())
+        a.socket(1).send(Address("b", 4242), "colocated", 16)
+        sim.run()
+        assert got == ["colocated"]
+        assert switch.stats.pipeline_packets == 0
+
+    def test_pipeline_latency_applied(self):
+        sim, switch, topo = build(EchoProgram())
+        a = topo.add_host("a")
+        sock = a.socket(1)
+        times = []
+
+        def rx():
+            yield sock.recv()
+            times.append(sim.now)
+
+        sim.spawn(rx())
+        sock.send(Address("switch", 9000), "ping", 16)
+        sim.run()
+        # two link traversals + pipeline latency
+        assert times[0] >= 2 * 500 + switch.model.pipeline_latency_ns
+
+    def test_unknown_action_rejected(self):
+        class BadProgram(P4Program):
+            def process(self, ctx, packet):
+                return ["nonsense"]
+
+        sim, switch, topo = build(BadProgram())
+        a = topo.add_host("a")
+        a.socket(1).send(Address("switch", 9000), "x", 16)
+        with pytest.raises(SwitchError):
+            sim.run()
+
+
+class TestRecirculation:
+    def test_recirculations_counted(self):
+        program = RecircNTimes(3)
+        sim, switch, topo = build(program)
+        a = topo.add_host("a")
+        a.socket(1).send(Address("switch", 9000), "x", 16)
+        sim.run()
+        assert program.finished == 1
+        assert switch.stats.recirculations == 3
+        assert switch.stats.pipeline_packets == 4
+
+    def test_recirculation_fraction(self):
+        program = RecircNTimes(1)
+        sim, switch, topo = build(program)
+        a = topo.add_host("a")
+        sock = a.socket(1)
+        for _ in range(10):
+            sock.send(Address("switch", 9000), "x", 16)
+        sim.run()
+        assert switch.stats.recirculation_fraction() == pytest.approx(0.5)
+
+    def test_recirc_latency_delays_reentry(self):
+        program = RecircNTimes(1)
+        sim, switch, topo = build(program, recirc_latency_ns=50_000)
+        a = topo.add_host("a")
+        a.socket(1).send(Address("switch", 9000), "x", 16)
+        sim.run()
+        assert sim.now >= 50_000
+
+    def test_bounded_recirc_port_drops_under_storm(self):
+        """The Fig. 7/8 mechanism: recirculation overload loses packets."""
+        program = RecircNTimes(10_000)  # effectively endless
+        sim, switch, topo = build(
+            program, recirc_pps=1_000_000, recirc_queue_packets=4
+        )
+        a = topo.add_host("a")
+        sock = a.socket(1)
+        for _ in range(64):
+            sock.send(Address("switch", 9000), "x", 16)
+        sim.run(until=ms(5))
+        assert switch.stats.recirc_dropped > 0
+
+    def test_ample_recirc_capacity_never_drops(self):
+        program = RecircNTimes(2)
+        sim, switch, topo = build(program, recirc_pps=100_000_000)
+        a = topo.add_host("a")
+        sock = a.socket(1)
+        for _ in range(32):
+            sock.send(Address("switch", 9000), "x", 16)
+        sim.run()
+        assert switch.stats.recirc_dropped == 0
+        assert program.finished == 32
+
+
+class TestResourceChecking:
+    def test_strict_resources_validates_registers(self):
+        class HugeProgram(P4Program):
+            def __init__(self):
+                super().__init__()
+                self.registers.declare("huge", 10**8, 32, stage=0)
+
+            def process(self, ctx, packet):
+                return []
+
+        sim = Simulator()
+        from repro.errors import PipelineResourceError
+
+        with pytest.raises(PipelineResourceError):
+            ProgrammableSwitch(sim, HugeProgram(), strict_resources=True)
+
+    def test_draconis_program_fits_tofino1(self):
+        """The deployed configuration respects the hardware budget."""
+        from repro.core import DraconisProgram
+
+        sim = Simulator()
+        ProgrammableSwitch(
+            sim, DraconisProgram(queue_capacity=16_384), strict_resources=True
+        )

@@ -1,0 +1,90 @@
+"""Tests for the switch dataplane tracer."""
+
+from repro.cluster import Client, ClientConfig, SubmitEvent, TaskSpec, Worker, WorkerSpec
+from repro.core import DraconisProgram
+from repro.metrics import MetricsCollector
+from repro.net import StarTopology
+from repro.sim import Simulator, ms, us
+from repro.switchsim import ProgrammableSwitch
+from repro.switchsim.tracer import SwitchTracer
+
+
+def traced_cluster():
+    sim = Simulator()
+    program = DraconisProgram(queue_capacity=64)
+    switch = ProgrammableSwitch(sim, program)
+    tracer = SwitchTracer(switch, capacity=10_000)
+    topology = StarTopology(sim, switch)
+    collector = MetricsCollector()
+    Worker(
+        sim,
+        topology,
+        WorkerSpec(node_id=0, executors=2),
+        scheduler=switch.service_address,
+        collector=collector,
+        executor_id_base=0,
+    )
+    events = [
+        SubmitEvent(time_ns=us(i * 100), tasks=(TaskSpec(duration_ns=us(50)),))
+        for i in range(5)
+    ]
+    Client(
+        sim,
+        topology.add_host("client0"),
+        uid=0,
+        scheduler=switch.service_address,
+        workload=events,
+        collector=collector,
+        config=ClientConfig(),
+    )
+    return sim, tracer
+
+
+class TestSwitchTracer:
+    def test_ingress_events_recorded(self):
+        sim, tracer = traced_cluster()
+        sim.run(until=ms(3))
+        assert tracer.count(kind="ingress", opcode="job_submission") == 5
+
+    def test_assignments_traced_as_replies(self):
+        sim, tracer = traced_cluster()
+        sim.run(until=ms(3))
+        assert tracer.count(kind="reply", opcode="task_assignment") == 5
+
+    def test_completion_forwarding_traced(self):
+        sim, tracer = traced_cluster()
+        sim.run(until=ms(3))
+        assert tracer.count(kind="reply", opcode="completion") == 5
+
+    def test_records_are_time_ordered(self):
+        sim, tracer = traced_cluster()
+        sim.run(until=ms(3))
+        times = [r.time_ns for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_timeline_follows_one_packet(self):
+        sim, tracer = traced_cluster()
+        sim.run(until=ms(3))
+        submission = tracer.matching(kind="ingress", opcode="job_submission")[0]
+        timeline = tracer.timeline(submission.pkt_id)
+        assert timeline[0].kind == "ingress"
+
+    def test_ring_buffer_bounded(self):
+        sim, tracer = traced_cluster()
+        tracer.records = type(tracer.records)(maxlen=3)
+        sim.run(until=ms(3))
+        assert len(tracer.records) <= 3
+
+    def test_dump_renders(self):
+        sim, tracer = traced_cluster()
+        sim.run(until=ms(1))
+        text = tracer.dump(limit=5)
+        assert "ingress" in text or "reply" in text
+
+    def test_predicate_filter(self):
+        sim, tracer = traced_cluster()
+        sim.run(until=ms(3))
+        to_client = tracer.matching(
+            kind="reply", predicate=lambda r: "client0" in r.detail
+        )
+        assert to_client  # acks and completions flow back to the client

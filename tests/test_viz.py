@@ -1,0 +1,80 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.viz import bar_chart, cdf_chart, line_chart, sparkline
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart(
+            {
+                "draconis": [(0.2, 5), (0.9, 20)],
+                "r2p2": [(0.2, 5), (0.9, 500)],
+            },
+            log_y=True,
+        )
+        assert "o=draconis" in chart
+        assert "x=r2p2" in chart
+        assert "o" in chart.splitlines()[3] or any(
+            "o" in line for line in chart.splitlines()
+        )
+
+    def test_log_scale_compresses_outliers(self):
+        linear = line_chart({"s": [(0, 1), (1, 1000)]}, log_y=False, height=10)
+        logged = line_chart({"s": [(0, 1), (1, 1000)]}, log_y=True, height=10)
+        assert linear != logged
+
+    def test_empty_series(self):
+        assert line_chart({"s": []}) == "(no data)"
+
+    def test_title_included(self):
+        chart = line_chart({"s": [(0, 1)]}, title="Figure 5a")
+        assert chart.startswith("Figure 5a")
+
+    def test_single_point_does_not_crash(self):
+        assert "|" in line_chart({"s": [(1.0, 2.0)]})
+
+
+class TestCdfChart:
+    def test_renders(self):
+        chart = cdf_chart({"draconis": [(1000, 0.5), (2000, 1.0)]})
+        assert "log10" in chart
+
+    def test_zero_values_skipped_in_log_mode(self):
+        chart = cdf_chart({"s": [(0, 0.1), (100, 1.0)]})
+        assert "(no data)" not in chart
+
+
+class TestBarChart:
+    def test_bars_proportional(self):
+        chart = bar_chart({"a": 10, "b": 100}, width=20)
+        a_line = next(l for l in chart.splitlines() if l.startswith("a"))
+        b_line = next(l for l in chart.splitlines() if l.startswith("b"))
+        assert a_line.count("#") < b_line.count("#")
+
+    def test_values_printed(self):
+        chart = bar_chart({"draconis": 58e6}, unit=" tps")
+        assert "5.8e+07 tps" in chart
+
+    def test_log_mode_notes_scaling(self):
+        assert "log-scaled" in bar_chart({"a": 1, "b": 1e6}, log=True)
+
+    def test_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_flat_line(self):
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_fixed_bounds(self):
+        clipped = sparkline([5], lo=0, hi=10)
+        assert len(clipped) == 1

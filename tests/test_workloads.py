@@ -1,0 +1,237 @@
+"""Tests for the workload generators (§8 "Workloads")."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.task import FN_NOOP
+from repro.core.policies import decode_locality_tprops
+from repro.errors import ConfigurationError
+from repro.sim.core import ms, us
+from repro.workloads import (
+    GoogleTraceConfig,
+    bimodal,
+    exponential,
+    fixed,
+    google_like,
+    locality_workload,
+    noop_fountain,
+    open_loop,
+    rate_for_utilization,
+    resource_phases_workload,
+    trimodal,
+)
+from repro.workloads.google_like import GOOGLE_PRIORITY_MIX, map_google_priority
+from repro.workloads.resources import RESOURCE_A, RESOURCE_B, RESOURCE_C
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestDurationSamplers:
+    def test_fixed(self):
+        sampler = fixed(250)
+        assert sampler(RNG()) == us(250)
+        assert sampler.mean_ns == us(250)
+
+    def test_bimodal_values_and_mean(self):
+        sampler = bimodal()
+        rng = RNG()
+        draws = {sampler(rng) for _ in range(200)}
+        assert draws == {us(100), us(500)}
+        assert sampler.mean_ns == pytest.approx(us(300))
+
+    def test_trimodal_values(self):
+        sampler = trimodal()
+        rng = RNG()
+        draws = {sampler(rng) for _ in range(400)}
+        assert draws == {us(100), us(250), us(500)}
+
+    def test_exponential_mean(self):
+        sampler = exponential(250)
+        rng = RNG()
+        mean = np.mean([sampler(rng) for _ in range(20_000)])
+        assert mean == pytest.approx(us(250), rel=0.05)
+
+    def test_exponential_never_zero(self):
+        sampler = exponential(0.001)
+        rng = RNG()
+        assert all(sampler(rng) >= 1 for _ in range(100))
+
+
+class TestRateForUtilization:
+    def test_identity(self):
+        # 160 executors, 500us tasks, util 1.0 -> 320k tps
+        assert rate_for_utilization(1.0, 160, us(500)) == pytest.approx(320_000)
+
+    def test_scales_linearly(self):
+        half = rate_for_utilization(0.5, 160, us(500))
+        full = rate_for_utilization(1.0, 160, us(500))
+        assert full == pytest.approx(2 * half)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rate_for_utilization(0, 160, us(500))
+        with pytest.raises(ConfigurationError):
+            rate_for_utilization(0.5, 0, us(500))
+
+
+class TestOpenLoop:
+    def test_rate_is_respected(self):
+        events = list(
+            open_loop(RNG(), rate_tps=100_000, duration_sampler=fixed(100),
+                      horizon_ns=ms(50))
+        )
+        count = sum(e.count for e in events)
+        assert count == pytest.approx(5_000, rel=0.1)
+
+    def test_events_are_time_ordered_within_horizon(self):
+        events = list(
+            open_loop(RNG(), 50_000, fixed(100), horizon_ns=ms(20))
+        )
+        times = [e.time_ns for e in events]
+        assert times == sorted(times)
+        assert all(0 <= t < ms(20) for t in times)
+
+    def test_tasks_per_job(self):
+        events = list(
+            open_loop(RNG(), 100_000, fixed(100), ms(10), tasks_per_job=4)
+        )
+        assert all(e.count == 4 for e in events)
+        total = sum(e.count for e in events)
+        assert total == pytest.approx(1_000, rel=0.25)
+
+    def test_tprops_tagging(self):
+        events = list(
+            open_loop(
+                RNG(), 50_000, fixed(100), ms(10),
+                tprops_for=lambda rng, dur: 7,
+            )
+        )
+        assert all(t.tprops == 7 for e in events for t in e.tasks)
+
+    def test_determinism_per_seed(self):
+        a = [e.time_ns for e in open_loop(RNG(5), 50_000, fixed(100), ms(10))]
+        b = [e.time_ns for e in open_loop(RNG(5), 50_000, fixed(100), ms(10))]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(open_loop(RNG(), 0, fixed(100), ms(1)))
+        with pytest.raises(ConfigurationError):
+            list(open_loop(RNG(), 1000, fixed(100), ms(1), tasks_per_job=0))
+
+
+class TestNoopFountain:
+    def test_tasks_are_noops(self):
+        events = list(noop_fountain(ms(1), batch=4, interval_ns=us(100)))
+        assert all(t.fn_id == FN_NOOP for e in events for t in e.tasks)
+        assert all(t.duration_ns == 0 for e in events for t in e.tasks)
+
+    def test_deterministic_cadence(self):
+        events = list(noop_fountain(us(10), batch=2, interval_ns=us(2)))
+        assert [e.time_ns for e in events] == [0, 2000, 4000, 6000, 8000]
+
+
+class TestGoogleLike:
+    def _config(self, **kw):
+        defaults = dict(
+            mean_duration_ns=us(500),
+            target_rate_tps=100_000,
+            horizon_ns=ms(200),
+        )
+        defaults.update(kw)
+        return GoogleTraceConfig(**defaults)
+
+    def test_rate_approximately_matches_target(self):
+        events = list(google_like(RNG(), self._config()))
+        total = sum(e.count for e in events)
+        assert total == pytest.approx(20_000, rel=0.35)
+
+    def test_duration_mean(self):
+        events = list(google_like(RNG(), self._config()))
+        durations = [t.duration_ns for e in events for t in e.tasks]
+        assert np.mean(durations) == pytest.approx(us(500), rel=0.15)
+
+    def test_bursts_exist(self):
+        config = self._config(big_job_prob=0.01)
+        events = list(google_like(RNG(), config))
+        assert max(e.count for e in events) >= config.big_job_min
+
+    def test_most_jobs_small(self):
+        events = list(google_like(RNG(), self._config()))
+        sizes = sorted(e.count for e in events)
+        assert sizes[len(sizes) // 2] <= 2  # median job is tiny
+
+    def test_priority_mix_matches_paper(self):
+        config = self._config(with_priorities=True, horizon_ns=ms(800))
+        events = list(google_like(RNG(), config))
+        levels = [t.priority for e in events for t in e.tasks]
+        fractions = [levels.count(lvl) / len(levels) for lvl in (1, 2, 3, 4)]
+        paper = [0.012, 0.017, 0.646, 0.322]
+        for ours, theirs in zip(fractions, paper):
+            assert ours == pytest.approx(theirs, abs=0.05)
+
+    def test_priority_mapping_three_to_one(self):
+        assert map_google_priority(0) == 1
+        assert map_google_priority(2) == 1
+        assert map_google_priority(3) == 2
+        assert map_google_priority(11) == 4
+        with pytest.raises(ConfigurationError):
+            map_google_priority(12)
+
+    def test_mix_sums_to_one(self):
+        assert sum(GOOGLE_PRIORITY_MIX) == pytest.approx(1.0, abs=0.01)
+
+    def test_requires_horizon(self):
+        with pytest.raises(ConfigurationError):
+            list(google_like(RNG(), GoogleTraceConfig(horizon_ns=0)))
+
+
+class TestLocalityWorkload:
+    def test_every_task_tagged_with_one_node(self):
+        events = list(
+            locality_workload(RNG(), node_ids=[0, 1, 2], rate_tps=50_000,
+                              horizon_ns=ms(20))
+        )
+        for event in events:
+            nodes = decode_locality_tprops(event.tasks[0].tprops)
+            assert len(nodes) == 1
+            assert nodes[0] in (0, 1, 2)
+
+    def test_data_spread_roughly_even(self):
+        events = list(
+            locality_workload(RNG(), node_ids=[0, 1, 2], rate_tps=100_000,
+                              horizon_ns=ms(50))
+        )
+        counts = {0: 0, 1: 0, 2: 0}
+        for event in events:
+            counts[decode_locality_tprops(event.tasks[0].tprops)[0]] += 1
+        assert min(counts.values()) > 0.7 * max(counts.values())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            list(locality_workload(RNG(), [], 1000, ms(1)))
+
+
+class TestResourcePhases:
+    def test_phases_change_required_resource(self):
+        phase = ms(10)
+        events = list(
+            resource_phases_workload(
+                RNG(), rate_tps=100_000, phase_ns=phase, duration_ns=us(100)
+            )
+        )
+        for event in events:
+            expected = (RESOURCE_A, RESOURCE_B, RESOURCE_C)[
+                min(int(event.time_ns // phase), 2)
+            ]
+            assert event.tasks[0].tprops == expected
+
+    def test_covers_all_three_phases(self):
+        events = list(
+            resource_phases_workload(
+                RNG(), rate_tps=50_000, phase_ns=ms(5), duration_ns=us(100)
+            )
+        )
+        seen = {e.tasks[0].tprops for e in events}
+        assert seen == {RESOURCE_A, RESOURCE_B, RESOURCE_C}

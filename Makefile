@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench experiments smoke examples clean
+.PHONY: install test bench experiments smoke chaos examples clean
 
 install:
 	$(PY) setup.py develop
@@ -18,6 +18,9 @@ experiments:
 
 smoke:
 	$(PY) -m repro.experiments.run_all --scale smoke
+
+chaos:
+	$(PY) -m repro.experiments.fault_tolerance --seeds 5
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PY) $$f || exit 1; done

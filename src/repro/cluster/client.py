@@ -67,6 +67,9 @@ class ClientStats:
     tasks_completed: int = 0
     bounces: int = 0
     timeouts: int = 0
+    #: completion notices for tasks already completed (resubmission races
+    #: or duplicated packets); suppressed, first completion wins
+    duplicate_completions: int = 0
 
 
 class Client:
@@ -182,6 +185,8 @@ class Client:
         self.collector.on_complete(key, self.sim.now)
         if self._outstanding.pop(key, None) is not None:
             self.stats.tasks_completed += 1
+        else:
+            self.stats.duplicate_completions += 1
 
     def _retry_bounced(self, error: ErrorPacket):
         """Re-send tasks rejected by a full queue, after a short wait."""
@@ -204,24 +209,57 @@ class Client:
 
     # -- timeouts (§8.3) -------------------------------------------------------
 
+    def _deadline_ns(self, key: TaskKey, spec: TaskSpec) -> int:
+        """Resubmit deadline for one task, honouring the retry backoff."""
+        factor = self.config.timeout_factor or 1.0
+        backoff = self.config.timeout_backoff ** self._retries.get(key, 0)
+        return int(
+            max(spec.duration_ns * factor, self.config.timeout_floor_ns)
+            * backoff
+        )
+
+    def _presumed_running(self, key: TaskKey, spec: TaskSpec) -> bool:
+        """Whether this task is plausibly still executing somewhere.
+
+        ``started_at`` alone is not enough: an executor that crashed
+        mid-task leaves the record started-but-never-finished forever, and
+        trusting it would mean never resubmitting — the task is lost. A
+        start only defers resubmission while the execution is younger than
+        the task's own timeout window; past that, the executor is presumed
+        dead (or the completion lost) and the client resubmits.
+        """
+        record = self.collector.records.get(key)
+        if record is None or record.started_at < 0:
+            return False
+        if record.finished_at >= 0:
+            # Finished but the completion never arrived: resubmit.
+            return False
+        return self.sim.now - record.started_at <= self._deadline_ns(key, spec)
+
     def _timeout_loop(self):
         while True:
-            if not self._timeout_heap:
+            # Lazily discard heap entries for tasks that already
+            # completed — otherwise the heap grows by one entry per armed
+            # timeout for the lifetime of the run and the loop sleeps on
+            # deadlines of long-dead entries.
+            heap = self._timeout_heap
+            while heap and heap[0][1] not in self._outstanding:
+                heapq.heappop(heap)
+            if not heap:
                 self._timeout_waker = self.sim.event()
                 yield self._timeout_waker
                 continue
-            deadline, key = self._timeout_heap[0]
+            deadline, key = heap[0]
             if deadline > self.sim.now:
                 yield self.sim.timeout(deadline - self.sim.now)
                 continue
-            heapq.heappop(self._timeout_heap)
+            heapq.heappop(heap)
             spec = self._outstanding.get(key)
             if spec is None:
                 continue  # completed in time
-            record = self.collector.records.get(key)
-            if record is not None and record.started_at >= 0:
-                # Already running somewhere; resubmitting would only
-                # duplicate work. Re-arm and wait.
+            if self._presumed_running(key, spec):
+                # Running somewhere; resubmitting would only duplicate
+                # work. Re-arm and wait.
                 self._arm_timeout(key, spec)
                 continue
             retries = self._retries.get(key, 0)

@@ -30,7 +30,7 @@ from repro.protocol.messages import (
     TaskAssignment,
     TaskRequest,
 )
-from repro.sim.core import Simulator, us
+from repro.sim.core import Interrupted, Simulator, us
 
 EXECUTOR_PORT_BASE = 7000
 
@@ -133,6 +133,10 @@ class Executor:
         self.socket: Socket = host.socket(port)
         self._rng = rng or np.random.default_rng(executor_id)
         self._stopped = False
+        self._crashed = False
+        #: execution-time multiplier (fault injection: >1 models a
+        #: thermally-throttled or contended node)
+        self.speed_factor: float = 1.0
         self.process = sim.spawn(self._run(), name=f"executor-{executor_id}")
 
     # -- helpers -----------------------------------------------------------
@@ -162,7 +166,47 @@ class Executor:
         return max(1, int(base * scale))
 
     def stop(self) -> None:
+        """Graceful stop: finish the current pull/task, then exit. Idempotent."""
         self._stopped = True
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Fail-stop this executor immediately. Idempotent.
+
+        The in-flight task (if any) is abandoned mid-execution and packets
+        queued on the receive ring are lost — the paper's §3.3 model, in
+        which a dead executor simply stops pulling and the switch never
+        hears from it again.
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self._stopped = True
+        self.socket.drain()
+        self.process.interrupt("executor crash")
+
+    def restart(self) -> None:
+        """Boot a fresh pulling loop after a crash (or completed stop).
+
+        Idempotent: a live executor is left alone. Stale packets addressed
+        to the dead incarnation are drained, not replayed.
+        """
+        if not self._crashed and not self.process.triggered:
+            return
+        self._crashed = False
+        self._stopped = False
+        self.socket.drain()
+        self.process = self.sim.spawn(
+            self._run(), name=f"executor-{self.executor_id}"
+        )
+
+    def _exec_ns(self, duration: int) -> int:
+        if self.speed_factor == 1.0:
+            return duration
+        return max(0, int(duration * self.speed_factor))
 
     def _recv_or_timeout(self):
         """Wait for a response; None when the response timeout expires."""
@@ -179,6 +223,12 @@ class Executor:
     # -- main loop ----------------------------------------------------------
 
     def _run(self):
+        try:
+            yield from self._pull_loop()
+        except Interrupted:
+            return  # fail-stop crash: abandon everything mid-flight
+
+    def _pull_loop(self):
         # Stagger start-up so idle polls do not arrive in lockstep.
         yield self.sim.timeout(int(self._rng.uniform(0, self.config.poll_interval_ns)))
         self._send(self._request())
@@ -260,7 +310,7 @@ class Executor:
                     largeparams.ParamBlob,
                 )
             if duration > 0:
-                yield self.sim.timeout(duration)
+                yield self.sim.timeout(self._exec_ns(duration))
             return
         if task.fn_id == largeparams.FN_STORED_INPUT:
             # Storage pointer (§4.4): read the input object from the
@@ -280,7 +330,7 @@ class Executor:
                     largeparams.StorageBlob,
                 )
             if duration > 0:
-                yield self.sim.timeout(duration)
+                yield self.sim.timeout(self._exec_ns(duration))
             return
 
         if task.fn_id == FN_NOOP:
@@ -296,7 +346,7 @@ class Executor:
                 locality.placement(task.tprops, self.node_id, self.rack_id),
             )
         if duration > 0:
-            yield self.sim.timeout(duration)
+            yield self.sim.timeout(self._exec_ns(duration))
 
     def _fetch(self, dst: Address, request, request_size: int, blob_type):
         """One request/response exchange on this executor's socket."""

@@ -80,8 +80,35 @@ class Worker:
         ]
 
     def stop(self) -> None:
+        """Gracefully stop every executor. Idempotent."""
         for executor in self.executors:
             executor.stop()
+
+    @property
+    def crashed(self) -> bool:
+        return all(e.crashed for e in self.executors)
+
+    def crash(self) -> None:
+        """Fail-stop the whole node (§3.3: dead executors stop pulling).
+
+        Idempotent; in-flight tasks are abandoned and the NIC receive
+        rings are flushed. Recovery is client-driven (timeout resubmit) —
+        the switch holds no liveness state about this node.
+        """
+        for executor in self.executors:
+            executor.crash()
+
+    def restart(self) -> None:
+        """Bring a crashed node back; executors resume pulling. Idempotent."""
+        for executor in self.executors:
+            executor.restart()
+
+    def set_speed_factor(self, factor: float) -> None:
+        """Scale task execution time on every executor (slowdown fault)."""
+        if factor <= 0:
+            raise ValueError(f"speed factor must be positive: {factor}")
+        for executor in self.executors:
+            executor.speed_factor = factor
 
     def tasks_executed(self) -> int:
         return sum(e.stats.tasks_executed for e in self.executors)

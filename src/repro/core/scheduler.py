@@ -22,8 +22,9 @@ register file raises if any path regresses.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple
+from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.errors import SwitchError
 from repro.net.packet import Address, Packet
@@ -52,6 +53,7 @@ from repro.switchsim.pipeline import (
 from repro.switchsim.registers import PacketContext
 
 DEFAULT_QUEUE_CAPACITY = 4096
+DEFAULT_PULL_TTL_NS = 200_000  # parked GetTask pulls expire after 200 us
 
 
 @dataclass
@@ -66,6 +68,30 @@ class SchedulerStats:
     swap_walks_started: int = 0
     swap_reinserts: int = 0
     priority_ladder_recircs: int = 0
+    pulls_parked: int = 0
+    pulls_expired: int = 0
+    parked_wakeups: int = 0
+
+
+@dataclass(frozen=True)
+class ParkedPull:
+    """A GetTask pull held at the switch while every queue is empty.
+
+    Instead of answering an empty-queue task_request with a no-op (and
+    eating a full poll backoff on the executor), the switch can *park*
+    the pull and replay it — via one recirculation — as soon as the next
+    submission lands. ``parked_at`` drives expiry: a crashed executor
+    leaves its parked pulls behind, and without garbage collection the
+    next submitted task would be assigned to a dead node and sit in its
+    NIC ring until the client times out. Entries older than the TTL are
+    lazily discarded whenever the deque is touched (the control plane
+    owns the SRAM ring holding these entries, so the sweep does not count
+    against the one-access-per-register-array budget).
+    """
+
+    requester: Address
+    request: TaskRequest
+    parked_at: int
 
 
 class DraconisProgram(P4Program):
@@ -79,6 +105,9 @@ class DraconisProgram(P4Program):
         record_queue_delays: bool = False,
         retrieve_mode: str = "conditional",
         queues_in_stages: bool = False,
+        park_pulls: bool = False,
+        pull_queue_capacity: int = 256,
+        pull_ttl_ns: int = DEFAULT_PULL_TTL_NS,
     ) -> None:
         """``retrieve_mode``: "conditional" (repair-free retrieval, the
         default deployment) or "delayed" (the paper's §4.5 delayed
@@ -93,6 +122,13 @@ class DraconisProgram(P4Program):
         under the register model because each level's arrays are
         distinct. The paper's first-generation switch shares stages and
         must recirculate; that remains the default.
+
+        ``park_pulls``: hold empty-queue task_requests in a bounded
+        switch-side ring (see :class:`ParkedPull`) and replay one per
+        accepted submission instead of replying no-op. ``pull_ttl_ns``
+        bounds how long a parked pull may represent a possibly-dead
+        executor; expired entries are garbage-collected lazily. Off by
+        default (the paper's no-op/poll behaviour).
         """
         super().__init__()
         self.service_port = service_port
@@ -115,6 +151,17 @@ class DraconisProgram(P4Program):
             )
             for i in range(self.policy.num_queues)
         ]
+        self.park_pulls = park_pulls
+        if pull_queue_capacity <= 0:
+            raise SwitchError(
+                f"pull queue capacity must be positive: {pull_queue_capacity}"
+            )
+        if pull_ttl_ns <= 0:
+            raise SwitchError(f"pull TTL must be positive: {pull_ttl_ns}")
+        self.pull_queue_capacity = pull_queue_capacity
+        self.pull_ttl_ns = pull_ttl_ns
+        #: FIFO of parked GetTask pulls, oldest first (front expires first)
+        self._parked_pulls: Deque[ParkedPull] = deque()
         self.sched_stats = SchedulerStats()
         self.record_queue_delays = record_queue_delays
         #: (queue_index, queue_delay_ns) samples, see Fig. 12
@@ -145,6 +192,61 @@ class DraconisProgram(P4Program):
             size=codec.wire_size(message) + 42,
         )
         return Recirculate(packet)
+
+    # -- parked pulls (§3.3 hardening) -------------------------------------
+
+    def _gc_parked(self) -> None:
+        """Lazily expire parked pulls whose executor may be dead.
+
+        The deque is FIFO, so the front is always the oldest entry; the
+        sweep stops at the first live one.
+        """
+        now = self._now()
+        while self._parked_pulls and (
+            now - self._parked_pulls[0].parked_at > self.pull_ttl_ns
+        ):
+            self._parked_pulls.popleft()
+            self.sched_stats.pulls_expired += 1
+
+    def _try_park(self, requester: Address, request: TaskRequest) -> bool:
+        """Park an empty-queue pull instead of answering no-op."""
+        if not self.park_pulls:
+            return False
+        self._gc_parked()
+        if len(self._parked_pulls) >= self.pull_queue_capacity:
+            return False
+        self._parked_pulls.append(
+            ParkedPull(
+                requester=requester, request=request, parked_at=self._now()
+            )
+        )
+        self.sched_stats.pulls_parked += 1
+        return True
+
+    def _wake_parked(self, original: Packet) -> Optional[Recirculate]:
+        """Replay one live parked pull as a recirculated task_request.
+
+        Called after a submission lands a task. The replayed request goes
+        through the ordinary :meth:`_on_request` path in its own traversal
+        — re-reading the queue registers within this one would violate the
+        one-access constraint. If the recirculation port drops the wake
+        (budget exhaustion) the pull is lost, which is safe: the executor
+        re-polls after its response timeout.
+        """
+        if not self.park_pulls:
+            return None
+        self._gc_parked()
+        if not self._parked_pulls:
+            return None
+        pull = self._parked_pulls.popleft()
+        self.sched_stats.parked_wakeups += 1
+        wake = Packet(
+            src=pull.requester,
+            dst=original.dst,
+            payload=pull.request,
+            size=codec.wire_size(pull.request) + 42,
+        )
+        return Recirculate(wake)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -203,6 +305,9 @@ class DraconisProgram(P4Program):
             return actions
 
         self.sched_stats.tasks_enqueued += 1
+        wake = self._wake_parked(packet)
+        if wake is not None:
+            actions.append(wake)
         if outcome.need_rtr_repair:
             # The retrieve pointer overran while the queue was empty; aim
             # it at the task we just stored (§4.5).
@@ -250,6 +355,11 @@ class DraconisProgram(P4Program):
                 return [self._reply(requester, NoOpTask())]
             next_queue = self.policy.next_queue_on_empty(queue_index)
             if next_queue is None:
+                # Bottom of the ladder, nothing queued anywhere: park the
+                # pull (if enabled) so the next submission assigns without
+                # waiting out an executor poll interval.
+                if self._try_park(requester, request):
+                    return []
                 self.sched_stats.noops_sent += 1
                 return [self._reply(requester, NoOpTask())]
             if self.queues_in_stages:
@@ -459,6 +569,9 @@ class DraconisProgram(P4Program):
 
     def total_queued(self) -> int:
         return sum(q.occupancy() for q in self.queues)
+
+    def parked_pull_count(self) -> int:
+        return len(self._parked_pulls)
 
     def check_invariants(self) -> None:
         for queue in self.queues:

@@ -29,11 +29,16 @@ from repro.cluster.executor import ExecutorConfig, LocalityCostModel
 from repro.cluster.task import SubmitEvent
 from repro.cluster.worker import Worker, WorkerSpec
 from repro.core.policies import Policy
-from repro.core.scheduler import DraconisProgram
+from repro.core.scheduler import DEFAULT_PULL_TTL_NS, DraconisProgram
 from repro.errors import ConfigurationError
 from repro.experiments import calibration
 from repro.metrics.collector import MetricsCollector
-from repro.metrics.summary import LatencySummary, summarize_ns
+from repro.metrics.summary import (
+    LatencySummary,
+    NetworkFaultSummary,
+    summarize_links,
+    summarize_ns,
+)
 from repro.net.packet import Address
 from repro.net.topology import BaseSwitch, StarTopology
 from repro.sim.core import Simulator, ms
@@ -65,6 +70,8 @@ class ClusterConfig:
     record_queue_delays: bool = False
     retrieve_mode: str = "conditional"  # or "delayed" (§4.5 ablation)
     queues_in_stages: bool = False  # Tofino 2 layout, no ladder recirc (§8.7)
+    park_pulls: bool = False  # park empty-queue pulls instead of no-op reply
+    pull_ttl_ns: int = DEFAULT_PULL_TTL_NS  # parked-pull expiry (crash GC)
     # R2P2
     jbsq_k: int = 3
     # RackSched intra-node policy: cFCFS (default, light-tailed) or
@@ -151,6 +158,7 @@ class RunResult:
     queue_delays: List[Tuple[int, int]] = field(default_factory=list)
     placements: Dict[str, float] = field(default_factory=dict)
     delays_by_priority: Dict[int, List[int]] = field(default_factory=dict)
+    network: Optional[NetworkFaultSummary] = None
 
     @property
     def drop_fraction(self) -> float:
@@ -194,6 +202,8 @@ def build_cluster(
             record_queue_delays=config.record_queue_delays,
             retrieve_mode=config.retrieve_mode,
             queues_in_stages=config.queues_in_stages,
+            park_pulls=config.park_pulls,
+            pull_ttl_ns=config.pull_ttl_ns,
         )
         switch = ProgrammableSwitch(
             sim,
@@ -463,4 +473,5 @@ def run_workload(
         ),
         placements=collector.placement_fractions(),
         delays_by_priority=collector.delays_by_priority(since=warmup_ns),
+        network=summarize_links(handles.topology.links()),
     )

@@ -15,6 +15,7 @@ import time
 
 from repro.experiments import (
     ablation_retrieve,
+    fault_tolerance,
     fig5a_latency,
     fig5b_throughput,
     fig6_synthetic,
@@ -45,6 +46,7 @@ SCALES = {
                    workers=4, executors_per_worker=8),
         fig13=dict(duration_ns=ms(10)),
         ablation=dict(loads=(0.5,), duration_ns=ms(20)),
+        chaos=dict(seeds=(0, 1), duration_ns=ms(12), drain_ns=ms(20)),
     ),
     "report": dict(
         fig5a=dict(loads=(0.2, 0.4, 0.6, 0.8, 0.9), duration_ns=ms(60)),
@@ -59,6 +61,7 @@ SCALES = {
                    workers=4, executors_per_worker=8),
         fig13=dict(duration_ns=ms(30)),
         ablation=dict(duration_ns=ms(50)),
+        chaos=dict(seeds=(0, 1, 2, 3, 4), duration_ns=ms(40), drain_ns=ms(40)),
     ),
 }
 
@@ -120,6 +123,9 @@ def main() -> None:
 
     section("Ablation — retrieve-pointer handling")
     ablation_retrieve.print_table(ablation_retrieve.run(**knobs["ablation"]))
+
+    section("§3.3 — fault tolerance (chaos sweep)")
+    fault_tolerance.print_table(fault_tolerance.run(**knobs["chaos"]))
 
     print(f"\nTOTAL {time.time() - start:.0f}s", flush=True)
 

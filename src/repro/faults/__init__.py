@@ -1,0 +1,54 @@
+"""Declarative fault injection (paper §3.3 made systematic).
+
+The paper argues the pull model makes failure handling nearly free: dead
+executors just stop pulling, switch failure is repaired entirely by
+client resubmission, and lost packets surface as client timeouts. This
+package turns that claim into a testable subsystem:
+
+* :mod:`repro.faults.events` — typed fault events (link loss/partition/
+  duplication/reordering, worker crash/restart/slowdown, switch failover
+  and recirculation exhaustion);
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, an ordered validated
+  schedule, plus seed-reproducible randomized chaos plans;
+* :mod:`repro.faults.links` — the per-link hook (:class:`LinkChaos` +
+  :class:`Degradation`) behind :attr:`repro.net.link.Link.fault_hook`;
+* :mod:`repro.faults.injector` — :class:`FaultInjector`, which binds a
+  plan to a live cluster and fires it on the simulator clock.
+
+The ``repro.experiments.fault_tolerance`` chaos experiment and the
+conservation property tests are the primary consumers.
+"""
+
+from repro.faults.events import (
+    FaultEvent,
+    LinkFault,
+    Partition,
+    RecircExhaustion,
+    SwitchFailover,
+    WorkerCrash,
+    WorkerSlowdown,
+    event_end,
+    event_start,
+)
+from repro.faults.links import Degradation, LinkChaos, chaos_for
+from repro.faults.plan import PLAN_KINDS, FaultPlan
+from repro.faults.injector import FaultInjector, FaultInjectorStats
+
+__all__ = [
+    "Degradation",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultInjectorStats",
+    "FaultPlan",
+    "LinkChaos",
+    "LinkFault",
+    "PLAN_KINDS",
+    "Partition",
+    "RecircExhaustion",
+    "SwitchFailover",
+    "WorkerCrash",
+    "WorkerSlowdown",
+    "chaos_for",
+    "event_end",
+    "event_start",
+]

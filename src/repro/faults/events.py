@@ -1,0 +1,166 @@
+"""Typed fault events scheduled on the simulator clock.
+
+Every event is a frozen dataclass naming *what* breaks and *when*; the
+:class:`~repro.faults.injector.FaultInjector` translates events into
+concrete hook manipulations (link degradations, worker crashes, switch
+program swaps). Times are absolute simulation nanoseconds; windowed
+faults carry ``start_ns``/``end_ns``, point faults only ``at_ns``.
+
+The catalogue maps directly onto the failure regimes of paper §3.3:
+
+* link faults and partitions — lossy or severed cables, recovered by
+  client resubmission and executor re-polling;
+* worker faults — fail-stop crash (optionally followed by a restart) and
+  slowdown; dead executors simply stop pulling;
+* switch faults — failover to a standby program with empty registers,
+  and recirculation-budget exhaustion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Degrade the cables of ``nodes`` (or every cable) for a window.
+
+    ``loss_prob`` drops packets, ``duplicate_prob`` re-delivers copies,
+    ``reorder_prob`` delays individual packets by a uniform jitter of up
+    to ``reorder_jitter_ns`` so later packets overtake them.
+    """
+
+    start_ns: int
+    end_ns: int
+    nodes: Optional[Tuple[str, ...]] = None  # host names; None = all links
+    loss_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_jitter_ns: int = 5_000
+
+    def validate(self) -> None:
+        _check_window(self, self.start_ns, self.end_ns)
+        for name in ("loss_prob", "duplicate_prob", "reorder_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]: {p}")
+        if self.reorder_jitter_ns < 0:
+            raise ConfigurationError(
+                f"reorder_jitter_ns must be >= 0: {self.reorder_jitter_ns}"
+            )
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Sever ``nodes`` from the switch in both directions for a window."""
+
+    start_ns: int
+    end_ns: int
+    nodes: Tuple[str, ...] = ()
+
+    def validate(self) -> None:
+        _check_window(self, self.start_ns, self.end_ns)
+        if not self.nodes:
+            raise ConfigurationError("partition needs at least one node")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Fail-stop worker ``node_id``; optionally restart it later."""
+
+    at_ns: int
+    node_id: int
+    restart_after_ns: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.at_ns < 0:
+            raise ConfigurationError(f"at_ns must be >= 0: {self.at_ns}")
+        if self.restart_after_ns is not None and self.restart_after_ns <= 0:
+            raise ConfigurationError(
+                f"restart_after_ns must be positive: {self.restart_after_ns}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerSlowdown:
+    """Multiply execution time on worker ``node_id`` for a window."""
+
+    start_ns: int
+    end_ns: int
+    node_id: int = 0
+    factor: float = 4.0
+
+    def validate(self) -> None:
+        _check_window(self, self.start_ns, self.end_ns)
+        if self.factor <= 0:
+            raise ConfigurationError(f"factor must be positive: {self.factor}")
+
+
+@dataclass(frozen=True)
+class SwitchFailover:
+    """Replace the scheduler program with a fresh standby (empty state)."""
+
+    at_ns: int
+
+    def validate(self) -> None:
+        if self.at_ns < 0:
+            raise ConfigurationError(f"at_ns must be >= 0: {self.at_ns}")
+
+
+@dataclass(frozen=True)
+class RecircExhaustion:
+    """Shrink the recirculation queue for a window (0 = drop them all)."""
+
+    start_ns: int
+    end_ns: int
+    queue_packets: int = 0
+
+    def validate(self) -> None:
+        _check_window(self, self.start_ns, self.end_ns)
+        if self.queue_packets < 0:
+            raise ConfigurationError(
+                f"queue_packets must be >= 0: {self.queue_packets}"
+            )
+
+
+FaultEvent = (
+    LinkFault,
+    Partition,
+    WorkerCrash,
+    WorkerSlowdown,
+    SwitchFailover,
+    RecircExhaustion,
+)
+"""Tuple of every event type, for isinstance checks and validation."""
+
+
+def _check_window(event, start_ns: int, end_ns: int) -> None:
+    if start_ns < 0:
+        raise ConfigurationError(f"{type(event).__name__}: start_ns < 0")
+    if end_ns <= start_ns:
+        raise ConfigurationError(
+            f"{type(event).__name__}: window [{start_ns}, {end_ns}) is empty"
+        )
+
+
+def event_start(event) -> int:
+    """Uniform accessor for ordering events on the clock."""
+    if hasattr(event, "at_ns"):
+        return event.at_ns
+    return event.start_ns
+
+
+def event_end(event) -> int:
+    """When the fault stops acting (recovery measurement starts here).
+
+    Point faults end when they fire — except a crash with a scheduled
+    restart, whose effect persists until the worker is back.
+    """
+    if isinstance(event, WorkerCrash):
+        return event.at_ns + (event.restart_after_ns or 0)
+    if hasattr(event, "end_ns"):
+        return event.end_ns
+    return event.at_ns

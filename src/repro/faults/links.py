@@ -1,0 +1,101 @@
+"""Per-link fault hook: windowed degradations applied to a live wire.
+
+:class:`LinkChaos` implements the :class:`repro.net.link.LinkFaultHook`
+contract. It holds a set of active :class:`Degradation`\\ s — each the
+live counterpart of one plan window — and rolls the dice per packet.
+Attach one per link; the injector adds/removes degradations as fault
+windows open and close, so the link itself never needs subclassing
+(the old test-local ``LossyLink`` hack this module replaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.net.link import Link, LinkFaultHook, SendDecision
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+
+@dataclass
+class Degradation:
+    """One active way a link is currently misbehaving.
+
+    ``match`` optionally restricts the degradation to packets satisfying
+    a predicate (e.g. only task assignments), which is how the targeted
+    loss tests select traffic without wrapping ``Link.send``.
+    """
+
+    loss_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_jitter_ns: int = 5_000
+    match: Optional[Callable[[Packet], bool]] = None
+    #: packets this degradation dropped (per-window accounting)
+    drops: int = field(default=0, init=False)
+
+    def applies_to(self, packet: Packet) -> bool:
+        return self.match is None or bool(self.match(packet))
+
+
+class LinkChaos(LinkFaultHook):
+    """Aggregates active degradations for one link."""
+
+    def __init__(self, sim: Simulator, rng: Optional[np.random.Generator] = None):
+        self.sim = sim
+        self.rng = rng or np.random.default_rng(0)
+        self._active: List[Degradation] = []
+
+    def add(self, degradation: Degradation) -> Degradation:
+        self._active.append(degradation)
+        return degradation
+
+    def remove(self, degradation: Degradation) -> None:
+        if degradation in self._active:
+            self._active.remove(degradation)
+
+    @property
+    def active(self) -> List[Degradation]:
+        return list(self._active)
+
+    def on_send(self, link: Link, packet: Packet) -> Optional[SendDecision]:
+        if not self._active:
+            return None
+        decision: Optional[SendDecision] = None
+        for deg in self._active:
+            if not deg.applies_to(packet):
+                continue
+            if deg.loss_prob > 0 and self.rng.random() < deg.loss_prob:
+                deg.drops += 1
+                return SendDecision(drop=True)
+            if decision is None:
+                decision = SendDecision()
+            if deg.duplicate_prob > 0 and self.rng.random() < deg.duplicate_prob:
+                decision.duplicate = True
+            if deg.reorder_prob > 0 and self.rng.random() < deg.reorder_prob:
+                decision.extra_delay_ns = max(
+                    decision.extra_delay_ns,
+                    int(self.rng.integers(1, max(2, deg.reorder_jitter_ns))),
+                )
+        if decision is not None and (
+            decision.duplicate or decision.extra_delay_ns > 0
+        ):
+            return decision
+        return None
+
+
+def chaos_for(link: Link, sim: Simulator, rng=None) -> LinkChaos:
+    """Return the link's LinkChaos hook, installing one if absent."""
+    hook = link.fault_hook
+    if isinstance(hook, LinkChaos):
+        return hook
+    if hook is not None:
+        raise TypeError(
+            f"link {link.name} already has a non-LinkChaos fault hook: {hook!r}"
+        )
+    hook = LinkChaos(sim, rng=rng)
+    link.fault_hook = hook
+    return hook

@@ -1,0 +1,158 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is an ordered, validated collection of fault events
+(see :mod:`repro.faults.events`). Plans are plain data — they know
+nothing about a live cluster — so the same plan can be replayed against
+different scheduler configurations, printed, or generated from a seed.
+
+``FaultPlan.randomized`` builds the chaos plans used by the
+``fault_tolerance`` experiment and the conservation property tests: one
+seed fully determines the plan, so failures reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.events import (
+    FaultEvent,
+    LinkFault,
+    Partition,
+    RecircExhaustion,
+    SwitchFailover,
+    WorkerCrash,
+    WorkerSlowdown,
+    event_start,
+)
+
+#: plan kinds understood by :meth:`FaultPlan.randomized`
+PLAN_KINDS = ("crash", "partition", "failover", "mixed")
+
+
+@dataclass
+class FaultPlan:
+    """A validated, start-time-ordered schedule of fault events."""
+
+    events: List[object] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.validate()
+        self.events = sorted(self.events, key=event_start)
+
+    def validate(self) -> None:
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise ConfigurationError(
+                    f"not a fault event: {event!r} "
+                    f"(expected one of {[t.__name__ for t in FaultEvent]})"
+                )
+            event.validate()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> str:
+        """One line per event, for experiment logs."""
+        if not self.events:
+            return "(no faults)"
+        return "; ".join(
+            f"{type(e).__name__}@{event_start(e) / 1e6:.1f}ms"
+            for e in self.events
+        )
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({type(e).__name__ for e in self.events}))
+
+    # -- randomized chaos plans -------------------------------------------
+
+    @staticmethod
+    def randomized(
+        rng: np.random.Generator,
+        horizon_ns: int,
+        worker_nodes: Sequence[int],
+        worker_names: Optional[Sequence[str]] = None,
+        kind: str = "mixed",
+    ) -> "FaultPlan":
+        """Build a reproducible chaos plan for one run.
+
+        Faults land in the middle 60% of the horizon so the run has a
+        healthy lead-in (baseline goodput) and room to recover before the
+        workload drains. ``kind`` picks the §3.3 regime to exercise;
+        ``mixed`` samples several.
+        """
+        if kind not in PLAN_KINDS:
+            raise ConfigurationError(
+                f"unknown plan kind {kind!r}; one of {PLAN_KINDS}"
+            )
+        if not worker_nodes:
+            raise ConfigurationError("randomized plan needs worker nodes")
+        names = list(
+            worker_names
+            if worker_names is not None
+            else [f"worker{n}" for n in worker_nodes]
+        )
+        lo, hi = int(horizon_ns * 0.2), int(horizon_ns * 0.8)
+
+        def when() -> int:
+            return int(rng.integers(lo, hi))
+
+        def window(max_frac: float = 0.2) -> Tuple[int, int]:
+            start = when()
+            length = int(rng.integers(horizon_ns * 0.05, horizon_ns * max_frac))
+            return start, min(start + length, hi)
+
+        events: List[object] = []
+        if kind in ("crash", "mixed"):
+            node = int(rng.choice(list(worker_nodes)))
+            restart = (
+                int(rng.integers(horizon_ns * 0.05, horizon_ns * 0.25))
+                if rng.random() < 0.7
+                else None
+            )
+            events.append(
+                WorkerCrash(at_ns=when(), node_id=node, restart_after_ns=restart)
+            )
+        if kind in ("partition", "mixed"):
+            start, end = window()
+            node = str(rng.choice(names))
+            events.append(Partition(start_ns=start, end_ns=end, nodes=(node,)))
+        if kind in ("failover", "mixed"):
+            if kind == "failover" or rng.random() < 0.5:
+                events.append(SwitchFailover(at_ns=when()))
+        if kind == "mixed":
+            if rng.random() < 0.6:
+                start, end = window()
+                events.append(
+                    LinkFault(
+                        start_ns=start,
+                        end_ns=end,
+                        nodes=None,
+                        loss_prob=float(rng.uniform(0.02, 0.15)),
+                        duplicate_prob=float(rng.uniform(0.0, 0.05)),
+                        reorder_prob=float(rng.uniform(0.0, 0.1)),
+                    )
+                )
+            if rng.random() < 0.4:
+                node = int(rng.choice(list(worker_nodes)))
+                start, end = window()
+                events.append(
+                    WorkerSlowdown(
+                        start_ns=start,
+                        end_ns=end,
+                        node_id=node,
+                        factor=float(rng.uniform(2.0, 6.0)),
+                    )
+                )
+            if rng.random() < 0.3:
+                start, end = window(max_frac=0.1)
+                events.append(
+                    RecircExhaustion(start_ns=start, end_ns=end, queue_packets=0)
+                )
+        return FaultPlan(events)

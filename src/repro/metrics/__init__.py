@@ -3,16 +3,20 @@
 from repro.metrics.collector import MetricsCollector, TaskRecord
 from repro.metrics.summary import (
     LatencySummary,
+    NetworkFaultSummary,
     cdf_points,
     percentile,
+    summarize_links,
     summarize_ns,
 )
 
 __all__ = [
     "LatencySummary",
     "MetricsCollector",
+    "NetworkFaultSummary",
     "TaskRecord",
     "cdf_points",
     "percentile",
+    "summarize_links",
     "summarize_ns",
 ]

@@ -65,6 +65,14 @@ class MetricsCollector:
         self.resubmissions = 0
         self.bounce_retries = 0
         self.noop_responses = 0
+        # Duplicate suppression (§3.3): resubmitted tasks whose original
+        # copy survived execute more than once; the first report wins and
+        # the extras are counted here rather than silently swallowed, so
+        # fault experiments can assert exactly-once *visible* semantics
+        # while reporting how much duplicate work the faults induced.
+        self.duplicate_assignments = 0
+        self.duplicate_finishes = 0
+        self.duplicate_completions = 0
 
     def _record(self, key: TaskKey) -> TaskRecord:
         record = self.records.get(key)
@@ -97,6 +105,8 @@ class MetricsCollector:
             record.assigned_at = now
             record.executor_id = executor_id
             record.node_id = node_id
+        else:
+            self.duplicate_assignments += 1
 
     def on_start(self, key: TaskKey, now: int) -> None:
         record = self._record(key)
@@ -107,11 +117,15 @@ class MetricsCollector:
         record = self._record(key)
         if record.finished_at < 0:
             record.finished_at = now
+        else:
+            self.duplicate_finishes += 1
 
     def on_complete(self, key: TaskKey, now: int) -> None:
         record = self._record(key)
         if record.completed_at < 0:
             record.completed_at = now
+        else:
+            self.duplicate_completions += 1
 
     def on_placement(self, key: TaskKey, placement: str) -> None:
         record = self._record(key)

@@ -1,9 +1,9 @@
-"""Percentiles, CDFs and human-readable latency summaries."""
+"""Percentiles, CDFs and human-readable latency/loss summaries."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -51,6 +51,61 @@ class LatencySummary:
             f"p95={self.p95_us:>10.2f}us  p99={self.p99_us:>10.2f}us  "
             f"max={self.max_us:>10.2f}us"
         )
+
+
+@dataclass(frozen=True)
+class NetworkFaultSummary:
+    """Wire-level loss and injected-fault totals for one run.
+
+    Experiments report this next to the latency summary so a fat tail
+    can be attributed: organic tail-drop (overload) vs injected faults
+    (loss, duplication, reordering). ``packets_dropped`` includes the
+    injected drops — tx = rx + packets_dropped stays true under faults.
+    """
+
+    links: int
+    packets_sent: int
+    packets_dropped: int
+    injected_drops: int
+    injected_dups: int
+    injected_delays: int
+
+    @property
+    def loss_fraction(self) -> float:
+        total = self.packets_sent + self.packets_dropped
+        return self.packets_dropped / total if total else 0.0
+
+    @property
+    def injected_total(self) -> int:
+        return self.injected_drops + self.injected_dups + self.injected_delays
+
+    def row(self) -> str:
+        return (
+            f"links={self.links:>3}  sent={self.packets_sent:>9}  "
+            f"dropped={self.packets_dropped:>7} ({self.loss_fraction:6.2%})  "
+            f"injected: drop={self.injected_drops} dup={self.injected_dups} "
+            f"delay={self.injected_delays}"
+        )
+
+
+def summarize_links(links: Iterable) -> NetworkFaultSummary:
+    """Aggregate :class:`repro.net.link.Link` counters across a topology."""
+    count = sent = dropped = inj_drop = inj_dup = inj_delay = 0
+    for link in links:
+        count += 1
+        sent += link.packets_sent
+        dropped += link.packets_dropped
+        inj_drop += link.injected_drops
+        inj_dup += link.injected_dups
+        inj_delay += link.injected_delays
+    return NetworkFaultSummary(
+        links=count,
+        packets_sent=sent,
+        packets_dropped=dropped,
+        injected_drops=inj_drop,
+        injected_dups=inj_dup,
+        injected_delays=inj_delay,
+    )
 
 
 def summarize_ns(samples: Sequence[int]) -> LatencySummary:

@@ -58,6 +58,10 @@ class Socket:
         else:
             self._inbox.put(packet)
 
+    def drain(self) -> int:
+        """Discard all undelivered packets (crash modelling); see Store.clear."""
+        return self._inbox.clear()
+
     @property
     def pending(self) -> int:
         return len(self._inbox)
@@ -80,6 +84,11 @@ class Host:
         if self._uplink is not None:
             raise NetworkError(f"host {self.name} already cabled")
         self._uplink = link
+
+    @property
+    def uplink(self) -> Optional[Link]:
+        """The host→switch link, if cabled."""
+        return self._uplink
 
     def socket(self, port: int) -> Socket:
         """Bind (or return the existing) socket on ``port``."""

@@ -9,6 +9,7 @@ transmitter is FIFO — a busy link queues packets (bounded, tail-drop).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from typing import Callable, Optional, Tuple
 
 from repro.errors import NetworkError
@@ -18,6 +19,35 @@ from repro.sim.core import SEC, Simulator
 DEFAULT_BANDWIDTH_BPS = 100 * 10**9  # the paper's 100 Gbps NICs
 DEFAULT_PROPAGATION_NS = 500  # one-way, host NIC <-> ToR switch
 DEFAULT_QUEUE_PACKETS = 4096
+
+
+@dataclass
+class SendDecision:
+    """What a fault hook wants done with one packet about to be sent.
+
+    ``drop`` discards the packet before it touches the transmitter (a
+    lossy or partitioned cable). ``extra_delay_ns`` postpones delivery of
+    this packet only, letting later packets overtake it (reordering).
+    ``duplicate`` delivers a second copy of the packet shortly after the
+    first (e.g. a flapping port re-emitting a frame).
+    """
+
+    drop: bool = False
+    extra_delay_ns: int = 0
+    duplicate: bool = False
+
+
+class LinkFaultHook:
+    """Interface consulted by :meth:`Link.send` for every packet.
+
+    Implementations (see :mod:`repro.faults.links`) return a
+    :class:`SendDecision`, or None for "no fault". The hook lives at the
+    link layer so failure experiments degrade the *wire*, not a subclass
+    of it — any Link in any topology can be degraded after construction.
+    """
+
+    def on_send(self, link: "Link", packet: Packet) -> Optional[SendDecision]:
+        raise NotImplementedError
 
 
 class Link:
@@ -46,6 +76,11 @@ class Link:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+        #: fault-injection hook (see :class:`LinkFaultHook`); None = healthy
+        self.fault_hook: Optional[LinkFaultHook] = None
+        self.injected_drops = 0
+        self.injected_dups = 0
+        self.injected_delays = 0
 
     def serialization_ns(self, size_bytes: int) -> int:
         """Time to clock ``size_bytes`` onto the wire."""
@@ -60,7 +95,21 @@ class Link:
         return backlog_ns // per_packet
 
     def send(self, packet: Packet) -> bool:
-        """Enqueue a packet for transmission; False means tail-dropped."""
+        """Enqueue a packet for transmission; False means dropped.
+
+        A drop is either tail-drop (bounded transmit queue) or an injected
+        fault; both count in ``packets_dropped`` so packet-conservation
+        accounting (tx = rx + drops) holds under fault injection too.
+        """
+        decision = (
+            self.fault_hook.on_send(self, packet)
+            if self.fault_hook is not None
+            else None
+        )
+        if decision is not None and decision.drop:
+            self.injected_drops += 1
+            self.packets_dropped += 1
+            return False
         if self.queued_packets() >= self.queue_packets:
             self.packets_dropped += 1
             return False
@@ -69,7 +118,19 @@ class Link:
         self._tx_free_at = done
         self.packets_sent += 1
         self.bytes_sent += packet.size
-        self.sim.call_at(done + self.propagation_ns, self.sink, packet)
+        arrival = done + self.propagation_ns
+        if decision is not None and decision.extra_delay_ns > 0:
+            self.injected_delays += 1
+            arrival += decision.extra_delay_ns
+        self.sim.call_at(arrival, self.sink, packet)
+        if decision is not None and decision.duplicate:
+            # The copy shares the payload object (payloads are never
+            # mutated in place, only rebound), but must be a distinct
+            # Packet: switch programs rewrite packet.payload/dst on the
+            # original while the copy is still in flight.
+            self.injected_dups += 1
+            dup = replace(packet, trace=list(packet.trace))
+            self.sim.call_at(arrival + self.propagation_ns, self.sink, dup)
         return True
 
     @staticmethod

@@ -108,6 +108,22 @@ class StarTopology:
     def add_hosts(self, names: Iterable[str]) -> List[Host]:
         return [self.add_host(name) for name in names]
 
+    def links(self) -> List[Link]:
+        """Every cable in the star, both directions (uplink + switch port).
+
+        Fault injection and loss reporting both need "all the wires";
+        enumerating them here keeps that knowledge out of callers.
+        """
+        out: List[Link] = []
+        for name in sorted(self.hosts):
+            uplink = self.hosts[name].uplink
+            if uplink is not None:
+                out.append(uplink)
+            port = self.switch.port_for(name)
+            if port is not None:
+                out.append(port)
+        return out
+
     def rtt_estimate_ns(self, payload_size: int = 64) -> int:
         """Rough host->switch->host round-trip for calibration/tests."""
         wire = payload_size + 42

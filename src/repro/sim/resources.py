@@ -80,6 +80,16 @@ class Store:
             return self._items.popleft()
         return None
 
+    def clear(self) -> int:
+        """Discard every queued item; returns how many were discarded.
+
+        Used to model crashes: packets sitting in a dead host's receive
+        ring are lost, not replayed to whoever boots next.
+        """
+        count = len(self._items)
+        self._items.clear()
+        return count
+
     def peek(self) -> Any:
         """Return the head item without removing it (None when empty)."""
         return self._items[0] if self._items else None

@@ -82,6 +82,7 @@ class SwitchStats:
     program_drops: int = 0
     replies: int = 0
     forwards: int = 0
+    failovers: int = 0
 
     def recirculation_fraction(self) -> float:
         """Share of processed packets that were recirculations (Fig. 7)."""
@@ -153,6 +154,33 @@ class ProgrammableSwitch(BaseSwitch):
             program.check_resources(model)
         #: service address used as the source of switch-synthesized replies
         self.service_address = Address(name, program.service_port)
+
+    # -- control plane / fault hooks -------------------------------------
+
+    def install_program(self, program: P4Program) -> P4Program:
+        """Swap in a fresh dataplane program (switch failover, §3.3).
+
+        Models a standby switch taking over the scheduler pipeline: every
+        queued task and register word of the old program is gone; clients
+        recover by resubmitting on timeout. Returns the replaced program.
+        """
+        old, self.program = self.program, program
+        program.attach(self)
+        self.service_address = Address(self.name, program.service_port)
+        self.stats.failovers += 1
+        return old
+
+    def set_recirc_limit(self, queue_packets: int) -> int:
+        """Resize the recirculation queue (fault: budget exhaustion).
+
+        ``0`` drops every recirculation — the regime where R2P2-1 loses
+        tasks (§8.3). Returns the previous limit so faults can restore it.
+        """
+        if queue_packets < 0:
+            raise SwitchError(f"recirc queue must be >= 0: {queue_packets}")
+        old = self.recirc_queue_packets
+        self.recirc_queue_packets = queue_packets
+        return old
 
     # -- ingress ---------------------------------------------------------
 

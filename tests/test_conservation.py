@@ -6,8 +6,11 @@ the durations of the tasks they ran. These tests close the loop across
 the whole stack.
 """
 
+import pytest
+
 from repro.cluster import Client, ClientConfig, SubmitEvent, TaskSpec, Worker, WorkerSpec
 from repro.core import DraconisProgram
+from repro.experiments import fault_tolerance
 from repro.metrics import MetricsCollector
 from repro.net import StarTopology
 from repro.sim import Simulator, ms, us
@@ -103,3 +106,35 @@ class TestPacketConservation:
         assert switch.unroutable_packets == 0
         for host in topology.hosts.values():
             assert host.rx_unroutable == 0
+
+
+class TestFaultConservation:
+    """Exactly-once visible completion under randomized chaos (§3.3).
+
+    A seed fully determines workload and fault plan, so any violation
+    reproduces. The sweep covers every recovery path the paper claims is
+    repaired by the pull model: worker crash (with and without restart),
+    network partition, switch failover, and the mixed regime that layers
+    lossy links, slowdowns and recirculation exhaustion on top.
+    """
+
+    @pytest.mark.parametrize(
+        "seed,kind",
+        [
+            (0, "crash"),
+            (1, "crash"),
+            (0, "partition"),
+            (2, "partition"),
+            (0, "failover"),
+            (3, "failover"),
+            (1, "mixed"),
+            (4, "mixed"),
+        ],
+    )
+    def test_no_task_lost_or_double_completed(self, seed, kind):
+        result = fault_tolerance.run_chaos(
+            seed, kind=kind, duration_ns=ms(12), drain_ns=ms(20)
+        )
+        assert result.faults_fired > 0, "plan never fired"
+        assert result.violations == []
+        assert result.tasks_completed == result.tasks_submitted

@@ -207,7 +207,7 @@ class TestRunAllScales:
         from repro.experiments.run_all import SCALES
 
         expected = {"fig5a", "fig5b", "fig6", "fig7", "fig8", "fig9",
-                    "fig10", "fig11", "fig12", "fig13", "ablation"}
+                    "fig10", "fig11", "fig12", "fig13", "ablation", "chaos"}
         for scale, knobs in SCALES.items():
             assert set(knobs) == expected, scale
 

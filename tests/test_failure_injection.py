@@ -12,33 +12,12 @@ import pytest
 
 from repro.cluster import Client, ClientConfig, SubmitEvent, TaskSpec, Worker, WorkerSpec
 from repro.core import DraconisProgram
+from repro.faults import Degradation, chaos_for
 from repro.metrics import MetricsCollector
 from repro.net import Address, StarTopology
-from repro.net.link import Link
 from repro.protocol.messages import Completion, JobSubmission, TaskAssignment
 from repro.sim import Simulator, ms, us
 from repro.switchsim import ProgrammableSwitch
-
-
-class LossyLink(Link):
-    """Drops packets whose payload matches a predicate, with probability."""
-
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.loss_predicate = None
-        self.loss_probability = 0.0
-        self.rng = np.random.default_rng(0)
-        self.injected_losses = 0
-
-    def send(self, packet):
-        if (
-            self.loss_predicate is not None
-            and self.loss_predicate(packet)
-            and self.rng.random() < self.loss_probability
-        ):
-            self.injected_losses += 1
-            return False
-        return super().send(packet)
 
 
 def build_lossy_cluster(predicate, probability, seed=0, timeout_factor=3.0):
@@ -60,15 +39,14 @@ def build_lossy_cluster(predicate, probability, seed=0, timeout_factor=3.0):
     ]
     client_host = topology.add_host("client0")
 
-    # Swap every link for a lossy one, preserving wiring.
+    # Targeted loss via the Link fault hook — no subclassing, no rewiring.
     lossy_links = []
-    for port_name, link in list(switch._ports.items()):
-        lossy = LossyLink(sim, link.name, link.sink)
-        lossy.loss_predicate = predicate
-        lossy.loss_probability = probability
-        lossy.rng = np.random.default_rng(seed + hash(port_name) % 1000)
-        switch._ports[port_name] = lossy
-        lossy_links.append(lossy)
+    for port_name, link in switch._ports.items():
+        chaos = chaos_for(
+            link, sim, rng=np.random.default_rng(seed + hash(port_name) % 1000)
+        )
+        chaos.add(Degradation(loss_prob=probability, match=predicate))
+        lossy_links.append(link)
 
     events = [
         SubmitEvent(time_ns=us(i * 60), tasks=(TaskSpec(duration_ns=us(100)),))
@@ -95,7 +73,7 @@ class TestAssignmentLoss:
             probability=0.25,
         )
         sim.run(until=ms(80))
-        losses = sum(l.injected_losses for l in links)
+        losses = sum(l.injected_drops for l in links)
         assert losses > 0, "injection never fired"
         assert client.stats.tasks_completed == 40
         assert collector.completed_count() == 40
@@ -106,7 +84,7 @@ class TestAssignmentLoss:
             probability=0.2,
         )
         sim.run(until=ms(80))
-        losses = sum(l.injected_losses for l in links)
+        losses = sum(l.injected_drops for l in links)
         assert losses > 0
         # Tasks executed even when the completion notice was lost; the
         # collector saw the execution either way.
@@ -129,21 +107,17 @@ class TestSubmissionLoss:
             timeout_factor=2.0,
         )
         # Losses happen on the switch->worker ports only in this harness
-        # (submissions flow client->switch), so inject at the client link.
-        client_link = client.host._uplink
-        drops = {"n": 0}
-        original_send = client_link.send
-        rng = np.random.default_rng(9)
-
-        def lossy_send(packet):
-            if isinstance(packet.payload, JobSubmission) and rng.random() < 0.3:
-                drops["n"] += 1
-                return False
-            return original_send(packet)
-
-        client_link.send = lossy_send
+        # (submissions flow client->switch), so inject at the client uplink.
+        client_link = client.host.uplink
+        chaos = chaos_for(client_link, sim, rng=np.random.default_rng(9))
+        chaos.add(
+            Degradation(
+                loss_prob=0.3,
+                match=lambda pkt: isinstance(pkt.payload, JobSubmission),
+            )
+        )
         sim.run(until=ms(120))
-        assert drops["n"] > 0
+        assert client_link.injected_drops > 0
         assert client.stats.timeouts > 0
         assert client.stats.tasks_completed == 40
 

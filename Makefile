@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench experiments smoke chaos examples clean
+.PHONY: install test bench obs-bench obs-report experiments smoke chaos examples clean
 
 install:
 	$(PY) setup.py develop
@@ -12,6 +12,12 @@ test:
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
+
+obs-bench:
+	$(PY) -m repro.obs.bench --scale smoke --check
+
+obs-report:
+	$(PY) -m repro.obs.report
 
 experiments:
 	$(PY) -m repro.experiments.run_all --scale report

@@ -197,7 +197,7 @@ class Client:
             spec = self._outstanding.get(key)
             if spec is None:
                 continue  # completed meanwhile (duplicate submission)
-            self.collector.on_bounce(key)
+            self.collector.on_bounce(key, now=self.sim.now)
             self.stats.bounces += 1
             self._arm_timeout(key, spec)
             infos.append(task)
@@ -267,7 +267,7 @@ class Client:
                 continue  # give up; the task counts as unfinished
             self._retries[key] = retries + 1
             self.stats.timeouts += 1
-            self.collector.resubmissions += 1
+            self.collector.on_resubmit(key, self.sim.now)
             self._arm_timeout(key, spec)
             uid, jid, tid = key
             self._send_job(jid, [self._task_info(tid, spec)])

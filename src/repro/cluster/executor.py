@@ -134,6 +134,9 @@ class Executor:
         self._rng = rng or np.random.default_rng(executor_id)
         self._stopped = False
         self._crashed = False
+        #: optional :class:`repro.obs.bus.TelemetryBus` for pull-RTT and
+        #: no-op histograms (task lifecycle flows via the collector)
+        self.obs = None
         #: execution-time multiplier (fault injection: >1 models a
         #: thermally-throttled or contended node)
         self.speed_factor: float = 1.0
@@ -248,6 +251,8 @@ class Executor:
 
             if isinstance(payload, NoOpTask):
                 self.stats.noops_received += 1
+                if self.obs is not None:
+                    self.obs.incr("executor.noops")
                 consecutive_noops += 1
                 yield self.sim.timeout(self._poll_delay(consecutive_noops))
                 self._send(self._request())
@@ -263,6 +268,10 @@ class Executor:
                 if self.stats.pull_rtts_ns is None:
                     self.stats.pull_rtts_ns = []
                 self.stats.pull_rtts_ns.append(self.sim.now - pull_started)
+            if self.obs is not None:
+                self.obs.observe(
+                    "executor.pull_rtt_ns", self.sim.now - pull_started
+                )
             consecutive_noops = 0
             key = payload.key
             self.collector.on_assign(

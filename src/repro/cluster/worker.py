@@ -79,6 +79,11 @@ class Worker:
             for i in range(spec.executors)
         ]
 
+    def attach_obs(self, bus) -> None:
+        """Point every executor's telemetry at ``bus``."""
+        for executor in self.executors:
+            executor.obs = bus
+
     def stop(self) -> None:
         """Gracefully stop every executor. Idempotent."""
         for executor in self.executors:

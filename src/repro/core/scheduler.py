@@ -172,6 +172,16 @@ class DraconisProgram(P4Program):
     def _now(self) -> int:
         return self.switch.sim.now if self.switch is not None else 0
 
+    def _obs(self):
+        """The attached telemetry bus, if the hosting switch carries one."""
+        return self.switch.obs if self.switch is not None else None
+
+    def _task_hop(self, uid: int, jid: int, tid: int, stage: str,
+                  detail: str = "") -> None:
+        obs = self._obs()
+        if obs is not None:
+            obs.task_event((uid, jid, tid), stage, self._now(), detail)
+
     def _queue(self, index: int) -> SwitchCircularQueue:
         if not 0 <= index < len(self.queues):
             raise SwitchError(f"queue index {index} out of range")
@@ -292,6 +302,10 @@ class DraconisProgram(P4Program):
             # was a mistake. Bounce this and all remaining tasks back to
             # the client, which retries after a short wait (§4.3).
             self.sched_stats.submissions_bounced += 1
+            if self._obs() is not None:
+                for task in job.tasks:
+                    self._task_hop(job.uid, job.jid, task.tid, "bounce",
+                                   f"queue={queue_index}")
             if outcome.need_add_repair:
                 actions.append(
                     self._repair_packet(packet, "add_ptr", 0, queue_index)
@@ -305,12 +319,18 @@ class DraconisProgram(P4Program):
             return actions
 
         self.sched_stats.tasks_enqueued += 1
+        self._task_hop(job.uid, job.jid, head.tid, "sched_enqueue",
+                       f"queue={queue_index}")
         wake = self._wake_parked(packet)
         if wake is not None:
+            self._task_hop(job.uid, job.jid, head.tid, "park_wake",
+                           "replayed a parked pull")
             actions.append(wake)
         if outcome.need_rtr_repair:
             # The retrieve pointer overran while the queue was empty; aim
             # it at the task we just stored (§4.5).
+            self._task_hop(job.uid, job.jid, head.tid, "repair_hop",
+                           f"retrieve_ptr queue={queue_index}")
             actions.append(
                 self._repair_packet(
                     packet, "retrieve_ptr", outcome.rtr_repair_value, queue_index
@@ -320,6 +340,10 @@ class DraconisProgram(P4Program):
         if rest:
             # No loops on the switch: strip one task per traversal and
             # recirculate the remainder (§4.3, "Adding Multiple Tasks").
+            if self._obs() is not None:
+                for task in rest:
+                    self._task_hop(job.uid, job.jid, task.tid, "recirc_hop",
+                                   f"batch remainder of {len(rest)}")
             packet.payload = JobSubmission(uid=job.uid, jid=job.jid, tasks=rest)
             actions.append(Recirculate(packet))
         else:
@@ -382,6 +406,8 @@ class DraconisProgram(P4Program):
 
         # Constraint not met: start a task-swapping walk (§5.1).
         self.sched_stats.swap_walks_started += 1
+        self._task_hop(entry.uid, entry.jid, entry.task.tid, "swap_hop",
+                       f"walk from index {outcome.index + 1}")
         swap = SwapTaskPacket(
             uid=entry.uid,
             jid=entry.jid,
@@ -403,6 +429,8 @@ class DraconisProgram(P4Program):
 
     def _assign(self, requester: Address, entry: QueueEntry) -> Reply:
         self.sched_stats.tasks_assigned += 1
+        self._task_hop(entry.uid, entry.jid, entry.task.tid, "sched_assign",
+                       f"to={requester.node}")
         assignment = TaskAssignment(
             uid=entry.uid, jid=entry.jid, task=entry.task, client=entry.client
         )
@@ -439,6 +467,9 @@ class DraconisProgram(P4Program):
             # traversal because the walk already read add_ptr.
             self.sched_stats.swap_reinserts += 1
             outcome = queue.enqueue(ctx, carried)
+            if outcome.accepted:
+                self._task_hop(swap.uid, swap.jid, swap.task.tid,
+                               "sched_enqueue", f"queue={queue_index} reinsert")
             actions: List[Action] = []
             if not outcome.accepted:
                 if outcome.need_add_repair:
@@ -524,6 +555,8 @@ class DraconisProgram(P4Program):
                 actions.append(self._reply(swap.requester, NoOpTask()))
             return actions
 
+        self._task_hop(skipped.uid, skipped.jid, skipped.task.tid, "swap_hop",
+                       f"carried past index {index}")
         packet.payload = replace(
             swap,
             uid=skipped.uid,
@@ -549,6 +582,9 @@ class DraconisProgram(P4Program):
             queue.apply_rtr_repair(ctx, repair.value)
         else:
             raise SwitchError(f"unknown repair target {repair.target!r}")
+        obs = self._obs()
+        if obs is not None:
+            obs.incr(f"sched.repairs_applied.{repair.target}")
         return [Drop(packet, reason="repair-consumed")]
 
     # -- completions (§3.1) --------------------------------------------------

@@ -41,6 +41,7 @@ from repro.metrics.summary import (
 )
 from repro.net.packet import Address
 from repro.net.topology import BaseSwitch, StarTopology
+from repro.obs.bus import TelemetryBus
 from repro.sim.core import Simulator, ms
 from repro.sim.rng import RngStreams
 from repro.switchsim.pipeline import ProgrammableSwitch
@@ -90,6 +91,9 @@ class ClusterConfig:
     # switch
     recirc_pps: int = calibration.RECIRC_PPS
     recirc_queue_packets: int = calibration.RECIRC_QUEUE_PACKETS
+    # observability: attach this telemetry bus to the collector, switch,
+    # links and executors (None = uninstrumented, the zero-cost default)
+    obs: Optional[TelemetryBus] = None
 
     @property
     def total_executors(self) -> int:
@@ -361,7 +365,25 @@ def build_cluster(
                 config=client_config,
             )
         )
+    if config.obs is not None:
+        attach_obs(config.obs, handles)
     return handles
+
+
+def attach_obs(bus: TelemetryBus, handles: ClusterHandles) -> None:
+    """Point every instrumented component of a built cluster at ``bus``.
+
+    Idempotent; safe to call again after a switch failover installs a
+    fresh program (programs read the bus through ``switch.obs``).
+    """
+    handles.collector.bind_obs(bus)
+    if handles.switch is not None:
+        handles.switch.obs = bus
+    for worker in handles.workers:
+        if isinstance(worker, Worker):
+            worker.attach_obs(bus)
+    for link in handles.topology.links():
+        link.obs = bus
 
 
 class _DeferredProgram:

@@ -168,8 +168,14 @@ def run_chaos(
     utilization: float = DEFAULT_UTILIZATION,
     timeout_factor: float = DEFAULT_TIMEOUT_FACTOR,
     park_pulls: bool = True,
+    obs=None,
 ) -> ChaosResult:
-    """Run one workload under one randomized fault plan and judge it."""
+    """Run one workload under one randomized fault plan and judge it.
+
+    ``obs`` optionally attaches a :class:`repro.obs.TelemetryBus`; span
+    chains survive switch failover because the standby program reads the
+    bus through ``switch.obs`` (see ``repro.obs.report --chaos``).
+    """
     config = common.ClusterConfig(
         scheduler="draconis",
         workers=workers,
@@ -178,6 +184,7 @@ def run_chaos(
         queue_capacity=4096,
         timeout_factor=timeout_factor,
         park_pulls=park_pulls,
+        obs=obs,
     )
     rngs = RngStreams(seed)
     sampler = exponential(150)

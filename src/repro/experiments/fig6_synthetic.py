@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.common import ClusterConfig, run_workload
+from repro.metrics.summary import PercentileSummary
 from repro.sim.core import ms
 from repro.workloads import (
     DurationSampler,
@@ -53,6 +54,7 @@ class Fig6Row:
     utilization: float
     p50_us: float
     p99_us: float
+    p999_us: float = float("nan")
 
 
 def run(
@@ -84,13 +86,15 @@ def run(
                 result = run_workload(
                     config, factory, duration_ns=duration_ns, warmup_ns=warmup
                 )
+                tail = PercentileSummary.from_ns(result.scheduling_delays_ns)
                 rows.append(
                     Fig6Row(
                         workload=name,
                         system=label,
                         utilization=load,
-                        p50_us=result.scheduling.p50_us,
-                        p99_us=result.scheduling.p99_us,
+                        p50_us=tail.p50_us,
+                        p99_us=tail.p99_us,
+                        p999_us=tail.p999_us,
                     )
                 )
     return rows

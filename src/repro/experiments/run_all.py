@@ -29,7 +29,7 @@ from repro.experiments import (
     scalability,
     table_switch_resources,
 )
-from repro.sim.core import ms
+from repro.sim.core import Simulator, ms
 
 SCALES = {
     "smoke": dict(
@@ -74,60 +74,105 @@ def main() -> None:
     args = parser.parse_args()
     knobs = SCALES[args.scale]
     start = time.time()
+    events_start = Simulator.global_events_processed()
 
-    def section(name: str) -> None:
+    def section(name: str, body) -> None:
+        """Run one experiment, then report its wall time and events/sec."""
         elapsed = time.time() - start
         print(f"\n{'=' * 72}\n{name}  [t+{elapsed:.0f}s]\n{'=' * 72}", flush=True)
+        events_before = Simulator.global_events_processed()
+        wall_before = time.perf_counter()
+        body()
+        wall = time.perf_counter() - wall_before
+        events = Simulator.global_events_processed() - events_before
+        rate = f", {events / wall:,.0f} events/s" if wall > 0 and events else ""
+        print(f"[{wall:.1f}s wall, {events:,} sim events{rate}]", flush=True)
 
-    section("Figure 5a — throughput vs p99 (500 us)")
-    rows = fig5a_latency.run(**knobs["fig5a"])
-    fig5a_latency.print_table(rows)
-    print("\np99 ratio vs Draconis at ~60% load:")
-    for system, ratio in sorted(fig5a_latency.paper_comparison(rows).items()):
-        print(f"  {system:>16}: {ratio:7.1f}x")
+    def fig5a_section() -> None:
+        rows = fig5a_latency.run(**knobs["fig5a"])
+        fig5a_latency.print_table(rows)
+        print("\np99 ratio vs Draconis at ~60% load:")
+        for system, ratio in sorted(
+            fig5a_latency.paper_comparison(rows).items()
+        ):
+            print(f"  {system:>16}: {ratio:7.1f}x")
 
-    section("Figure 5b — no-op scheduling throughput")
-    fig5b_throughput.print_table(fig5b_throughput.run(**knobs["fig5b"]))
+    def fig13_section() -> None:
+        rows = fig13_gettask.run(**knobs["fig13"])
+        fig13_gettask.print_table(rows)
+        print(f"median spread: {fig13_gettask.level_spread(rows):.2f} us")
 
-    section("Figure 6 — synthetic suite")
-    fig6_synthetic.print_table(fig6_synthetic.run(**knobs["fig6"]))
+    section("Figure 5a — throughput vs p99 (500 us)", fig5a_section)
+    section(
+        "Figure 5b — no-op scheduling throughput",
+        lambda: fig5b_throughput.print_table(
+            fig5b_throughput.run(**knobs["fig5b"])
+        ),
+    )
+    section(
+        "Figure 6 — synthetic suite",
+        lambda: fig6_synthetic.print_table(fig6_synthetic.run(**knobs["fig6"])),
+    )
+    section(
+        "Figure 7 — recirculation and drops",
+        lambda: fig7_recirculation.print_table(
+            fig7_recirculation.run(**knobs["fig7"])
+        ),
+    )
+    section(
+        "Figure 8 — JBSQ queue size",
+        lambda: fig8_jbsq.print_table(fig8_jbsq.run(**knobs["fig8"])),
+    )
+    section(
+        "Figure 9 — google-like trace",
+        lambda: fig9_google.print_table(fig9_google.run(**knobs["fig9"])),
+    )
+    section(
+        "Figure 10 — locality-aware vs FCFS",
+        lambda: fig10_locality.print_table(
+            fig10_locality.run(**knobs["fig10"])
+        ),
+    )
+    section(
+        "Figure 11 — resource phases",
+        lambda: fig11_resources.print_table(
+            fig11_resources.run(**knobs["fig11"])
+        ),
+    )
+    section(
+        "Figure 12 — priority queueing delays",
+        lambda: fig12_priority.print_table(
+            fig12_priority.run(**knobs["fig12"])
+        ),
+    )
+    section("Figure 13 — get_task() ladder", fig13_section)
+    section(
+        "§7 — switch resource budget",
+        lambda: table_switch_resources.print_table(
+            table_switch_resources.run()
+        ),
+    )
+    section("§8.2 — scalability", scalability.print_report)
+    section(
+        "Ablation — retrieve-pointer handling",
+        lambda: ablation_retrieve.print_table(
+            ablation_retrieve.run(**knobs["ablation"])
+        ),
+    )
+    section(
+        "§3.3 — fault tolerance (chaos sweep)",
+        lambda: fault_tolerance.print_table(
+            fault_tolerance.run(**knobs["chaos"])
+        ),
+    )
 
-    section("Figure 7 — recirculation and drops")
-    fig7_recirculation.print_table(fig7_recirculation.run(**knobs["fig7"]))
-
-    section("Figure 8 — JBSQ queue size")
-    fig8_jbsq.print_table(fig8_jbsq.run(**knobs["fig8"]))
-
-    section("Figure 9 — google-like trace")
-    fig9_google.print_table(fig9_google.run(**knobs["fig9"]))
-
-    section("Figure 10 — locality-aware vs FCFS")
-    fig10_locality.print_table(fig10_locality.run(**knobs["fig10"]))
-
-    section("Figure 11 — resource phases")
-    fig11_resources.print_table(fig11_resources.run(**knobs["fig11"]))
-
-    section("Figure 12 — priority queueing delays")
-    fig12_priority.print_table(fig12_priority.run(**knobs["fig12"]))
-
-    section("Figure 13 — get_task() ladder")
-    rows = fig13_gettask.run(**knobs["fig13"])
-    fig13_gettask.print_table(rows)
-    print(f"median spread: {fig13_gettask.level_spread(rows):.2f} us")
-
-    section("§7 — switch resource budget")
-    table_switch_resources.print_table(table_switch_resources.run())
-
-    section("§8.2 — scalability")
-    scalability.print_report()
-
-    section("Ablation — retrieve-pointer handling")
-    ablation_retrieve.print_table(ablation_retrieve.run(**knobs["ablation"]))
-
-    section("§3.3 — fault tolerance (chaos sweep)")
-    fault_tolerance.print_table(fault_tolerance.run(**knobs["chaos"]))
-
-    print(f"\nTOTAL {time.time() - start:.0f}s", flush=True)
+    total_wall = time.time() - start
+    total_events = Simulator.global_events_processed() - events_start
+    print(
+        f"\nTOTAL {total_wall:.0f}s, {total_events:,} sim events "
+        f"({total_events / total_wall:,.0f} events/s)",
+        flush=True,
+    )
 
 
 if __name__ == "__main__":

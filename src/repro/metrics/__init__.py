@@ -4,6 +4,7 @@ from repro.metrics.collector import MetricsCollector, TaskRecord
 from repro.metrics.summary import (
     LatencySummary,
     NetworkFaultSummary,
+    PercentileSummary,
     cdf_points,
     percentile,
     summarize_links,
@@ -14,6 +15,7 @@ __all__ = [
     "LatencySummary",
     "MetricsCollector",
     "NetworkFaultSummary",
+    "PercentileSummary",
     "TaskRecord",
     "cdf_points",
     "percentile",

@@ -58,7 +58,15 @@ class TaskRecord:
 
 
 class MetricsCollector:
-    """Collects task records plus run-level counters."""
+    """Collects task records plus run-level counters.
+
+    When a :class:`~repro.obs.bus.TelemetryBus` is bound via
+    :meth:`bind_obs`, every lifecycle hook is forwarded as a causal span
+    event and the derived latencies (scheduling delay, end-to-end) are
+    recorded into the bus's histograms — the collector is the single
+    funnel between cluster actors and the observability layer, so actors
+    never need their own bus plumbing for task lifecycle facts.
+    """
 
     def __init__(self) -> None:
         self.records: Dict[TaskKey, TaskRecord] = {}
@@ -73,6 +81,11 @@ class MetricsCollector:
         self.duplicate_assignments = 0
         self.duplicate_finishes = 0
         self.duplicate_completions = 0
+        self._obs = None
+
+    def bind_obs(self, bus) -> None:
+        """Forward lifecycle events to ``bus`` from now on."""
+        self._obs = bus
 
     def _record(self, key: TaskKey) -> TaskRecord:
         record = self.records.get(key)
@@ -90,14 +103,28 @@ class MetricsCollector:
         record.submissions += 1
         record.priority = priority
         record.duration_ns = duration_ns
-        if record.submitted_at < 0:
+        first = record.submitted_at < 0
+        if first:
             record.submitted_at = now
         else:
             self.resubmissions += 1
+        if self._obs is not None:
+            self._obs.task_event(
+                key, "submit" if first else "resubmit", now,
+                f"submission #{record.submissions}",
+            )
 
-    def on_bounce(self, key: TaskKey) -> None:
+    def on_bounce(self, key: TaskKey, now: int = -1) -> None:
         self._record(key).bounces += 1
         self.bounce_retries += 1
+        if self._obs is not None and now >= 0:
+            self._obs.task_event(key, "bounce_retry", now)
+
+    def on_resubmit(self, key: TaskKey, now: int) -> None:
+        """A client timeout fired and the task was sent again (§8.3)."""
+        self.resubmissions += 1
+        if self._obs is not None:
+            self._obs.task_event(key, "resubmit", now, "client timeout")
 
     def on_assign(self, key: TaskKey, now: int, executor_id: int, node_id: int) -> None:
         record = self._record(key)
@@ -107,11 +134,21 @@ class MetricsCollector:
             record.node_id = node_id
         else:
             self.duplicate_assignments += 1
+        if self._obs is not None:
+            self._obs.task_event(
+                key, "assign", now, f"executor={executor_id} node={node_id}"
+            )
 
     def on_start(self, key: TaskKey, now: int) -> None:
         record = self._record(key)
         if record.started_at < 0:
             record.started_at = now
+        if self._obs is not None:
+            self._obs.task_event(key, "start", now)
+            if record.submitted_at >= 0:
+                self._obs.observe(
+                    "task.sched_delay_ns", now - record.submitted_at
+                )
 
     def on_finish(self, key: TaskKey, now: int) -> None:
         record = self._record(key)
@@ -119,6 +156,8 @@ class MetricsCollector:
             record.finished_at = now
         else:
             self.duplicate_finishes += 1
+        if self._obs is not None:
+            self._obs.task_event(key, "finish", now)
 
     def on_complete(self, key: TaskKey, now: int) -> None:
         record = self._record(key)
@@ -126,6 +165,12 @@ class MetricsCollector:
             record.completed_at = now
         else:
             self.duplicate_completions += 1
+        if self._obs is not None:
+            self._obs.task_event(key, "complete", now)
+            if record.submitted_at >= 0:
+                self._obs.observe(
+                    "task.end_to_end_ns", now - record.submitted_at
+                )
 
     def on_placement(self, key: TaskKey, placement: str) -> None:
         record = self._record(key)

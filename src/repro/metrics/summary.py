@@ -33,6 +33,52 @@ def cdf_points(
 
 
 @dataclass(frozen=True)
+class PercentileSummary:
+    """The tail-latency quartet (p50/p90/p99/p999) in microseconds.
+
+    The shared helper behind every figure script and the perf bench —
+    one definition of "the percentiles" instead of each experiment
+    calling :func:`numpy.percentile` with its own quantile list.
+    """
+
+    count: int
+    p50_us: float
+    p90_us: float
+    p99_us: float
+    p999_us: float
+
+    @classmethod
+    def from_ns(cls, samples: Sequence[int]) -> "PercentileSummary":
+        if not len(samples):
+            return cls(0, *([float("nan")] * 4))
+        data = np.asarray(samples, dtype=np.float64)
+        p50, p90, p99, p999 = np.percentile(data, (50, 90, 99, 99.9)) / 1e3
+        return cls(
+            count=int(len(data)),
+            p50_us=float(p50),
+            p90_us=float(p90),
+            p99_us=float(p99),
+            p999_us=float(p999),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_us": self.p50_us,
+            "p90_us": self.p90_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+        }
+
+    def row(self) -> str:
+        return (
+            f"n={self.count:>8}  p50={self.p50_us:>10.2f}us  "
+            f"p90={self.p90_us:>10.2f}us  p99={self.p99_us:>10.2f}us  "
+            f"p999={self.p999_us:>10.2f}us"
+        )
+
+
+@dataclass(frozen=True)
 class LatencySummary:
     """The latency statistics the paper reports per configuration."""
 

@@ -81,6 +81,9 @@ class Link:
         self.injected_drops = 0
         self.injected_dups = 0
         self.injected_delays = 0
+        #: optional :class:`repro.obs.bus.TelemetryBus`; wire-level drops
+        #: and injected faults are counted there when attached
+        self.obs = None
 
     def serialization_ns(self, size_bytes: int) -> int:
         """Time to clock ``size_bytes`` onto the wire."""
@@ -109,9 +112,14 @@ class Link:
         if decision is not None and decision.drop:
             self.injected_drops += 1
             self.packets_dropped += 1
+            if self.obs is not None:
+                self.obs.incr("net.injected_drops")
+                self.obs.incr("net.drops")
             return False
         if self.queued_packets() >= self.queue_packets:
             self.packets_dropped += 1
+            if self.obs is not None:
+                self.obs.incr("net.drops")
             return False
         start = max(self.sim.now, self._tx_free_at)
         done = start + self.serialization_ns(packet.size)

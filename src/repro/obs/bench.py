@@ -1,0 +1,218 @@
+"""Scheduler performance bench: ``python -m repro.obs.bench``.
+
+Runs a small suite of pinned-seed scheduling workloads and measures the
+*simulator's* performance — events/sec and wall time — alongside the
+*scheduler's* — p50/p99/p999 scheduling delay. Results land in
+``BENCH_sched.json`` so consecutive runs (and CI) can diff them: a
+micro-optimisation or an accidental hot-path regression in the event
+loop, switch pipeline or executor processes shows up as an events/sec
+delta long before anyone notices experiments getting slow.
+
+``--baseline previous.json --check`` exits non-zero when aggregate
+events/sec regresses by more than ``--threshold`` (default 30%, wide
+enough to ride out shared-runner noise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import ClusterConfig, run_workload
+from repro.metrics.summary import PercentileSummary
+from repro.sim.core import Simulator, ms
+from repro.workloads import fixed, open_loop, rate_for_utilization
+
+SCHEMA = "repro.bench/1"
+DEFAULT_OUT = "BENCH_sched.json"
+DEFAULT_THRESHOLD = 0.30
+BENCH_SEED = 7  # pinned: the bench measures the code, not the workload
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One pinned workload: a scheduler at a load level."""
+
+    name: str
+    scheduler: str
+    utilization: float
+    task_us: float = 500.0
+
+
+#: the suite: the in-switch hot path at two loads plus one baseline
+#: scheduler, so a regression localized to either implementation shows
+CASES = (
+    BenchCase("draconis-mid", "draconis", 0.5),
+    BenchCase("draconis-high", "draconis", 0.8),
+    BenchCase("racksched-mid", "racksched", 0.5),
+)
+
+SCALES: Dict[str, int] = {"smoke": ms(15), "full": ms(80)}
+
+
+def run_case(case: BenchCase, duration_ns: int) -> dict:
+    """Run one case; returns its BENCH_sched.json entry."""
+    config = ClusterConfig(seed=BENCH_SEED, scheduler=case.scheduler)
+    sampler = fixed(case.task_us)
+    rate = rate_for_utilization(
+        case.utilization, config.total_executors, sampler.mean_ns
+    )
+
+    def factory(rngs):
+        return open_loop(rngs.stream("arrivals"), rate, sampler, duration_ns)
+
+    events_before = Simulator.global_events_processed()
+    wall_start = time.perf_counter()
+    result = run_workload(
+        config, factory, duration_ns=duration_ns, warmup_ns=duration_ns // 8
+    )
+    wall_s = time.perf_counter() - wall_start
+    events = Simulator.global_events_processed() - events_before
+    tail = PercentileSummary.from_ns(result.scheduling_delays_ns)
+    return {
+        "name": case.name,
+        "scheduler": case.scheduler,
+        "utilization": case.utilization,
+        "sim_duration_ns": duration_ns,
+        "events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s) if wall_s > 0 else 0,
+        "tasks_completed": result.tasks_completed,
+        "sched_delay": tail.as_dict(),
+    }
+
+
+def run_suite(scale: str = "smoke") -> dict:
+    """Run every case; returns the full BENCH_sched.json document."""
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; one of {sorted(SCALES)}")
+    duration_ns = SCALES[scale]
+    cases = [run_case(case, duration_ns) for case in CASES]
+    total_events = sum(c["events"] for c in cases)
+    total_wall = sum(c["wall_s"] for c in cases)
+    return {
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": BENCH_SEED,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "total_events": total_events,
+        "total_wall_s": round(total_wall, 4),
+        "events_per_sec": (
+            round(total_events / total_wall) if total_wall > 0 else 0
+        ),
+        "cases": cases,
+    }
+
+
+def compare(
+    current: dict, baseline: dict, threshold: float = DEFAULT_THRESHOLD
+) -> List[str]:
+    """Regression messages (empty = within threshold).
+
+    Only *slowdowns* in aggregate events/sec beyond ``threshold`` count;
+    per-case deltas and latency shifts are reported by :func:`render` for
+    humans but do not fail the check — wall-clock noise on shared runners
+    dwarfs per-case signal.
+    """
+    problems: List[str] = []
+    base_eps = baseline.get("events_per_sec", 0)
+    cur_eps = current.get("events_per_sec", 0)
+    if base_eps > 0 and cur_eps < base_eps * (1.0 - threshold):
+        problems.append(
+            f"events/sec regressed {1.0 - cur_eps / base_eps:.1%} "
+            f"({base_eps:,} -> {cur_eps:,}; threshold {threshold:.0%})"
+        )
+    return problems
+
+
+def render(current: dict, baseline: Optional[dict] = None) -> str:
+    """Human-readable bench table, with deltas when a baseline exists."""
+    lines = [
+        f"bench [{current['scale']}] seed={current['seed']} "
+        f"python={current['python']}",
+        f"{'case':<16} {'events':>10} {'wall s':>8} {'events/s':>11} "
+        f"{'p50':>9} {'p99':>9} {'p999':>9}",
+    ]
+    for case in current["cases"]:
+        delay = case["sched_delay"]
+        lines.append(
+            f"{case['name']:<16} {case['events']:>10,} {case['wall_s']:>8.3f} "
+            f"{case['events_per_sec']:>11,} "
+            f"{delay['p50_us']:>8.1f}u {delay['p99_us']:>8.1f}u "
+            f"{delay['p999_us']:>8.1f}u"
+        )
+    lines.append(
+        f"{'TOTAL':<16} {current['total_events']:>10,} "
+        f"{current['total_wall_s']:>8.3f} {current['events_per_sec']:>11,}"
+    )
+    if baseline is not None:
+        base_eps = baseline.get("events_per_sec", 0)
+        if base_eps > 0:
+            ratio = current["events_per_sec"] / base_eps
+            lines.append(
+                f"vs baseline ({baseline.get('generated_at', '?')}): "
+                f"{ratio:.2f}x events/sec"
+            )
+    return "\n".join(lines)
+
+
+def load_json(path: Path) -> Optional[dict]:
+    if not path.exists():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="smoke",
+        help="workload length per case",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path(DEFAULT_OUT),
+        help=f"result file (default {DEFAULT_OUT})",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="previous BENCH_sched.json to diff against "
+             "(default: --out if it already exists)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on an events/sec regression beyond --threshold",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional events/sec regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = args.baseline if args.baseline is not None else args.out
+    baseline = load_json(baseline_path)
+
+    current = run_suite(scale=args.scale)
+    print(render(current, baseline))
+
+    args.out.write_text(json.dumps(current, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+
+    if baseline is not None:
+        problems = compare(current, baseline, threshold=args.threshold)
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        if problems and args.check:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,203 @@
+"""The unified telemetry bus.
+
+One :class:`TelemetryBus` per run carries every kind of observability
+signal the repo produces, replacing the three parallel systems that grew
+up separately (``SwitchTracer``'s monkeypatched ring, ``MetricsCollector``
+side counters, per-experiment ad-hoc lists):
+
+* **events** — a bounded ring of raw dataplane/net records
+  (:class:`BusEvent`, the former ``TraceRecord``), plus live subscribers;
+* **spans** — causal task-lifecycle chains (:mod:`repro.obs.spans`);
+* **histograms** — HDR-style latency distributions (:mod:`repro.obs.hdr`);
+* **counters** — named monotonic integers.
+
+Cost model: components hold ``obs = None`` by default, so an
+uninstrumented run pays one attribute test per hook site. An attached but
+``enabled=False`` bus short-circuits at the first line of every method —
+the mode used to measure instrumentation overhead itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.obs.hdr import LogHistogram
+from repro.obs.spans import SpanStore, TaskKey
+
+#: event kinds emitted by the programmable switch pipeline
+SWITCH_KINDS = ("ingress", "reply", "forward", "recirculate", "drop")
+
+
+@dataclass(frozen=True)
+class BusEvent:
+    """One raw telemetry record (wire-compatible with the old TraceRecord)."""
+
+    time_ns: int
+    kind: str  # ingress | reply | forward | recirculate | drop | ...
+    opcode: str
+    pkt_id: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.time_ns:>12}ns] {self.kind:<11} {self.opcode:<16} "
+            f"pkt={self.pkt_id} {self.detail}"
+        )
+
+
+def opcode_of(payload: Any) -> str:
+    """Protocol opcode name of a packet payload (class name fallback)."""
+    op = getattr(payload, "op", None)
+    if op is not None:
+        return op.name.lower()
+    return type(payload).__name__
+
+
+class TelemetryBus:
+    """Run-wide sink for events, spans, histograms and counters."""
+
+    def __init__(
+        self,
+        event_capacity: int = 65_536,
+        span_capacity: int = 65_536,
+        enabled: bool = True,
+    ) -> None:
+        self.enabled = enabled
+        self.events: Deque[BusEvent] = deque(maxlen=event_capacity)
+        self.spans = SpanStore(capacity=span_capacity)
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, LogHistogram] = {}
+        self._subscribers: List[Callable[[BusEvent], None]] = []
+
+    # -- raw events -------------------------------------------------------
+
+    def emit(
+        self,
+        time_ns: int,
+        kind: str,
+        opcode: str = "",
+        pkt_id: int = -1,
+        detail: str = "",
+    ) -> None:
+        if not self.enabled:
+            return
+        event = BusEvent(
+            time_ns=time_ns, kind=kind, opcode=opcode, pkt_id=pkt_id, detail=detail
+        )
+        self.events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def subscribe(self, callback: Callable[[BusEvent], None]) -> None:
+        """Stream every future :meth:`emit` to ``callback`` as well."""
+        self._subscribers.append(callback)
+
+    def matching(
+        self,
+        kind: Optional[str] = None,
+        opcode: Optional[str] = None,
+        predicate: Optional[Callable[[BusEvent], bool]] = None,
+    ) -> List[BusEvent]:
+        out = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if opcode is not None and event.opcode != opcode:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    # -- spans ------------------------------------------------------------
+
+    def task_event(
+        self, key: TaskKey, stage: str, time_ns: int, detail: str = ""
+    ) -> None:
+        if not self.enabled:
+            return
+        self.spans.record(key, stage, time_ns, detail)
+
+    # -- counters / histograms -------------------------------------------
+
+    def incr(self, name: str, n: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, value: int) -> None:
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LogHistogram()
+        hist.record(int(value))
+
+    # -- switch pipeline hooks -------------------------------------------
+    # Called by ProgrammableSwitch; kept here so the pipeline's hot path
+    # is a single `if obs is not None` guard plus one method call.
+
+    def on_switch_ingress(self, now: int, packet: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            now,
+            "ingress",
+            opcode=opcode_of(packet.payload),
+            pkt_id=packet.pkt_id,
+            detail=f"src={packet.src.node}",
+        )
+
+    def on_switch_reply(self, now: int, dst_node: str, payload: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            now, "reply", opcode=opcode_of(payload), pkt_id=-1,
+            detail=f"dst={dst_node}",
+        )
+
+    def on_switch_forward(self, now: int, packet: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            now,
+            "forward",
+            opcode=opcode_of(packet.payload),
+            pkt_id=packet.pkt_id,
+            detail=f"dst={packet.dst.node}",
+        )
+
+    def on_switch_recirculate(self, now: int, packet: Any) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            now,
+            "recirculate",
+            opcode=opcode_of(packet.payload),
+            pkt_id=packet.pkt_id,
+            detail=f"count={packet.recirculated + 1}",
+        )
+
+    def on_switch_drop(self, now: int, packet: Any, reason: str) -> None:
+        if not self.enabled:
+            return
+        self.emit(
+            now,
+            "drop",
+            opcode=opcode_of(packet.payload),
+            pkt_id=packet.pkt_id,
+            detail=reason,
+        )
+
+    # -- reporting --------------------------------------------------------
+
+    def summary(self) -> str:
+        """Counters and histogram one-liners, sorted by name."""
+        lines = []
+        for name in sorted(self.counters):
+            lines.append(f"{name:<32} {self.counters[name]:>12,}")
+        for name in sorted(self.histograms):
+            lines.append(f"{name:<32} {self.histograms[name].row()}")
+        return "\n".join(lines) if lines else "(bus is empty)"

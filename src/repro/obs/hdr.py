@@ -1,0 +1,110 @@
+"""HDR-style log-bucketed histograms.
+
+Latency distributions in this repo span five decades (sub-µs switch hops
+to multi-ms resubmit storms), so fixed-width bins are useless and keeping
+raw sample lists costs O(n) memory per metric. :class:`LogHistogram` is
+the standard HdrHistogram compromise: power-of-two buckets split into
+linear subbuckets, giving a bounded relative error (≤ 1/subbuckets) with
+a few hundred integer cells regardless of sample count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class LogHistogram:
+    """Bounded-error histogram of non-negative integer samples.
+
+    ``subbucket_bits`` controls precision: values are recorded with a
+    relative error of at most ``2**-subbucket_bits`` (default 1/64 ≈
+    1.6 %), which is far below the seed-to-seed noise of any experiment
+    here.
+    """
+
+    __slots__ = ("subbucket_bits", "_cells", "count", "total", "min", "max")
+
+    def __init__(self, subbucket_bits: int = 6) -> None:
+        if not 1 <= subbucket_bits <= 16:
+            raise ValueError(f"subbucket_bits out of range: {subbucket_bits}")
+        self.subbucket_bits = subbucket_bits
+        #: (shift, value >> shift) -> count
+        self._cells: Dict[Tuple[int, int], int] = {}
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    def record(self, value: int, n: int = 1) -> None:
+        """Record ``value`` (clamped at 0) ``n`` times."""
+        if value < 0:
+            value = 0
+        shift = max(0, value.bit_length() - self.subbucket_bits)
+        cell = (shift, value >> shift)
+        self._cells[cell] = self._cells.get(cell, 0) + n
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += n
+        self.total += value * n
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    @staticmethod
+    def _midpoint(cell: Tuple[int, int]) -> int:
+        shift, sub = cell
+        lo = sub << shift
+        hi = ((sub + 1) << shift) - 1
+        return (lo + hi) // 2
+
+    def _sorted_cells(self) -> List[Tuple[int, int]]:
+        return sorted(self._cells.items(), key=lambda kv: self._midpoint(kv[0]))
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile ``q`` in [0, 100]."""
+        if not self.count:
+            return float("nan")
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        target = q / 100.0 * self.count
+        seen = 0
+        for cell, n in self._sorted_cells():
+            seen += n
+            if seen >= target:
+                # Exact endpoints beat midpoint estimates at the extremes.
+                if q == 0:
+                    return float(self.min)
+                if q == 100:
+                    return float(self.max)
+                return float(min(self._midpoint(cell), self.max))
+        return float(self.max)
+
+    def percentiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.percentile(q) for q in qs]
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another histogram (same precision) into this one."""
+        if other.subbucket_bits != self.subbucket_bits:
+            raise ValueError("cannot merge histograms of different precision")
+        for cell, n in other._cells.items():
+            self._cells[cell] = self._cells.get(cell, 0) + n
+        if other.count:
+            if self.count == 0 or other.min < self.min:
+                self.min = other.min
+            self.max = max(self.max, other.max)
+            self.count += other.count
+            self.total += other.total
+
+    def row(self, unit_div: float = 1e3, unit: str = "us") -> str:
+        """One-line summary, nanosecond samples rendered in ``unit``."""
+        if not self.count:
+            return "n=0"
+        p50, p99, p999 = self.percentiles((50, 99, 99.9))
+        return (
+            f"n={self.count:<8} mean={self.mean / unit_div:>9.2f}{unit} "
+            f"p50={p50 / unit_div:>9.2f}{unit} p99={p99 / unit_div:>9.2f}{unit} "
+            f"p999={p999 / unit_div:>9.2f}{unit} max={self.max / unit_div:>9.2f}{unit}"
+        )

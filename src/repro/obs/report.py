@@ -1,0 +1,230 @@
+"""Observability report: ``python -m repro.obs.report``.
+
+Runs a small pinned-seed Draconis workload with the telemetry bus
+attached and renders what the bus saw:
+
+* the causal timeline of one interesting task (the one with the most
+  hops — recirculations, repairs, bounces — falling back to the slowest);
+* a per-stage latency breakdown: for each adjacent pair of
+  :data:`repro.obs.spans.BREAKDOWN_STAGES` milestones, the percentile
+  quartet of that transition across every closed span, plus a bar chart
+  of the means (where do a task's microseconds go, on average?);
+* the bus counter/histogram summary.
+
+``--chaos`` instead drives a §3.3 fault-tolerance chaos run (crashes,
+partitions, switch failover) and verifies the bus reconstructed a
+*complete, well-formed causal chain for every submitted task* — the
+end-to-end proof that instrumentation survives faults, including
+recirculation hops and client resubmissions.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.summary import PercentileSummary
+from repro.obs.bus import TelemetryBus
+from repro.obs.spans import BREAKDOWN_STAGES, SpanStore, TaskSpan
+
+REPORT_SEED = 11
+
+
+# -- analysis -------------------------------------------------------------
+
+
+def stage_transitions(
+    spans: Sequence[TaskSpan],
+) -> Dict[Tuple[str, str], List[int]]:
+    """Per-transition latency samples across closed spans.
+
+    For each adjacent milestone pair in :data:`BREAKDOWN_STAGES` present
+    in a span, the time between the *first* occurrence of each. Stages a
+    scheduler variant never emits (e.g. ``sched_enqueue`` without a
+    programmable switch) simply produce no samples.
+    """
+    out: Dict[Tuple[str, str], List[int]] = {}
+    for span in spans:
+        if not span.closed:
+            continue
+        stamped = [
+            (stage, event.time_ns)
+            for stage in BREAKDOWN_STAGES
+            if (event := span.first(stage)) is not None
+        ]
+        for (a, at_a), (b, at_b) in zip(stamped, stamped[1:]):
+            out.setdefault((a, b), []).append(at_b - at_a)
+    return out
+
+
+def most_interesting(spans: Sequence[TaskSpan]) -> Optional[TaskSpan]:
+    """The span worth a human's attention: most hops, then slowest."""
+    closed = [s for s in spans if s.closed]
+    if not closed:
+        return None
+    return max(closed, key=lambda s: (len(s.hops()), s.duration_ns))
+
+
+def verify_chains(store: SpanStore, expected_tasks: int) -> List[str]:
+    """Every way the span store fails to cover a run (empty = complete)."""
+    problems: List[str] = []
+    closed = store.closed_spans()
+    if store.evicted:
+        problems.append(
+            f"{store.evicted} spans evicted (capacity too small for run)"
+        )
+    still_open = store.open_spans()
+    if still_open:
+        problems.append(
+            f"{len(still_open)} spans never closed, e.g. "
+            f"{still_open[0].key}: stages={still_open[0].stages()}"
+        )
+    if len(closed) != expected_tasks:
+        problems.append(
+            f"{len(closed)} closed spans for {expected_tasks} submitted tasks"
+        )
+    for span in closed:
+        for problem in span.well_formed():
+            problems.append(f"task {span.key}: {problem}")
+    return problems
+
+
+# -- rendering ------------------------------------------------------------
+
+
+def render_breakdown(spans: Sequence[TaskSpan]) -> str:
+    """Percentile table + mean bar chart of per-stage transitions."""
+    from repro.viz import bar_chart
+
+    transitions = stage_transitions(spans)
+    if not transitions:
+        return "(no closed spans to break down)"
+    order = {stage: i for i, stage in enumerate(BREAKDOWN_STAGES)}
+    lines = [f"{'stage transition':<28} percentiles"]
+    means: Dict[str, float] = {}
+    for (a, b) in sorted(transitions, key=lambda ab: order[ab[0]]):
+        samples = transitions[(a, b)]
+        label = f"{a} -> {b}"
+        lines.append(f"{label:<28} {PercentileSummary.from_ns(samples).row()}")
+        means[label] = sum(samples) / len(samples) / 1e3
+    chart = bar_chart(
+        means, unit="us", title="mean time per stage transition"
+    )
+    return "\n".join(lines) + "\n\n" + chart
+
+
+def render_report(bus: TelemetryBus, expected_tasks: int) -> str:
+    """The full report body for an instrumented run."""
+    spans = list(bus.spans)
+    sections = []
+
+    span = most_interesting(spans)
+    if span is not None:
+        sections.append(
+            "== task timeline (most hops, then slowest) ==\n" + span.render()
+        )
+
+    sections.append(
+        "== per-stage latency breakdown ==\n" + render_breakdown(spans)
+    )
+
+    closed = sum(1 for s in spans if s.closed)
+    recircs = sum(
+        1 for s in spans for e in s.hops() if e.stage == "recirc_hop"
+    )
+    sections.append(
+        "== span coverage ==\n"
+        f"{closed}/{expected_tasks} tasks have closed spans, "
+        f"{recircs} recirculation hop(s) recorded, "
+        f"{bus.spans.evicted} evicted"
+    )
+
+    sections.append("== bus summary ==\n" + bus.summary())
+    return "\n\n".join(sections)
+
+
+# -- entry points ---------------------------------------------------------
+
+
+def run_sample(
+    duration_ms: float = 10.0, tasks_per_job: int = 4, seed: int = REPORT_SEED
+) -> Tuple[TelemetryBus, int]:
+    """A small instrumented Draconis run; returns (bus, tasks_submitted).
+
+    ``tasks_per_job > 1`` batches submissions so packets overflow the
+    per-packet dequeue budget and recirculate — the report should show
+    hop stages, not just the happy path.
+    """
+    from repro.experiments.common import ClusterConfig, run_workload
+    from repro.sim.core import ms
+    from repro.workloads import fixed, open_loop, rate_for_utilization
+
+    bus = TelemetryBus()
+    config = ClusterConfig(seed=seed, scheduler="draconis", obs=bus)
+    duration_ns = int(ms(duration_ms))
+    sampler = fixed(250.0)
+    rate = rate_for_utilization(0.6, config.total_executors, sampler.mean_ns)
+
+    def factory(rngs):
+        return open_loop(
+            rngs.stream("arrivals"), rate, sampler, duration_ns,
+            tasks_per_job=tasks_per_job,
+        )
+
+    result = run_workload(config, factory, duration_ns=duration_ns)
+    return bus, result.tasks_submitted
+
+
+def run_chaos_verified(
+    seed: int = REPORT_SEED, kind: str = "mixed", duration_ms: float = 30.0
+) -> Tuple[TelemetryBus, int, List[str]]:
+    """Chaos run with the bus attached; returns (bus, tasks, problems)."""
+    from repro.experiments.fault_tolerance import run_chaos
+    from repro.sim.core import ms
+
+    bus = TelemetryBus(span_capacity=1 << 20)
+    result = run_chaos(
+        seed, kind=kind, duration_ns=int(ms(duration_ms)), obs=bus
+    )
+    problems = verify_chains(bus.spans, result.tasks_submitted)
+    return bus, result.tasks_submitted, problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="verify span-chain completeness under a fault-injection run",
+    )
+    parser.add_argument("--seed", type=int, default=REPORT_SEED)
+    parser.add_argument("--duration-ms", type=float, default=None)
+    parser.add_argument(
+        "--kind", default="mixed", help="chaos plan kind (with --chaos)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.chaos:
+        bus, tasks, problems = run_chaos_verified(
+            seed=args.seed,
+            kind=args.kind,
+            duration_ms=args.duration_ms or 30.0,
+        )
+        print(render_report(bus, tasks))
+        print()
+        if problems:
+            print(f"INCOMPLETE: {len(problems)} span-chain problem(s)")
+            for problem in problems[:20]:
+                print(f"  ! {problem}")
+            return 1
+        print(f"COMPLETE: all {tasks} task span chains closed and well-formed")
+        return 0
+
+    bus, tasks = run_sample(
+        duration_ms=args.duration_ms or 10.0, seed=args.seed
+    )
+    print(render_report(bus, tasks))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

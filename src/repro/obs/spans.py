@@ -1,0 +1,196 @@
+"""Causal task-lifecycle spans.
+
+A :class:`TaskSpan` is the ordered list of everything that happened to one
+``(uid, jid, tid)`` task — client submit, switch enqueue, recirculation
+and repair hops, assignment, execution, completion — each stamped with the
+simulation clock. Spans answer the question the aggregate metrics cannot:
+*where did this particular task's microseconds go?*
+
+The store is bounded: open spans live in a dict (one per in-flight task),
+closed spans move to a ring buffer whose eviction also drops the index
+entry, so memory is O(in-flight + capacity) regardless of run length.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
+
+TaskKey = Tuple[int, int, int]
+
+# Stage names, in causal order. Hop stages (may repeat, interleaved
+# anywhere between submit and sched_enqueue / sched_assign):
+#   recirc_hop   — the packet carrying this task was recirculated
+#   repair_hop   — this task's enqueue emitted a pointer-repair packet
+#   park_wake    — this submission replayed a parked pull
+#   bounce       — the scheduler bounced the task (queue full)
+#   resubmit     — the client resubmitted after a timeout
+STAGE_SUBMIT = "submit"
+STAGE_ENQUEUE = "sched_enqueue"
+STAGE_SCHED_ASSIGN = "sched_assign"
+STAGE_ASSIGN = "assign"
+STAGE_START = "start"
+STAGE_FINISH = "finish"
+STAGE_COMPLETE = "complete"
+
+#: the milestone chain every completed task must traverse in order
+MILESTONES = (
+    STAGE_SUBMIT,
+    STAGE_START,
+    STAGE_FINISH,
+    STAGE_COMPLETE,
+)
+
+#: full decomposition order used for per-stage latency breakdowns
+BREAKDOWN_STAGES = (
+    STAGE_SUBMIT,
+    STAGE_ENQUEUE,
+    STAGE_SCHED_ASSIGN,
+    STAGE_ASSIGN,
+    STAGE_START,
+    STAGE_FINISH,
+    STAGE_COMPLETE,
+)
+
+HOP_STAGES = ("recirc_hop", "repair_hop", "park_wake", "bounce", "resubmit", "swap_hop")
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One stamped stage in a task's life."""
+
+    time_ns: int
+    stage: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time_ns:>12}ns] {self.stage:<13} {self.detail}"
+
+
+@dataclass
+class TaskSpan:
+    """Everything recorded for one task, in arrival order."""
+
+    key: TaskKey
+    events: List[SpanEvent] = field(default_factory=list)
+    closed: bool = False
+
+    def add(self, event: SpanEvent) -> None:
+        self.events.append(event)
+        if event.stage == STAGE_COMPLETE:
+            self.closed = True
+
+    def first(self, stage: str) -> Optional[SpanEvent]:
+        for event in self.events:
+            if event.stage == stage:
+                return event
+        return None
+
+    def stages(self) -> List[str]:
+        return [event.stage for event in self.events]
+
+    def hops(self) -> List[SpanEvent]:
+        """Recirculation/repair/park/bounce/resubmit events only."""
+        return [e for e in self.events if e.stage in HOP_STAGES]
+
+    @property
+    def start_ns(self) -> int:
+        return self.events[0].time_ns if self.events else -1
+
+    @property
+    def end_ns(self) -> int:
+        return self.events[-1].time_ns if self.events else -1
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns if self.events else 0
+
+    def well_formed(self) -> List[str]:
+        """Why this span is *not* a valid closed causal chain (empty = ok).
+
+        A well-formed closed span has every milestone stage exactly once
+        in causal order, monotonically non-decreasing timestamps overall,
+        and its first event is the submit.
+        """
+        problems: List[str] = []
+        if not self.events:
+            return ["span has no events"]
+        if self.events[0].stage != STAGE_SUBMIT:
+            problems.append(f"first event is {self.events[0].stage!r}, not submit")
+        times = [e.time_ns for e in self.events]
+        if times != sorted(times):
+            problems.append("events are not time-ordered")
+        last_at = -1
+        for stage in MILESTONES:
+            hits = [e for e in self.events if e.stage == stage]
+            if not hits:
+                problems.append(f"missing milestone {stage!r}")
+                continue
+            at = hits[0].time_ns
+            if at < last_at:
+                problems.append(f"milestone {stage!r} precedes its predecessor")
+            last_at = at
+        if not self.closed:
+            problems.append("span never closed (no complete event)")
+        return problems
+
+    def render(self) -> str:
+        """Human-readable timeline with relative offsets."""
+        if not self.events:
+            return f"task {self.key}: (no events)"
+        base = self.events[0].time_ns
+        lines = [f"task uid={self.key[0]} jid={self.key[1]} tid={self.key[2]}"]
+        for event in self.events:
+            offset_us = (event.time_ns - base) / 1e3
+            lines.append(
+                f"  +{offset_us:>10.2f}us  {event.stage:<13} {event.detail}"
+            )
+        lines.append(f"  total {self.duration_ns / 1e3:.2f}us, "
+                     f"{len(self.hops())} hop(s), "
+                     f"{'closed' if self.closed else 'OPEN'}")
+        return "\n".join(lines)
+
+
+class SpanStore:
+    """Open-span dict + closed-span ring with an eviction-aware index."""
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"span capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._open: Dict[TaskKey, TaskSpan] = {}
+        self._closed: "OrderedDict[TaskKey, TaskSpan]" = OrderedDict()
+        self.evicted = 0
+
+    def record(self, key: TaskKey, stage: str, time_ns: int, detail: str = "") -> None:
+        span = self._open.get(key)
+        if span is None:
+            span = self._closed.get(key)
+        if span is None:
+            span = TaskSpan(key=key)
+            self._open[key] = span
+        span.add(SpanEvent(time_ns=time_ns, stage=stage, detail=detail))
+        if span.closed and key in self._open:
+            del self._open[key]
+            self._closed[key] = span
+            if len(self._closed) > self.capacity:
+                self._closed.popitem(last=False)
+                self.evicted += 1
+
+    def get(self, key: TaskKey) -> Optional[TaskSpan]:
+        span = self._open.get(key)
+        return span if span is not None else self._closed.get(key)
+
+    def open_spans(self) -> List[TaskSpan]:
+        return list(self._open.values())
+
+    def closed_spans(self) -> List[TaskSpan]:
+        return list(self._closed.values())
+
+    def __iter__(self) -> Iterator[TaskSpan]:
+        yield from self._open.values()
+        yield from self._closed.values()
+
+    def __len__(self) -> int:
+        return len(self._open) + len(self._closed)

@@ -16,6 +16,7 @@ The clock unit is the nanosecond. Use :func:`us`, :func:`ms` and
 from __future__ import annotations
 
 import heapq
+from time import perf_counter_ns as _perf_counter_ns
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -257,12 +258,25 @@ class Interrupted(SimulationError):
 class Simulator:
     """A deterministic discrete-event loop with an integer ns clock."""
 
+    #: dispatches across every Simulator instance in this process — lets
+    #: harnesses (run_all, the perf bench) report events/sec for a block
+    #: of code without threading a simulator handle through every API
+    _global_events = 0
+
     def __init__(self) -> None:
         self._now = 0
         self._sequence = 0
         self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
         self._events_processed = 0
         self._running = False
+        #: optional :class:`repro.obs.profile.SimProfiler`; when set, every
+        #: dispatch is timed and attributed to the callback's component
+        self.profiler: Optional[Any] = None
+
+    @classmethod
+    def global_events_processed(cls) -> int:
+        """Total dispatches across all simulators in this process."""
+        return cls._global_events
 
     @property
     def now(self) -> int:
@@ -328,6 +342,8 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        started_events = self._events_processed
+        profiler = self.profiler
         try:
             budget = max_events
             while self._heap:
@@ -338,7 +354,12 @@ class Simulator:
                 heapq.heappop(self._heap)
                 self._now = when
                 self._events_processed += 1
-                callback(*args)
+                if profiler is None:
+                    callback(*args)
+                else:
+                    t0 = _perf_counter_ns()
+                    callback(*args)
+                    profiler.account(callback, _perf_counter_ns() - t0)
                 if budget is not None:
                     budget -= 1
                     if budget <= 0:
@@ -350,6 +371,7 @@ class Simulator:
             return self._now
         finally:
             self._running = False
+            Simulator._global_events += self._events_processed - started_events
 
     def step(self) -> bool:
         """Dispatch a single scheduled callback. Returns False when idle."""
@@ -358,7 +380,13 @@ class Simulator:
         when, _seq, callback, args = heapq.heappop(self._heap)
         self._now = when
         self._events_processed += 1
-        callback(*args)
+        Simulator._global_events += 1
+        if self.profiler is None:
+            callback(*args)
+        else:
+            t0 = _perf_counter_ns()
+            callback(*args)
+            self.profiler.account(callback, _perf_counter_ns() - t0)
         return True
 
     def peek(self) -> Optional[int]:

@@ -154,6 +154,9 @@ class ProgrammableSwitch(BaseSwitch):
             program.check_resources(model)
         #: service address used as the source of switch-synthesized replies
         self.service_address = Address(name, program.service_port)
+        #: optional :class:`repro.obs.bus.TelemetryBus`; when attached the
+        #: pipeline emits ingress/reply/forward/recirculate/drop events
+        self.obs = None
 
     # -- control plane / fault hooks -------------------------------------
 
@@ -200,6 +203,8 @@ class ProgrammableSwitch(BaseSwitch):
 
     def _traverse(self, packet: Packet) -> None:
         self.stats.pipeline_packets += 1
+        if self.obs is not None:
+            self.obs.on_switch_ingress(self.sim.now, packet)
         ctx = PacketContext(packet)
         actions = self.program.process(ctx, packet)
         for action in actions:
@@ -208,14 +213,19 @@ class ProgrammableSwitch(BaseSwitch):
     # -- actions -----------------------------------------------------------
 
     def _apply(self, action: Action) -> None:
+        obs = self.obs
         if isinstance(action, Forward):
             pkt = action.packet
             if action.dst is not None:
                 pkt.dst = action.dst
             self.stats.forwards += 1
+            if obs is not None:
+                obs.on_switch_forward(self.sim.now, pkt)
             self.forward(pkt)
         elif isinstance(action, Reply):
             self.stats.replies += 1
+            if obs is not None:
+                obs.on_switch_reply(self.sim.now, action.dst.node, action.payload)
             reply = Packet(
                 src=self.service_address,
                 dst=action.dst,
@@ -224,9 +234,13 @@ class ProgrammableSwitch(BaseSwitch):
             )
             self.forward(reply)
         elif isinstance(action, Recirculate):
+            if obs is not None:
+                obs.on_switch_recirculate(self.sim.now, action.packet)
             self._recirculate(action.packet)
         elif isinstance(action, Drop):
             self.stats.program_drops += 1
+            if obs is not None:
+                obs.on_switch_drop(self.sim.now, action.packet, action.reason)
         else:
             raise SwitchError(f"unknown switch action: {action!r}")
 
@@ -236,6 +250,8 @@ class ProgrammableSwitch(BaseSwitch):
         queued = backlog // self._recirc_gap_ns
         if queued >= self.recirc_queue_packets:
             self.stats.recirc_dropped += 1
+            if self.obs is not None:
+                self.obs.on_switch_drop(self.sim.now, packet, "recirc-overflow")
             return
         self.stats.recirculations += 1
         packet.recirculated += 1

@@ -1,11 +1,11 @@
-"""Dataplane tracing: a bounded in-switch event log.
+"""Dataplane tracing — back-compat shim over :mod:`repro.obs`.
 
-Real deployments debug P4 programs with mirrored packets and counters;
-this module is the simulation analogue — a ring buffer of
-``(time_ns, kind, opcode, detail)`` records attached to a
-:class:`~repro.switchsim.pipeline.ProgrammableSwitch`. Tracing is opt-in
-and cheap enough to leave on in tests, where it turns "the task
-disappeared" into a grep.
+Historically this module monkeypatched the switch's ``_traverse``/``_apply``
+to keep its own ring of ``TraceRecord``\\ s. The switch pipeline now emits
+natively onto a :class:`~repro.obs.bus.TelemetryBus`; :class:`SwitchTracer`
+survives as a thin view that subscribes to the bus and mirrors switch
+events into the same bounded ``records`` deque with the same query API, so
+existing tests and call sites keep working unchanged.
 
 Example::
 
@@ -18,112 +18,34 @@ Example::
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, Iterator, List, Optional
+from typing import Callable, Deque, List, Optional
 
-from repro.switchsim.pipeline import (
-    Drop,
-    Forward,
-    ProgrammableSwitch,
-    Recirculate,
-    Reply,
-)
+from repro.obs.bus import SWITCH_KINDS, BusEvent, TelemetryBus
+from repro.switchsim.pipeline import ProgrammableSwitch
 
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One dataplane event."""
-
-    time_ns: int
-    kind: str  # ingress | reply | forward | recirculate | drop
-    opcode: str
-    pkt_id: int
-    detail: str = ""
-
-    def __str__(self) -> str:
-        return (
-            f"[{self.time_ns:>12}ns] {self.kind:<11} {self.opcode:<16} "
-            f"pkt={self.pkt_id} {self.detail}"
-        )
-
-
-def _opcode_of(payload) -> str:
-    op = getattr(payload, "op", None)
-    if op is not None:
-        return op.name.lower()
-    return type(payload).__name__
+#: the record type is the bus's own event class; the fields and rendering
+#: are wire-compatible with the pre-bus TraceRecord
+TraceRecord = BusEvent
 
 
 class SwitchTracer:
-    """Wraps a switch's traversal/action paths with a bounded event log."""
+    """A bounded in-switch event log, fed by the telemetry bus."""
 
     def __init__(self, switch: ProgrammableSwitch, capacity: int = 65_536) -> None:
         self.switch = switch
         self.records: Deque[TraceRecord] = deque(maxlen=capacity)
-        self._wrap()
+        bus = switch.obs
+        if bus is None:
+            # Standalone use: give the switch a private bus with no span
+            # bookkeeping cost beyond the event ring itself.
+            bus = TelemetryBus(event_capacity=capacity)
+            switch.obs = bus
+        self.bus = bus
+        bus.subscribe(self._mirror)
 
-    def _wrap(self) -> None:
-        switch = self.switch
-        original_traverse = switch._traverse
-        original_apply = switch._apply
-
-        def traced_traverse(packet):
-            self.records.append(
-                TraceRecord(
-                    time_ns=switch.sim.now,
-                    kind="ingress",
-                    opcode=_opcode_of(packet.payload),
-                    pkt_id=packet.pkt_id,
-                    detail=f"src={packet.src.node}",
-                )
-            )
-            return original_traverse(packet)
-
-        def traced_apply(action):
-            if isinstance(action, Reply):
-                self.records.append(
-                    TraceRecord(
-                        time_ns=switch.sim.now,
-                        kind="reply",
-                        opcode=_opcode_of(action.payload),
-                        pkt_id=-1,
-                        detail=f"dst={action.dst.node}",
-                    )
-                )
-            elif isinstance(action, Forward):
-                self.records.append(
-                    TraceRecord(
-                        time_ns=switch.sim.now,
-                        kind="forward",
-                        opcode=_opcode_of(action.packet.payload),
-                        pkt_id=action.packet.pkt_id,
-                        detail=f"dst={action.packet.dst.node}",
-                    )
-                )
-            elif isinstance(action, Recirculate):
-                self.records.append(
-                    TraceRecord(
-                        time_ns=switch.sim.now,
-                        kind="recirculate",
-                        opcode=_opcode_of(action.packet.payload),
-                        pkt_id=action.packet.pkt_id,
-                        detail=f"count={action.packet.recirculated + 1}",
-                    )
-                )
-            elif isinstance(action, Drop):
-                self.records.append(
-                    TraceRecord(
-                        time_ns=switch.sim.now,
-                        kind="drop",
-                        opcode=_opcode_of(action.packet.payload),
-                        pkt_id=action.packet.pkt_id,
-                        detail=action.reason,
-                    )
-                )
-            return original_apply(action)
-
-        switch._traverse = traced_traverse
-        switch._apply = traced_apply
+    def _mirror(self, event: BusEvent) -> None:
+        if event.kind in SWITCH_KINDS:
+            self.records.append(event)
 
     # -- queries ------------------------------------------------------------
 

@@ -2,7 +2,7 @@
 
 PY ?= python
 
-.PHONY: install test bench obs-bench obs-report experiments smoke chaos examples clean
+.PHONY: install test bench obs-bench obs-report experiments smoke chaos recovery examples clean
 
 install:
 	$(PY) setup.py develop
@@ -27,6 +27,9 @@ smoke:
 
 chaos:
 	$(PY) -m repro.experiments.fault_tolerance --seeds 5
+
+recovery:
+	$(PY) -m repro.experiments.recovery --seeds 3 --out recovery-summary.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PY) $$f || exit 1; done

@@ -19,6 +19,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cluster.task import SubmitEvent, TaskSpec, encode_duration
 from repro.metrics.collector import MetricsCollector
 from repro.net.host import Host, Socket
@@ -43,8 +45,16 @@ TaskKey = Tuple[int, int, int]
 class ClientConfig:
     """Client behaviour knobs."""
 
-    #: wait before retrying tasks bounced with an error_packet (§4.3)
+    #: base wait before retrying tasks bounced with an error_packet (§4.3)
     bounce_retry_ns: int = us(50)
+    #: each bounce retry multiplies the wait (capped exponential backoff —
+    #: a persistently full queue must not be hammered at a fixed interval)
+    bounce_backoff: float = 2.0
+    #: cap on the backoff multiplier (bounce_retry_ns × this at most)
+    bounce_backoff_max: float = 32.0
+    #: ± fraction of random jitter on each bounce wait, desynchronizing
+    #: clients that were all bounced by the same full-queue window
+    bounce_jitter: float = 0.2
     #: resubmit timeout as a multiple of task execution time; None disables
     timeout_factor: Optional[float] = None
     #: floor for the resubmit timeout (short tasks need network headroom)
@@ -66,6 +76,9 @@ class ClientStats:
     tasks_submitted: int = 0
     tasks_completed: int = 0
     bounces: int = 0
+    #: bounced tasks abandoned because their shared retry budget
+    #: (``max_retries``, bounces + timeouts combined) ran out
+    bounce_give_ups: int = 0
     timeouts: int = 0
     #: completion notices for tasks already completed (resubmission races
     #: or duplicated packets); suppressed, first completion wins
@@ -96,7 +109,10 @@ class Client:
         self._next_jid = 0
         #: tasks submitted and not yet completed, for retries
         self._outstanding: Dict[TaskKey, TaskSpec] = {}
+        #: per-task retry count, shared by bounce retries and timeout
+        #: resubmissions; pruned on completion
         self._retries: Dict[TaskKey, int] = {}
+        self._rng = np.random.default_rng(100_000 + uid)
         self._timeout_heap: List[Tuple[int, TaskKey]] = []
         self._timeout_waker = None
         self.submit_process = sim.spawn(
@@ -183,20 +199,57 @@ class Client:
     def _on_completion(self, completion: Completion) -> None:
         key = completion.key
         self.collector.on_complete(key, self.sim.now)
+        self._retries.pop(key, None)
         if self._outstanding.pop(key, None) is not None:
             self.stats.tasks_completed += 1
         else:
             self.stats.duplicate_completions += 1
 
+    def _bounce_delay_ns(self, error: ErrorPacket) -> int:
+        """Wait before re-sending a bounced batch.
+
+        Capped exponential in the batch's retry round (its least-retried
+        outstanding task), with jitter, and never below the scheduler's
+        degraded-mode ``backoff_hint_ns``.
+        """
+        cfg = self.config
+        rounds = min(
+            (
+                self._retries.get((error.uid, error.jid, t.tid), 0)
+                for t in error.tasks
+                if (error.uid, error.jid, t.tid) in self._outstanding
+            ),
+            default=0,
+        )
+        multiplier = min(cfg.bounce_backoff ** rounds, cfg.bounce_backoff_max)
+        delay = cfg.bounce_retry_ns * multiplier
+        if cfg.bounce_jitter > 0:
+            delay *= 1.0 + float(
+                self._rng.uniform(-cfg.bounce_jitter, cfg.bounce_jitter)
+            )
+        return max(1, int(max(delay, error.backoff_hint_ns)))
+
     def _retry_bounced(self, error: ErrorPacket):
-        """Re-send tasks rejected by a full queue, after a short wait."""
-        yield self.sim.timeout(self.config.bounce_retry_ns)
+        """Re-send tasks rejected by a full queue, after a backoff wait.
+
+        Each retry draws on the same ``max_retries`` budget as timeout
+        resubmissions, so a persistently full queue ends in a counted
+        give-up instead of an infinite bounce loop.
+        """
+        yield self.sim.timeout(self._bounce_delay_ns(error))
         infos = []
         for task in error.tasks:
             key = (error.uid, error.jid, task.tid)
             spec = self._outstanding.get(key)
             if spec is None:
                 continue  # completed meanwhile (duplicate submission)
+            retries = self._retries.get(key, 0)
+            if retries >= self.config.max_retries:
+                # Budget exhausted: the task stays outstanding (reported
+                # as unfinished) rather than spinning forever.
+                self.stats.bounce_give_ups += 1
+                continue
+            self._retries[key] = retries + 1
             self.collector.on_bounce(key, now=self.sim.now)
             self.stats.bounces += 1
             self._arm_timeout(key, spec)

@@ -26,6 +26,7 @@ from repro.net.packet import Address
 from repro.protocol import codec
 from repro.protocol.messages import (
     Completion,
+    Heartbeat,
     NoOpTask,
     TaskAssignment,
     TaskRequest,
@@ -90,6 +91,10 @@ class ExecutorConfig:
     #: re-send the task request if no response arrives (a response can be
     #: tail-dropped at an overloaded server scheduler's receive ring)
     response_timeout_ns: int = us(1_000)
+    #: liveness beacon period when a controller address is configured
+    #: (repro.ctrl lease-based membership); must be well below the
+    #: controller's lease_ns or healthy executors flap
+    heartbeat_interval_ns: int = us(100)
 
 
 @dataclass
@@ -117,6 +122,7 @@ class Executor:
         config: Optional[ExecutorConfig] = None,
         local_port: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        controller: Optional[Address] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -140,7 +146,15 @@ class Executor:
         #: execution-time multiplier (fault injection: >1 models a
         #: thermally-throttled or contended node)
         self.speed_factor: float = 1.0
+        #: control-plane endpoint for liveness heartbeats (repro.ctrl);
+        #: None means no membership protocol (the paper's baseline)
+        self.controller = controller
+        self._hb_process = None
         self.process = sim.spawn(self._run(), name=f"executor-{executor_id}")
+        if controller is not None:
+            self._hb_process = sim.spawn(
+                self._heartbeat_loop(), name=f"executor-{executor_id}-hb"
+            )
 
     # -- helpers -----------------------------------------------------------
 
@@ -190,6 +204,10 @@ class Executor:
         self._stopped = True
         self.socket.drain()
         self.process.interrupt("executor crash")
+        if self._hb_process is not None and not self._hb_process.triggered:
+            # Heartbeats stop with the node; the controller's lease lapse
+            # is what detects this crash.
+            self._hb_process.interrupt("executor crash")
 
     def restart(self) -> None:
         """Boot a fresh pulling loop after a crash (or completed stop).
@@ -205,6 +223,10 @@ class Executor:
         self.process = self.sim.spawn(
             self._run(), name=f"executor-{self.executor_id}"
         )
+        if self.controller is not None:
+            self._hb_process = self.sim.spawn(
+                self._heartbeat_loop(), name=f"executor-{self.executor_id}-hb"
+            )
 
     def _exec_ns(self, duration: int) -> int:
         if self.speed_factor == 1.0:
@@ -222,6 +244,26 @@ class Executor:
             # A packet raced in while the timeout fired; keep it.
             return get_event.value
         return None
+
+    # -- liveness heartbeats (repro.ctrl) -----------------------------------
+
+    def _heartbeat_loop(self):
+        """Beacon liveness to the controller until crash/stop.
+
+        Startup is staggered and each period jittered so a fleet's
+        heartbeats do not arrive in lockstep bursts at the controller.
+        """
+        beat = Heartbeat(executor_id=self.executor_id, node_id=self.node_id)
+        size = codec.wire_size(beat)
+        interval = self.config.heartbeat_interval_ns
+        try:
+            yield self.sim.timeout(int(self._rng.uniform(0, interval)))
+            while not self._stopped:
+                self.socket.send(self.controller, beat, size)
+                jitter = 1.0 + float(self._rng.uniform(-0.1, 0.1))
+                yield self.sim.timeout(max(1, int(interval * jitter)))
+        except Interrupted:
+            return  # crash: the lease lapses at the controller
 
     # -- main loop ----------------------------------------------------------
 

@@ -8,7 +8,7 @@ node's executors — resources such as GPUs belong to nodes, not cores
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 import numpy as np
@@ -47,18 +47,14 @@ class Worker:
         config: Optional[ExecutorConfig] = None,
         executor_id_base: int = 0,
         rng: Optional[np.random.Generator] = None,
+        controller: Optional[Address] = None,
     ) -> None:
         self.sim = sim
         self.spec = spec
         self.host = topology.add_host(spec.name)
         base_config = config or ExecutorConfig()
         if spec.resources and base_config.exec_rsrc == 0:
-            base_config = ExecutorConfig(
-                poll_interval_ns=base_config.poll_interval_ns,
-                poll_jitter=base_config.poll_jitter,
-                exec_rsrc=spec.resources,
-                locality=base_config.locality,
-            )
+            base_config = replace(base_config, exec_rsrc=spec.resources)
         self.executors: List[Executor] = [
             Executor(
                 sim,
@@ -70,6 +66,7 @@ class Worker:
                 rack_id=spec.rack_id,
                 config=base_config,
                 local_port=7000 + i,
+                controller=controller,
                 rng=np.random.default_rng(
                     (rng.integers(0, 2**63) if rng is not None else 0)
                     + executor_id_base
@@ -97,8 +94,9 @@ class Worker:
         """Fail-stop the whole node (§3.3: dead executors stop pulling).
 
         Idempotent; in-flight tasks are abandoned and the NIC receive
-        rings are flushed. Recovery is client-driven (timeout resubmit) —
-        the switch holds no liveness state about this node.
+        rings are flushed. Recovery is client-driven (timeout resubmit)
+        unless a repro.ctrl controller is configured, whose lease expiry
+        reclaims this node's parked pulls and in-flight assignments.
         """
         for executor in self.executors:
             executor.crash()

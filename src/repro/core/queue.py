@@ -326,6 +326,83 @@ class SwitchCircularQueue:
             1 for i in range(self.capacity) if self.slots.cp_read(i) is not None
         )
 
+    def approx_occupancy(self) -> int:
+        """O(1) occupancy estimate from the enqueue/dequeue counters.
+
+        Exact whenever no repair is in flight; transiently off by the
+        pending mistake count otherwise. The degradation policy reads this
+        on every submission, where an O(capacity) slot scan would dominate
+        the simulation — and a real switch CPU would likewise watch
+        counters, not scan SRAM.
+        """
+        return max(0, self.stats.enqueued - self.stats.dequeued)
+
+    def _effective_window(self) -> tuple:
+        """Control-plane (head, tail) with in-flight repairs compensated."""
+        a = self.add_ptr.cp_read(0)
+        r = self.retrieve_ptr.cp_read(0)
+        if self.add_mistakes.cp_read(0) > 0:
+            a -= self.add_mistakes.cp_read(0)
+        if self.rtr_repair_flag.cp_read(0):
+            # Live retrieve_ptr is garbage while the repair circulates;
+            # the corrected head is in rtr_value (see enqueue()).
+            r = self.rtr_value.cp_read(0)
+        return r, a
+
+    def snapshot_entries(self) -> list:
+        """FIFO-ordered copy of every stored entry (checkpointing).
+
+        A control-plane scan of the live window ``[head, tail)``; holes
+        (cleared slots inside the window) are skipped. Entries are frozen
+        dataclasses, so sharing references with the dataplane is safe.
+        """
+        r, a = self._effective_window()
+        lo = max(r, a - self.capacity)
+        entries = []
+        for index in range(lo, a):
+            entry = self.slots.cp_read(index % self.capacity)
+            if entry is not None:
+                entries.append(entry)
+        return entries
+
+    def restore_entries(self, entries) -> int:
+        """Reset the queue to hold exactly ``entries`` (failover replay).
+
+        Control-plane bulk write into a standby's registers: slots 0..n-1
+        get the entries in FIFO order, pointers restart at (0, n), and all
+        repair state is cleared. Entries beyond capacity are dropped (the
+        caller reports them); returns how many were restored.
+        """
+        kept = list(entries)[: self.capacity]
+        self.slots.cp_fill(None)
+        for index, entry in enumerate(kept):
+            self.slots.cp_write(index, entry)
+        self.retrieve_ptr.cp_write(0, 0)
+        self.add_ptr.cp_write(0, len(kept))
+        self.rtr_repair_flag.cp_write(0, 0)
+        self.rtr_value.cp_write(0, 0)
+        self.add_mistakes.cp_write(0, 0)
+        # Keep the O(1) occupancy estimate truthful on the (fresh) standby.
+        self.stats.enqueued += len(kept)
+        return len(kept)
+
+    def cp_enqueue(self, entry: QueueEntry) -> bool:
+        """Control-plane tail insert (controller reclaim path).
+
+        Refuses rather than corrupts: while a repair is in flight or the
+        queue is full the caller must retry later. Returns True on success.
+        """
+        if self.add_mistakes.cp_read(0) > 0 or self.rtr_repair_flag.cp_read(0):
+            return False
+        a = self.add_ptr.cp_read(0)
+        r = self.retrieve_ptr.cp_read(0)
+        if a - r >= self.capacity:
+            return False
+        self.slots.cp_write(a % self.capacity, entry)
+        self.add_ptr.cp_write(0, a + 1)
+        self.stats.enqueued += 1
+        return True
+
     def pointer_state(self) -> dict:
         return {
             "add_ptr": self.add_ptr.cp_read(0),

@@ -42,6 +42,7 @@ from repro.protocol.messages import (
 )
 from repro.core.policies import ExecProps, FcfsPolicy, Policy, Verdict
 from repro.core.queue import QueueEntry, SwitchCircularQueue
+from repro.ctrl.degradation import DegradationPolicy
 from repro.switchsim.pipeline import (
     Action,
     Drop,
@@ -71,6 +72,10 @@ class SchedulerStats:
     pulls_parked: int = 0
     pulls_expired: int = 0
     parked_wakeups: int = 0
+    tasks_shed: int = 0
+    tasks_reclaimed: int = 0
+    entries_restored: int = 0
+    parked_restored: int = 0
 
 
 @dataclass(frozen=True)
@@ -108,6 +113,7 @@ class DraconisProgram(P4Program):
         park_pulls: bool = False,
         pull_queue_capacity: int = 256,
         pull_ttl_ns: int = DEFAULT_PULL_TTL_NS,
+        degradation: Optional[DegradationPolicy] = None,
     ) -> None:
         """``retrieve_mode``: "conditional" (repair-free retrieval, the
         default deployment) or "delayed" (the paper's §4.5 delayed
@@ -129,6 +135,13 @@ class DraconisProgram(P4Program):
         bounds how long a parked pull may represent a possibly-dead
         executor; expired entries are garbage-collected lazily. Off by
         default (the paper's no-op/poll behaviour).
+
+        ``degradation``: optional
+        :class:`~repro.ctrl.degradation.DegradationPolicy`. When set, the
+        scheduler sheds the lowest priority classes *before* the queues
+        are physically full and stamps a ``backoff_hint_ns`` into every
+        bounce error so clients widen their retry backoff. Off by default
+        (the paper's accept-or-bounce behaviour).
         """
         super().__init__()
         self.service_port = service_port
@@ -162,6 +175,13 @@ class DraconisProgram(P4Program):
         self.pull_ttl_ns = pull_ttl_ns
         #: FIFO of parked GetTask pulls, oldest first (front expires first)
         self._parked_pulls: Deque[ParkedPull] = deque()
+        if degradation is not None:
+            degradation.validate()
+        self.degradation = degradation
+        #: control-plane mirrors, bound by repro.ctrl when deployed:
+        #: a CheckpointManager's DeltaJournal and a Controller instance
+        self.journal = None
+        self.ctrl = None
         self.sched_stats = SchedulerStats()
         self.record_queue_delays = record_queue_delays
         #: (queue_index, queue_delay_ns) samples, see Fig. 12
@@ -258,6 +278,171 @@ class DraconisProgram(P4Program):
         )
         return Recirculate(wake)
 
+    # -- control-plane resilience hooks (repro.ctrl) ------------------------
+
+    def _journal_enqueue(self, queue_index: int, entry: QueueEntry) -> None:
+        if self.journal is not None:
+            self.journal.record_enqueue(queue_index, entry)
+
+    def _journal_dequeue(self, entry: QueueEntry) -> None:
+        if self.journal is not None:
+            self.journal.record_dequeue((entry.uid, entry.jid, entry.task.tid))
+
+    def _overload_severity(self) -> float:
+        """Degradation signal from O(1) control-plane counters."""
+        total_slots = self.queue_capacity * len(self.queues)
+        occupied = sum(q.approx_occupancy() for q in self.queues)
+        occupancy_frac = occupied / total_slots if total_slots else 0.0
+        recirc_frac = 0.0
+        if self.switch is not None:
+            recirc_frac = self.switch.recirc_backlog_fraction()
+        return self.degradation.severity(occupancy_frac, recirc_frac)
+
+    def _backpressure_hint(self) -> int:
+        """Backoff hint to stamp into bounce errors (0 when healthy)."""
+        if self.degradation is None:
+            return 0
+        return self.degradation.hint_ns(self._overload_severity())
+
+    def _maybe_shed(
+        self, packet: Packet, job: JobSubmission, queue_index: int
+    ) -> Optional[List[Action]]:
+        """Priority-aware load shedding before the queue is full.
+
+        Returns the bounce actions when this submission's class is being
+        shed at the current severity, else None. The top
+        ``protect_classes`` levels are never shed; queue index 0 is the
+        highest priority, so shedding starts from the tail of the list.
+        """
+        if self.degradation is None:
+            return None
+        severity = self._overload_severity()
+        if severity <= 0.0:
+            return None
+        shed = self.degradation.shed_classes(severity, len(self.queues))
+        if shed == 0 or queue_index < len(self.queues) - shed:
+            return None
+        hint = self.degradation.hint_ns(severity)
+        self.sched_stats.tasks_shed += len(job.tasks)
+        self.sched_stats.submissions_bounced += 1
+        obs = self._obs()
+        if obs is not None:
+            obs.incr("sched.tasks_shed", len(job.tasks))
+            for task in job.tasks:
+                self._task_hop(
+                    job.uid, job.jid, task.tid, "bounce",
+                    f"shed queue={queue_index} severity={severity:.2f}",
+                )
+        return [
+            self._reply(
+                packet.src,
+                ErrorPacket(
+                    uid=job.uid,
+                    jid=job.jid,
+                    tasks=list(job.tasks),
+                    backoff_hint_ns=hint,
+                ),
+            )
+        ]
+
+    def expire_parked_for(self, executor_ids) -> int:
+        """Drop parked pulls belonging to ``executor_ids`` (lease expiry).
+
+        Called by the :class:`~repro.ctrl.controller.Controller` when an
+        executor's lease lapses, so the next submission cannot wake a
+        pull whose executor is dead. Returns how many were dropped.
+        """
+        if not self._parked_pulls:
+            return 0
+        kept: Deque[ParkedPull] = deque()
+        expired = 0
+        for pull in self._parked_pulls:
+            if pull.request.executor_id in executor_ids:
+                expired += 1
+            else:
+                kept.append(pull)
+        self._parked_pulls = kept
+        self.sched_stats.pulls_expired += expired
+        return expired
+
+    def reinject(self, entry: QueueEntry) -> bool:
+        """Put a reclaimed in-flight task back at the tail (lease expiry).
+
+        Control-plane insert — no packet traversal, no register budget.
+        Refused (returns False) while the target queue is full or holds a
+        pending repair; the controller retries on its next sweep.
+        """
+        queue_index = self.policy.submit_queue(entry.task)
+        queue = self._queue(queue_index)
+        fresh = replace(entry, enqueued_at=self._now())
+        if not queue.cp_enqueue(fresh):
+            return False
+        self.sched_stats.tasks_reclaimed += 1
+        self._journal_enqueue(queue_index, fresh)
+        self._task_hop(entry.uid, entry.jid, entry.task.tid, "reclaim_hop",
+                       f"queue={queue_index}")
+        return True
+
+    def snapshot(self):
+        """Control-plane checkpoint of queues + parked pulls.
+
+        Returns a :class:`~repro.ctrl.checkpoint.SwitchSnapshot`. Entries
+        are frozen dataclasses so the snapshot shares references safely.
+        """
+        from repro.ctrl.checkpoint import SwitchSnapshot
+
+        return SwitchSnapshot(
+            at_ns=self._now(),
+            queues={
+                i: queue.snapshot_entries()
+                for i, queue in enumerate(self.queues)
+            },
+            parked=list(self._parked_pulls),
+        )
+
+    def restore(self, queues, parked) -> Tuple[int, int, int]:
+        """Bulk-load checkpointed state into this (standby) program.
+
+        ``queues`` maps queue index -> FIFO entry list; indices beyond
+        this program's class count are clamped to the lowest class rather
+        than dropped. ``parked`` is a list of :class:`ParkedPull`; their
+        original ``parked_at`` stamps are kept, so pulls whose executor
+        has been silent longer than the TTL expire cleanly instead of
+        waking against a dead node. Returns
+        ``(entries_restored, entries_dropped, parked_restored)``.
+        """
+        merged: dict = {}
+        for index, entries in queues.items():
+            target = index if 0 <= index < len(self.queues) else (
+                len(self.queues) - 1
+            )
+            merged.setdefault(target, []).extend(entries)
+        restored = 0
+        dropped = 0
+        obs = self._obs()
+        for index, queue in enumerate(self.queues):
+            entries = merged.get(index, [])
+            kept = queue.restore_entries(entries)
+            restored += kept
+            dropped += len(entries) - kept
+            if obs is not None:
+                for entry in entries[:kept]:
+                    self._task_hop(
+                        entry.uid, entry.jid, entry.task.tid, "restore_hop",
+                        f"queue={index}",
+                    )
+        parked_restored = 0
+        if self.park_pulls:
+            self._parked_pulls = deque()
+            for pull in parked:
+                if len(self._parked_pulls) >= self.pull_queue_capacity:
+                    break
+                self._parked_pulls.append(pull)
+                parked_restored += 1
+        self.sched_stats.entries_restored += restored
+        self.sched_stats.parked_restored += parked_restored
+        return restored, dropped, parked_restored
+
     # -- dispatch ----------------------------------------------------------
 
     def process(self, ctx: PacketContext, packet: Packet) -> Sequence[Action]:
@@ -286,6 +471,11 @@ class DraconisProgram(P4Program):
 
         head, rest = job.tasks[0], job.tasks[1:]
         queue_index = self.policy.submit_queue(head)
+        shed = self._maybe_shed(packet, job, queue_index)
+        if shed is not None:
+            # Degraded mode: this class is being shed before the queue is
+            # physically full (the whole batch bounces with a hint).
+            return shed
         queue = self._queue(queue_index)
         entry = QueueEntry(
             uid=job.uid,
@@ -313,12 +503,18 @@ class DraconisProgram(P4Program):
             actions.append(
                 self._reply(
                     packet.src,
-                    ErrorPacket(uid=job.uid, jid=job.jid, tasks=list(job.tasks)),
+                    ErrorPacket(
+                        uid=job.uid,
+                        jid=job.jid,
+                        tasks=list(job.tasks),
+                        backoff_hint_ns=self._backpressure_hint(),
+                    ),
                 )
             )
             return actions
 
         self.sched_stats.tasks_enqueued += 1
+        self._journal_enqueue(queue_index, entry)
         self._task_hop(job.uid, job.jid, head.tid, "sched_enqueue",
                        f"queue={queue_index}")
         wake = self._wake_parked(packet)
@@ -400,9 +596,10 @@ class DraconisProgram(P4Program):
 
         entry = outcome.entry
         self._note_dequeue(queue_index, entry)
+        self._journal_dequeue(entry)
         props = ExecProps.from_request(request)
         if self.policy.examine(entry, props) is Verdict.ASSIGN:
-            return [self._assign(requester, entry)]
+            return [self._assign(requester, entry, request.executor_id)]
 
         # Constraint not met: start a task-swapping walk (§5.1).
         self.sched_stats.swap_walks_started += 1
@@ -427,8 +624,15 @@ class DraconisProgram(P4Program):
         packet.payload = swap
         return [Recirculate(packet)]
 
-    def _assign(self, requester: Address, entry: QueueEntry) -> Reply:
+    def _assign(
+        self, requester: Address, entry: QueueEntry, executor_id: int
+    ) -> Reply:
         self.sched_stats.tasks_assigned += 1
+        if self.ctrl is not None:
+            # Mirror the assignment so an expired lease can reclaim it.
+            self.ctrl.note_assign(
+                (entry.uid, entry.jid, entry.task.tid), entry, executor_id
+            )
         self._task_hop(entry.uid, entry.jid, entry.task.tid, "sched_assign",
                        f"to={requester.node}")
         assignment = TaskAssignment(
@@ -468,6 +672,7 @@ class DraconisProgram(P4Program):
             self.sched_stats.swap_reinserts += 1
             outcome = queue.enqueue(ctx, carried)
             if outcome.accepted:
+                self._journal_enqueue(queue_index, carried)
                 self._task_hop(swap.uid, swap.jid, swap.task.tid,
                                "sched_enqueue", f"queue={queue_index} reinsert")
             actions: List[Action] = []
@@ -481,7 +686,10 @@ class DraconisProgram(P4Program):
                         self._reply(
                             swap.client,
                             ErrorPacket(
-                                uid=swap.uid, jid=swap.jid, tasks=[swap.task]
+                                uid=swap.uid,
+                                jid=swap.jid,
+                                tasks=[swap.task],
+                                backoff_hint_ns=self._backpressure_hint(),
                             ),
                         )
                     )
@@ -521,10 +729,13 @@ class DraconisProgram(P4Program):
         if out_entry is None:
             # Swapped into a hole: the carried task is parked in-order;
             # the executor polls again.
+            self._journal_enqueue(queue_index, carried)
             self.sched_stats.noops_sent += 1
             if swap.requester is None:
                 return []
             return [self._reply(swap.requester, NoOpTask())]
+        self._journal_enqueue(queue_index, carried)
+        self._journal_dequeue(out_entry)
 
         props = ExecProps(
             exec_rsrc=swap.exec_props,
@@ -535,7 +746,7 @@ class DraconisProgram(P4Program):
         if self.policy.examine(out_entry, props) is Verdict.ASSIGN:
             if swap.requester is None:
                 raise SwitchError("swap packet lost its requester")
-            return [self._assign(swap.requester, out_entry)]
+            return [self._assign(swap.requester, out_entry, swap.executor_id)]
 
         # Keep walking with the newly extracted task.
         skipped = out_entry.skipped()
@@ -593,6 +804,10 @@ class DraconisProgram(P4Program):
         self, ctx: PacketContext, packet: Packet, completion: Completion
     ) -> Sequence[Action]:
         actions: List[Action] = []
+        if self.ctrl is not None:
+            self.ctrl.note_complete(
+                (completion.uid, completion.jid, completion.tid)
+            )
         request = completion.piggyback_request
         if completion.client is not None:
             notice = replace(completion, piggyback_request=None)

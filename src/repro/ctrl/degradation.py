@@ -1,0 +1,121 @@
+"""Graceful degradation policy for the in-switch scheduler.
+
+The paper's scheduler has exactly two load responses: accept, or bounce
+once the queue is physically full. Under sustained overload that is the
+worst possible shape — every class of traffic fights for the last slots,
+pointer-repair churn grows, and clients hammer the switch with fixed-wait
+retries. :class:`DegradationPolicy` gives the scheduler a *graceful*
+regime between healthy and full:
+
+* **severity** maps queue occupancy and recirculation-port backlog onto a
+  single overload score in ``[0, 1]`` (0 = healthy, 1 = saturated);
+* **priority-aware shedding**: as severity grows, submissions to the
+  lowest priority classes are bounced *before* the queue is full, so the
+  highest classes keep their slots (the top ``protect_classes`` levels
+  are never shed);
+* **backpressure hints**: every bounce issued while degraded carries a
+  ``backoff_hint_ns`` in its error_packet, telling clients to widen their
+  retry backoff instead of re-colliding at the default wait.
+
+The policy is plain data + pure functions: the scheduler evaluates it
+from cheap control-plane counters (no register access), so the data-plane
+budget is untouched.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Thresholds and responses for the degraded-mode regime.
+
+    Attributes:
+        occupancy_threshold: queue-occupancy fraction (tasks stored over
+            total slot capacity) at which degradation begins.
+        recirc_threshold: recirculation-queue backlog fraction at which
+            degradation begins (the recirculation port is the scarce
+            resource behind bounces, repairs, and parked-pull wakes).
+        protect_classes: number of highest-priority classes that are
+            never shed, whatever the severity.
+        base_backoff_hint_ns: hint attached to bounces at the onset of
+            degradation.
+        max_backoff_hint_ns: hint at full saturation; the hint scales
+            linearly with severity between the two.
+    """
+
+    occupancy_threshold: float = 0.85
+    recirc_threshold: float = 0.75
+    protect_classes: int = 1
+    base_backoff_hint_ns: int = 200_000
+    max_backoff_hint_ns: int = 2_000_000
+
+    def validate(self) -> None:
+        if not 0.0 < self.occupancy_threshold <= 1.0:
+            raise ConfigurationError(
+                f"occupancy_threshold must be in (0, 1]: "
+                f"{self.occupancy_threshold}"
+            )
+        if not 0.0 < self.recirc_threshold <= 1.0:
+            raise ConfigurationError(
+                f"recirc_threshold must be in (0, 1]: {self.recirc_threshold}"
+            )
+        if self.protect_classes < 1:
+            raise ConfigurationError(
+                f"protect_classes must be >= 1: {self.protect_classes}"
+            )
+        if self.base_backoff_hint_ns <= 0:
+            raise ConfigurationError(
+                f"base_backoff_hint_ns must be positive: "
+                f"{self.base_backoff_hint_ns}"
+            )
+        if self.max_backoff_hint_ns < self.base_backoff_hint_ns:
+            raise ConfigurationError(
+                "max_backoff_hint_ns must be >= base_backoff_hint_ns"
+            )
+
+    # -- pure evaluation ---------------------------------------------------
+
+    def severity(self, occupancy_frac: float, recirc_frac: float) -> float:
+        """Overload score in [0, 1]; 0 while both signals are healthy."""
+        score = 0.0
+        if (
+            occupancy_frac >= self.occupancy_threshold
+            and self.occupancy_threshold < 1.0
+        ):
+            score = (occupancy_frac - self.occupancy_threshold) / (
+                1.0 - self.occupancy_threshold
+            )
+        if recirc_frac >= self.recirc_threshold and self.recirc_threshold < 1.0:
+            score = max(
+                score,
+                (recirc_frac - self.recirc_threshold)
+                / (1.0 - self.recirc_threshold),
+            )
+        return min(1.0, max(0.0, score))
+
+    def shed_classes(self, severity: float, num_queues: int) -> int:
+        """How many of the lowest priority classes to shed at ``severity``.
+
+        Returns 0 while healthy. The count grows linearly with severity
+        up to ``num_queues - protect_classes``; a single-queue (FCFS)
+        deployment therefore never sheds — it only gains backpressure
+        hints on its genuine full-queue bounces.
+        """
+        if severity <= 0.0:
+            return 0
+        sheddable = max(0, num_queues - self.protect_classes)
+        if sheddable == 0:
+            return 0
+        return min(sheddable, int(math.ceil(severity * sheddable)))
+
+    def hint_ns(self, severity: float) -> int:
+        """Backoff hint for bounces issued at ``severity`` (0 if healthy)."""
+        if severity <= 0.0:
+            return 0
+        span = self.max_backoff_hint_ns - self.base_backoff_hint_ns
+        return self.base_backoff_hint_ns + int(min(1.0, severity) * span)

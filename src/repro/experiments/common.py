@@ -30,6 +30,13 @@ from repro.cluster.task import SubmitEvent
 from repro.cluster.worker import Worker, WorkerSpec
 from repro.core.policies import Policy
 from repro.core.scheduler import DEFAULT_PULL_TTL_NS, DraconisProgram
+from repro.ctrl import (
+    DEFAULT_JOURNAL_CAPACITY,
+    DEFAULT_LEASE_NS,
+    CheckpointManager,
+    Controller,
+    DegradationPolicy,
+)
 from repro.errors import ConfigurationError
 from repro.experiments import calibration
 from repro.metrics.collector import MetricsCollector
@@ -73,6 +80,13 @@ class ClusterConfig:
     queues_in_stages: bool = False  # Tofino 2 layout, no ladder recirc (§8.7)
     park_pulls: bool = False  # park empty-queue pulls instead of no-op reply
     pull_ttl_ns: int = DEFAULT_PULL_TTL_NS  # parked-pull expiry (crash GC)
+    # control plane (repro.ctrl, draconis only)
+    controller: bool = False  # heartbeat-lease membership + reclaim
+    lease_ns: int = DEFAULT_LEASE_NS
+    heartbeat_interval_ns: Optional[int] = None  # None = ExecutorConfig default
+    checkpoint_interval_ns: Optional[int] = None  # None = no checkpointing
+    journal_capacity: int = DEFAULT_JOURNAL_CAPACITY
+    degradation: Optional[DegradationPolicy] = None  # None = accept-or-bounce
     # R2P2
     jbsq_k: int = 3
     # RackSched intra-node policy: cFCFS (default, light-tailed) or
@@ -138,6 +152,8 @@ class ClusterHandles:
     sparrows: List[SparrowScheduler] = field(default_factory=list)
     r2p2: Optional[R2P2Program] = None
     racksched: Optional[RackSchedProgram] = None
+    controller: Optional[Controller] = None
+    checkpoints: Optional[CheckpointManager] = None
 
 
 @dataclass
@@ -189,6 +205,15 @@ def build_cluster(
         raise ConfigurationError(
             f"need {config.clients} workload streams, got {len(workloads)}"
         )
+    if config.scheduler != "draconis" and (
+        config.controller
+        or config.checkpoint_interval_ns is not None
+        or config.degradation is not None
+    ):
+        raise ConfigurationError(
+            "controller/checkpointing/degradation (repro.ctrl) only apply "
+            f"to the draconis scheduler, not {config.scheduler!r}"
+        )
     rngs = rngs or RngStreams(config.seed)
     sim = Simulator()
     collector = MetricsCollector()
@@ -208,6 +233,7 @@ def build_cluster(
             queues_in_stages=config.queues_in_stages,
             park_pulls=config.park_pulls,
             pull_ttl_ns=config.pull_ttl_ns,
+            degradation=config.degradation,
         )
         switch = ProgrammableSwitch(
             sim,
@@ -219,7 +245,29 @@ def build_cluster(
         topology = StarTopology(sim, switch)
         handles.switch, handles.draconis = switch, program
         handles.scheduler_address = switch.service_address
-        _build_pull_workers(config, sim, topology, collector, handles)
+        controller_address = None
+        if config.controller:
+            handles.controller = Controller(
+                sim,
+                topology,
+                lease_ns=config.lease_ns,
+                program=program,
+                switch=switch,
+                obs=config.obs,
+            )
+            controller_address = handles.controller.address
+        if config.checkpoint_interval_ns is not None:
+            handles.checkpoints = CheckpointManager(
+                sim,
+                switch,
+                interval_ns=config.checkpoint_interval_ns,
+                journal_capacity=config.journal_capacity,
+                obs=config.obs,
+            )
+        _build_pull_workers(
+            config, sim, topology, collector, handles,
+            controller=controller_address,
+        )
     elif config.scheduler in ("draconis-dpdk", "draconis-socket"):
         switch = BaseSwitch(sim)
         topology = StarTopology(sim, switch)
@@ -407,12 +455,15 @@ def _build_pull_workers(
     topology: StarTopology,
     collector: MetricsCollector,
     handles: ClusterHandles,
+    controller: Optional[Address] = None,
 ) -> None:
     exec_config = ExecutorConfig(
         poll_interval_ns=config.poll_interval_ns,
         locality=config.locality_cost,
         record_pull_rtts=config.record_pull_rtts,
     )
+    if config.heartbeat_interval_ns is not None:
+        exec_config.heartbeat_interval_ns = config.heartbeat_interval_ns
     rngs = RngStreams(config.seed)
     for spec in config.worker_specs():
         handles.workers.append(
@@ -425,6 +476,7 @@ def _build_pull_workers(
                 config=replace(exec_config, exec_rsrc=spec.resources),
                 executor_id_base=spec.node_id * config.executors_per_worker,
                 rng=rngs.stream(f"worker-{spec.node_id}"),
+                controller=controller,
             )
         )
 

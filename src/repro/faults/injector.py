@@ -50,6 +50,9 @@ class FaultInjectorStats:
     link_faults: int = 0
     failovers: int = 0
     recirc_exhaustions: int = 0
+    #: sim time of the most recent switch failover (-1 if none fired);
+    #: recovery experiments use it to window pre/post-failover metrics
+    last_failover_ns: int = -1
 
     def total(self) -> int:
         return (
@@ -205,6 +208,7 @@ class FaultInjector:
 
             def failover() -> None:
                 self.stats.failovers += 1
+                self.stats.last_failover_ns = self.sim.now
                 self.switch.install_program(self.program_factory())
 
             self.sim.call_at(max(now, event.at_ns), failover)

@@ -53,7 +53,16 @@ BREAKDOWN_STAGES = (
     STAGE_COMPLETE,
 )
 
-HOP_STAGES = ("recirc_hop", "repair_hop", "park_wake", "bounce", "resubmit", "swap_hop")
+HOP_STAGES = (
+    "recirc_hop",
+    "repair_hop",
+    "park_wake",
+    "bounce",
+    "resubmit",
+    "swap_hop",
+    "restore_hop",
+    "reclaim_hop",
+)
 
 
 @dataclass(frozen=True)

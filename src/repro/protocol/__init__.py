@@ -10,6 +10,7 @@ from repro.protocol.opcodes import OpCode
 from repro.protocol.messages import (
     Completion,
     ErrorPacket,
+    Heartbeat,
     JobSubmission,
     NoOpTask,
     RepairPacket,
@@ -24,6 +25,7 @@ from repro.protocol.codec import decode, encode, wire_size
 __all__ = [
     "Completion",
     "ErrorPacket",
+    "Heartbeat",
     "JobSubmission",
     "NoOpTask",
     "OpCode",

@@ -23,6 +23,7 @@ from repro.net.packet import Address
 from repro.protocol.messages import (
     Completion,
     ErrorPacket,
+    Heartbeat,
     JobSubmission,
     NoOpTask,
     RepairPacket,
@@ -139,6 +140,7 @@ def encode(message) -> bytes:
     elif isinstance(message, ErrorPacket):
         out += _U32.pack(message.uid)
         out += _U32.pack(message.jid)
+        out += _U32.pack(message.backoff_hint_ns)
         out += _U16.pack(len(message.tasks))
         for task in message.tasks:
             _encode_task(out, task)
@@ -170,6 +172,9 @@ def encode(message) -> bytes:
         out += _U16.pack(message.skip_counter)
         out += _U8.pack(1 if message.insert_mode else 0)
         out += _U8.pack(message.queue_index)
+    elif isinstance(message, Heartbeat):
+        out += _U32.pack(message.executor_id)
+        out += _U16.pack(message.node_id)
     elif isinstance(message, RepairPacket):
         target = message.target.encode("ascii")
         out += _U8.pack(len(target))
@@ -243,13 +248,16 @@ def _decode(data: bytes):
     if op is OpCode.ERROR:
         uid = _U32.unpack_from(data, offset)[0]
         jid = _U32.unpack_from(data, offset + 4)[0]
-        count = _U16.unpack_from(data, offset + 8)[0]
-        offset += 10
+        backoff_hint_ns = _U32.unpack_from(data, offset + 8)[0]
+        count = _U16.unpack_from(data, offset + 12)[0]
+        offset += 14
         tasks = []
         for _ in range(count):
             task, offset = _decode_task(data, offset)
             tasks.append(task)
-        return ErrorPacket(uid=uid, jid=jid, tasks=tasks)
+        return ErrorPacket(
+            uid=uid, jid=jid, tasks=tasks, backoff_hint_ns=backoff_hint_ns
+        )
     if op is OpCode.COMPLETION:
         uid = _U32.unpack_from(data, offset)[0]
         jid = _U32.unpack_from(data, offset + 4)[0]
@@ -305,6 +313,10 @@ def _decode(data: bytes):
             insert_mode=insert_mode,
             queue_index=queue_index,
         )
+    if op is OpCode.HEARTBEAT:
+        executor_id = _U32.unpack_from(data, offset)[0]
+        node_id = _U16.unpack_from(data, offset + 4)[0]
+        return Heartbeat(executor_id=executor_id, node_id=node_id)
     if op is OpCode.REPAIR:
         length = _U8.unpack_from(data, offset)[0]
         target = data[offset + 1 : offset + 1 + length].decode("ascii")
@@ -327,7 +339,7 @@ def wire_size(message) -> int:
     if isinstance(message, SubmissionAck):
         return 1 + 10
     if isinstance(message, ErrorPacket):
-        return 1 + 10 + sum(_task_size(t) for t in message.tasks)
+        return 1 + 14 + sum(_task_size(t) for t in message.tasks)
     if isinstance(message, Completion):
         size = 1 + 4 + 4 + 4 + 4 + 1 + _address_size(message.client) + 1
         if message.piggyback_request is not None:
@@ -351,6 +363,8 @@ def wire_size(message) -> int:
             + 1
             + 1
         )
+    if isinstance(message, Heartbeat):
+        return 1 + 4 + 2
     if isinstance(message, RepairPacket):
         return 1 + 1 + len(message.target.encode("ascii")) + 4 + 1
     raise ProtocolError(f"cannot size {type(message).__name__}")

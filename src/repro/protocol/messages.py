@@ -113,12 +113,17 @@ class ErrorPacket:
     """Queue-full rejection carrying the tasks that were not enqueued.
 
     The client retries these after a short wait (§4.3).
+    ``backoff_hint_ns`` is the scheduler's backpressure signal: non-zero
+    while the switch is in degraded mode, it tells the client the minimum
+    wait before retrying so the herd widens its backoff instead of
+    re-colliding at the default interval.
     """
 
     op: OpCode = field(default=OpCode.ERROR, init=False)
     uid: int = 0
     jid: int = 0
     tasks: List[TaskInfo] = field(default_factory=list)
+    backoff_hint_ns: int = 0
 
 
 @dataclass
@@ -180,6 +185,21 @@ class SwapTaskPacket:
     skip_counter: int = 0
     insert_mode: bool = False
     queue_index: int = 0
+
+
+@dataclass
+class Heartbeat:
+    """Executor liveness beacon to the control plane (repro.ctrl).
+
+    Each heartbeat grants or renews a lease of the controller's
+    ``lease_ns``; when a lease lapses the controller proactively reclaims
+    the executor's parked pull and in-flight assignments instead of
+    waiting out the client timeout window.
+    """
+
+    op: OpCode = field(default=OpCode.HEARTBEAT, init=False)
+    executor_id: int = 0
+    node_id: int = 0
 
 
 @dataclass

@@ -27,3 +27,6 @@ class OpCode(enum.IntEnum):
     # the same protocol can interoperate).
     SWAP_TASK = 8
     REPAIR = 9
+    # Control-plane membership (repro.ctrl): executor -> controller
+    # liveness beacons backing the lease-based reclaim protocol.
+    HEARTBEAT = 10

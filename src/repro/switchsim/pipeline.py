@@ -20,7 +20,7 @@ The model keeps the properties that matter for the paper's results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import SwitchError
 from repro.net.packet import ETHERNET_IP_UDP_OVERHEAD, Address, Packet
@@ -157,21 +157,43 @@ class ProgrammableSwitch(BaseSwitch):
         #: optional :class:`repro.obs.bus.TelemetryBus`; when attached the
         #: pipeline emits ingress/reply/forward/recirculate/drop events
         self.obs = None
+        #: control-plane observers of program swaps, called as
+        #: ``hook(new_program, old_program)`` after the swap but before
+        #: the standby sees its first packet (warm-standby restore point)
+        self._install_hooks: List[Callable[[P4Program, P4Program], None]] = []
 
     # -- control plane / fault hooks -------------------------------------
+
+    def add_install_hook(
+        self, hook: Callable[[P4Program, P4Program], None]
+    ) -> None:
+        """Observe :meth:`install_program` swaps (repro.ctrl recovery)."""
+        self._install_hooks.append(hook)
 
     def install_program(self, program: P4Program) -> P4Program:
         """Swap in a fresh dataplane program (switch failover, §3.3).
 
         Models a standby switch taking over the scheduler pipeline: every
         queued task and register word of the old program is gone; clients
-        recover by resubmitting on timeout. Returns the replaced program.
+        recover by resubmitting on timeout — unless an install hook (the
+        repro.ctrl checkpoint manager) replays saved state into the
+        standby first. Returns the replaced program.
         """
         old, self.program = self.program, program
         program.attach(self)
         self.service_address = Address(self.name, program.service_port)
         self.stats.failovers += 1
+        for hook in self._install_hooks:
+            hook(program, old)
         return old
+
+    def recirc_backlog_fraction(self) -> float:
+        """Occupied fraction of the recirculation queue (degradation signal)."""
+        if self.recirc_queue_packets <= 0:
+            return 1.0
+        backlog = max(0, self._recirc_free_at - self.sim.now)
+        queued = backlog // self._recirc_gap_ns
+        return min(1.0, queued / self.recirc_queue_packets)
 
     def set_recirc_limit(self, queue_packets: int) -> int:
         """Resize the recirculation queue (fault: budget exhaustion).

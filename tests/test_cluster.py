@@ -223,3 +223,87 @@ class TestExecutorBehaviour:
         assert record.started_at == record.assigned_at
         assert record.finished_at == record.started_at + us(100)
         assert record.executor_id >= 0
+
+
+class TestBounceBackoff:
+    """The error_packet retry path: capped exponential backoff with jitter,
+    a shared retry budget, and no retry-state leaks."""
+
+    def _client(self, **config_kw):
+        sim, topo, switch, program, collector, _ = build()
+        return make_client(sim, topo, switch, collector, [], **config_kw)
+
+    def _error(self, client, tids, hint_ns=0):
+        from repro.protocol.messages import ErrorPacket, TaskInfo
+
+        for tid in tids:
+            client._outstanding[(0, 0, tid)] = TaskSpec(duration_ns=us(100))
+        return ErrorPacket(
+            uid=0,
+            jid=0,
+            tasks=[TaskInfo(tid=t) for t in tids],
+            backoff_hint_ns=hint_ns,
+        )
+
+    def test_bounce_delay_grows_exponentially_and_caps(self):
+        client = self._client(
+            bounce_retry_ns=us(50),
+            bounce_backoff=2.0,
+            bounce_backoff_max=8.0,
+            bounce_jitter=0.0,
+        )
+        error = self._error(client, [0])
+        assert client._bounce_delay_ns(error) == us(50)
+        client._retries[(0, 0, 0)] = 2
+        assert client._bounce_delay_ns(error) == us(200)
+        client._retries[(0, 0, 0)] = 10  # far past the cap
+        assert client._bounce_delay_ns(error) == us(400)
+
+    def test_bounce_delay_honours_backpressure_hint(self):
+        client = self._client(bounce_retry_ns=us(50), bounce_jitter=0.0)
+        error = self._error(client, [0], hint_ns=us(900))
+        # degraded-mode hint overrides the (smaller) local backoff
+        assert client._bounce_delay_ns(error) == us(900)
+
+    def test_bounce_delay_jitter_desynchronizes(self):
+        client = self._client(bounce_retry_ns=us(50), bounce_jitter=0.2)
+        error = self._error(client, [0])
+        delays = {client._bounce_delay_ns(error) for _ in range(32)}
+        assert len(delays) > 1  # not a fixed wait
+        assert all(us(40) <= d <= us(60) for d in delays)
+
+    def test_retry_state_pruned_on_completion(self):
+        """The shared retry ledger must not leak one entry per bounced
+        task for the lifetime of the client."""
+        sim, topo, switch, program, collector, _ = build(queue_capacity=4)
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(200)) for _ in range(32)),
+            )
+        ]
+        client = make_client(sim, topo, switch, collector, events)
+        sim.run(until=ms(40))
+        assert client.stats.tasks_completed == 32
+        assert client.stats.bounces > 0
+        assert client._retries == {}
+
+    def test_bounce_budget_exhaustion_gives_up_visibly(self):
+        """With a zero retry budget every bounced task is abandoned and
+        counted — no infinite fixed-interval bounce loop."""
+        sim, topo, switch, program, collector, _ = build(queue_capacity=4)
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(200)) for _ in range(32)),
+            )
+        ]
+        client = make_client(
+            sim, topo, switch, collector, events, max_retries=0
+        )
+        sim.run(until=ms(40))
+        assert client.stats.bounce_give_ups > 0
+        assert (
+            client.stats.tasks_completed + client.stats.bounce_give_ups == 32
+        )
+        assert collector.unfinished_count() == client.stats.bounce_give_ups

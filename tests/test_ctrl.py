@@ -1,0 +1,514 @@
+"""Control-plane resilience (repro.ctrl): leases, checkpoints, degradation.
+
+Covers the three legs of the subsystem:
+
+* **lease membership** — heartbeats grant/renew leases; a crashed
+  worker's leases lapse and the controller proactively reclaims its
+  parked pulls and in-flight tasks (no client timeout needed);
+* **warm-standby recovery** — checkpoint + delta-journal replay restores
+  queued tasks into the standby program installed by a switch failover,
+  with the journal degrading honestly (counted overflow) when too small;
+* **graceful degradation** — occupancy past the threshold sheds the
+  lowest priority classes first and stamps backpressure hints into the
+  bounce error_packets.
+"""
+
+from collections import deque
+
+import pytest
+
+from repro.cluster import (
+    Client,
+    ClientConfig,
+    SubmitEvent,
+    TaskSpec,
+    Worker,
+    WorkerSpec,
+)
+from repro.core import DraconisProgram, QueueEntry, SwitchCircularQueue
+from repro.core.policies import PriorityPolicy
+from repro.ctrl import (
+    CheckpointManager,
+    Controller,
+    DegradationPolicy,
+    DeltaJournal,
+)
+from repro.errors import ConfigurationError
+from repro.metrics import MetricsCollector
+from repro.net import StarTopology
+from repro.protocol import TaskInfo
+from repro.sim import Simulator, ms, us
+from repro.switchsim import ProgrammableSwitch, RegisterFile
+
+
+def entry(tid: int, jid: int = 1, tprops: int = 0) -> QueueEntry:
+    return QueueEntry(
+        uid=1, jid=jid, task=TaskInfo(tid=tid, tprops=tprops), client=None
+    )
+
+
+def key(e: QueueEntry):
+    return (e.uid, e.jid, e.task.tid)
+
+
+# -- degradation policy (pure) ---------------------------------------------
+
+
+class TestDegradationPolicy:
+    def test_healthy_signals_are_zero(self):
+        policy = DegradationPolicy()
+        assert policy.severity(0.5, 0.5) == 0.0
+        assert policy.shed_classes(0.0, num_queues=4) == 0
+        assert policy.hint_ns(0.0) == 0
+
+    def test_severity_scales_and_saturates(self):
+        policy = DegradationPolicy(
+            occupancy_threshold=0.8, recirc_threshold=0.5
+        )
+        assert policy.severity(0.9, 0.0) == pytest.approx(0.5)
+        # the worse of the two signals wins
+        assert policy.severity(0.9, 0.75) == pytest.approx(0.5)
+        assert policy.severity(0.0, 1.0) == 1.0
+        assert policy.severity(5.0, 5.0) == 1.0
+
+    def test_shedding_spares_protected_classes(self):
+        policy = DegradationPolicy(protect_classes=2)
+        assert policy.shed_classes(1.0, num_queues=4) == 2
+        assert policy.shed_classes(0.01, num_queues=4) == 1  # ceil
+        # FCFS (single queue) never sheds, whatever the severity
+        assert policy.shed_classes(1.0, num_queues=1) == 0
+
+    def test_hint_scales_between_base_and_max(self):
+        policy = DegradationPolicy(
+            base_backoff_hint_ns=100, max_backoff_hint_ns=1100
+        )
+        assert policy.hint_ns(0.5) == 600
+        assert policy.hint_ns(1.0) == 1100
+        assert policy.hint_ns(2.0) == 1100
+
+    def test_validate_rejects_bad_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(occupancy_threshold=0.0).validate()
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(protect_classes=0).validate()
+        with pytest.raises(ConfigurationError):
+            DegradationPolicy(
+                base_backoff_hint_ns=10, max_backoff_hint_ns=5
+            ).validate()
+
+
+# -- delta journal ----------------------------------------------------------
+
+
+class TestDeltaJournal:
+    def test_replay_applies_ops_in_order(self):
+        journal = DeltaJournal(capacity=16)
+        a, b, c = entry(0), entry(1), entry(2)
+        journal.record_enqueue(0, a)
+        journal.record_enqueue(0, b)
+        journal.record_dequeue(key(a))
+        journal.record_enqueue(1, c)
+        queues = {}
+        applied, unmatched = journal.replay_into(queues)
+        assert applied == 4
+        assert unmatched == 0
+        assert list(queues[0]) == [b]
+        assert list(queues[1]) == [c]
+
+    def test_dequeue_of_checkpointed_entry_matches(self):
+        journal = DeltaJournal(capacity=16)
+        a, b = entry(0), entry(1)
+        journal.record_dequeue(key(a))
+        queues = {0: deque([a, b])}
+        _, unmatched = journal.replay_into(queues)
+        assert unmatched == 0
+        assert list(queues[0]) == [b]
+
+    def test_unmatched_dequeues_are_counted_not_fatal(self):
+        journal = DeltaJournal(capacity=16)
+        journal.record_dequeue(key(entry(9)))
+        queues = {}
+        applied, unmatched = journal.replay_into(queues)
+        assert (applied, unmatched) == (1, 1)
+
+    def test_overflow_drops_oldest_and_counts(self):
+        journal = DeltaJournal(capacity=2)
+        journal.record_enqueue(0, entry(0))
+        journal.record_enqueue(0, entry(1))
+        journal.record_enqueue(0, entry(2))
+        assert journal.overflows == 1
+        queues = {}
+        journal.replay_into(queues)
+        # the oldest record (tid 0) was evicted
+        assert [e.task.tid for e in queues[0]] == [1, 2]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DeltaJournal(capacity=0)
+
+
+# -- queue control-plane snapshot/restore -----------------------------------
+
+
+class TestQueueControlPlane:
+    def build(self, capacity: int = 8) -> SwitchCircularQueue:
+        return SwitchCircularQueue(RegisterFile(), "q", capacity)
+
+    def test_snapshot_restore_roundtrip(self):
+        queue = self.build()
+        entries = [entry(t) for t in range(5)]
+        for e in entries:
+            assert queue.cp_enqueue(e)
+        assert queue.approx_occupancy() == 5
+        snap = queue.snapshot_entries()
+        assert snap == entries
+
+        standby = self.build()
+        assert standby.restore_entries(snap) == 5
+        assert standby.snapshot_entries() == entries
+        assert standby.approx_occupancy() == 5
+
+    def test_restore_truncates_to_capacity(self):
+        standby = self.build(capacity=4)
+        kept = standby.restore_entries([entry(t) for t in range(6)])
+        assert kept == 4
+        assert [e.task.tid for e in standby.snapshot_entries()] == [0, 1, 2, 3]
+
+    def test_cp_enqueue_refuses_when_full(self):
+        queue = self.build(capacity=4)
+        for t in range(4):
+            assert queue.cp_enqueue(entry(t))
+        assert not queue.cp_enqueue(entry(99))
+        assert queue.approx_occupancy() == 4
+        queue.check_invariants()
+
+
+# -- warm-standby failover (end to end) -------------------------------------
+
+
+def build_cluster(program, workers: int = 2, executors: int = 4):
+    sim = Simulator()
+    switch = ProgrammableSwitch(sim, program)
+    topology = StarTopology(sim, switch)
+    collector = MetricsCollector()
+    built = []
+    for n in range(workers):
+        built.append(
+            Worker(
+                sim,
+                topology,
+                WorkerSpec(node_id=n, executors=executors),
+                scheduler=switch.service_address,
+                collector=collector,
+                executor_id_base=n * executors,
+            )
+        )
+    return sim, switch, topology, collector, built
+
+
+class TestWarmStandbyRecovery:
+    def test_queued_tasks_survive_failover_without_timeouts(self):
+        """Checkpoint + journal replay alone must carry the backlog across
+        a failover — client timeout resubmission is disabled entirely."""
+        program = DraconisProgram(queue_capacity=512)
+        sim, switch, topology, collector, _ = build_cluster(program)
+        manager = CheckpointManager(sim, switch, interval_ns=us(100))
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(400)) for _ in range(32)),
+            )
+        ]
+        client = Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=None),
+        )
+
+        def failover():
+            switch.install_program(DraconisProgram(queue_capacity=512))
+
+        sim.call_in(us(300), failover)
+        sim.run(until=ms(30))
+
+        assert client.stats.timeouts == 0
+        assert client.stats.tasks_completed == 32
+        assert collector.unfinished_count() == 0
+        report = manager.last_report
+        assert report is not None
+        # the backlog at failover came back via checkpoint and/or journal
+        assert report.entries_restored > 0
+        assert report.recovery_ns == manager.detection_ns + (
+            manager.replay_ns_per_entry
+            * (report.entries_restored + report.journal_ops_replayed)
+        )
+
+    def test_second_failover_recovers_from_restored_state(self):
+        program = DraconisProgram(queue_capacity=512)
+        sim, switch, topology, collector, _ = build_cluster(program)
+        manager = CheckpointManager(sim, switch, interval_ns=us(100))
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(400)) for _ in range(24)),
+            )
+        ]
+        client = Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=None),
+        )
+        for at in (us(250), us(450)):
+            sim.call_in(
+                at,
+                lambda: switch.install_program(
+                    DraconisProgram(queue_capacity=512)
+                ),
+            )
+        sim.run(until=ms(30))
+        assert manager.stats.recoveries == 2
+        assert client.stats.tasks_completed == 24
+        assert collector.unfinished_count() == 0
+
+    def test_tiny_journal_overflow_is_counted(self):
+        journal_entries = 4
+        program = DraconisProgram(queue_capacity=512)
+        sim, switch, topology, collector, _ = build_cluster(program)
+        # Interval far beyond the run: the journal must carry everything
+        # and, being tiny, visibly overflow.
+        manager = CheckpointManager(
+            sim, switch, interval_ns=ms(100), journal_capacity=journal_entries
+        )
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(300)) for _ in range(24)),
+            )
+        ]
+        Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=2.0),
+        )
+        sim.call_in(us(200), lambda: switch.install_program(
+            DraconisProgram(queue_capacity=512)
+        ))
+        sim.run(until=ms(30))
+        report = manager.last_report
+        assert report is not None
+        assert report.journal_overflows > 0  # honesty: loss is visible
+        # clients still repair the overflowed remainder via timeouts
+        assert collector.unfinished_count() == 0
+
+
+# -- lease-based membership (end to end) ------------------------------------
+
+
+class TestControllerLeases:
+    def build_with_controller(self, program, workers=2, executors=4):
+        sim = Simulator()
+        switch = ProgrammableSwitch(sim, program)
+        topology = StarTopology(sim, switch)
+        ctrl = Controller(sim, topology, program=program, switch=switch)
+        collector = MetricsCollector()
+        built = [
+            Worker(
+                sim,
+                topology,
+                WorkerSpec(node_id=n, executors=executors),
+                scheduler=switch.service_address,
+                collector=collector,
+                executor_id_base=n * executors,
+                controller=ctrl.address,
+            )
+            for n in range(workers)
+        ]
+        return sim, switch, topology, ctrl, collector, built
+
+    def test_heartbeats_grant_and_renew_leases(self):
+        program = DraconisProgram(queue_capacity=256)
+        (sim, switch, topology, ctrl, collector, workers) = (
+            self.build_with_controller(program, workers=1)
+        )
+        sim.run(until=ms(1))
+        assert ctrl.stats.leases_granted == 4
+        assert ctrl.stats.leases_renewed > 0
+        assert ctrl.stats.leases_expired == 0
+        assert ctrl.live_executors() == {0, 1, 2, 3}
+
+    def test_crash_reclaims_inflight_without_client_timeouts(self):
+        """A worker crash strands its running tasks; lease expiry must
+        re-inject them so the surviving worker finishes everything —
+        with the client's timeout machinery disabled."""
+        program = DraconisProgram(queue_capacity=512)
+        (sim, switch, topology, ctrl, collector, workers) = (
+            self.build_with_controller(program)
+        )
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(300)) for _ in range(16)),
+            )
+        ]
+        client = Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=None),
+        )
+        # crash node 1 while roughly half the batch is running on it
+        sim.call_in(us(150), workers[1].crash)
+        sim.run(until=ms(10))
+
+        assert ctrl.stats.leases_expired == 4  # all four dead executors
+        assert ctrl.stats.tasks_reclaimed > 0
+        assert client.stats.timeouts == 0
+        assert client.stats.tasks_completed == 16
+        assert collector.unfinished_count() == 0
+        assert program.sched_stats.tasks_reclaimed == ctrl.stats.tasks_reclaimed
+
+    def test_crash_expires_parked_pulls(self):
+        """Idle executors park pulls in the switch; a crashed node's
+        parked pulls must be reclaimed at lease expiry, not left to wake
+        against a dead executor."""
+        program = DraconisProgram(queue_capacity=256, park_pulls=True,
+                                  pull_ttl_ns=ms(100))
+        (sim, switch, topology, ctrl, collector, workers) = (
+            self.build_with_controller(program)
+        )
+        # no workload: every executor's pull parks
+        sim.call_in(us(300), workers[1].crash)
+        sim.run(until=ms(3))
+
+        assert ctrl.stats.pulls_reclaimed > 0
+        dead = {e.executor_id for e in workers[1].executors}
+        for pull in program._parked_pulls:
+            assert pull.request.executor_id not in dead
+
+    def test_recovering_executor_gets_fresh_lease(self):
+        program = DraconisProgram(queue_capacity=256)
+        (sim, switch, topology, ctrl, collector, workers) = (
+            self.build_with_controller(program, workers=1)
+        )
+        sim.call_in(us(300), workers[0].crash)
+        sim.call_in(ms(2), workers[0].restart)
+        sim.run(until=ms(4))
+        assert ctrl.stats.leases_expired == 4
+        # restarted executors heartbeat again and regain membership
+        assert ctrl.live_executors() == {0, 1, 2, 3}
+
+    def test_controller_validates_configuration(self):
+        sim = Simulator()
+        program = DraconisProgram(queue_capacity=64)
+        switch = ProgrammableSwitch(sim, program)
+        topology = StarTopology(sim, switch)
+        with pytest.raises(ConfigurationError):
+            Controller(sim, topology, lease_ns=0)
+        with pytest.raises(ConfigurationError):
+            Controller(sim, topology, sweep_ns=-1)
+
+
+# -- graceful degradation (end to end) --------------------------------------
+
+
+class TestGracefulDegradation:
+    def test_low_priority_shed_first_with_backpressure_hints(self):
+        """Overload past the occupancy threshold bounces the lowest class
+        before the queue is physically full, and the bounce carries a
+        backoff hint the client honours."""
+        degradation = DegradationPolicy(
+            occupancy_threshold=0.25,
+            protect_classes=1,
+            base_backoff_hint_ns=us(100),
+            max_backoff_hint_ns=us(500),
+        )
+        program = DraconisProgram(
+            policy=PriorityPolicy(levels=2),
+            queue_capacity=16,
+            degradation=degradation,
+        )
+        sim, switch, topology, collector, _ = build_cluster(
+            program, workers=1, executors=2
+        )
+        # A deep burst of low-priority work saturates the sheddable class;
+        # high-priority traffic keeps flowing throughout.
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(
+                    TaskSpec(duration_ns=us(150), priority=2, tprops=2)
+                    for _ in range(24)
+                ),
+            ),
+            SubmitEvent(
+                time_ns=us(50),
+                tasks=tuple(
+                    TaskSpec(duration_ns=us(100), priority=1, tprops=1)
+                    for _ in range(4)
+                ),
+            ),
+        ]
+        client = Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=4.0, max_retries=20),
+        )
+        sim.run(until=ms(40))
+
+        assert program.sched_stats.tasks_shed > 0
+        assert client.stats.bounces > 0
+        # shedding is a deferral, not a drop: everything finishes
+        assert collector.unfinished_count() == 0
+
+    def test_fcfs_single_queue_never_sheds(self):
+        program = DraconisProgram(
+            queue_capacity=8,
+            degradation=DegradationPolicy(occupancy_threshold=0.25),
+        )
+        sim, switch, topology, collector, _ = build_cluster(
+            program, workers=1, executors=2
+        )
+        events = [
+            SubmitEvent(
+                time_ns=0,
+                tasks=tuple(TaskSpec(duration_ns=us(200)) for _ in range(8)),
+            )
+        ]
+        Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=4.0),
+        )
+        sim.run(until=ms(20))
+        assert program.sched_stats.tasks_shed == 0
+        assert collector.unfinished_count() == 0
+
+    def test_degradation_policy_is_validated_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            DraconisProgram(
+                queue_capacity=8,
+                degradation=DegradationPolicy(occupancy_threshold=2.0),
+            )

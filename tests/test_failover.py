@@ -122,3 +122,88 @@ class TestSwitchFailover:
         assert client.stats.tasks_completed == 16
         for record in collector.records.values():
             assert record.finished_at >= 0
+
+
+class TestParkedPullsAcrossFailover:
+    """Parked GetTask pulls must never be stranded by install_program:
+    warm recovery re-parks them in the standby (where a later submission
+    re-wakes them), and restored-but-stale pulls expire via the TTL GC."""
+
+    def _build_parked(self, pull_ttl_ns):
+        from repro.ctrl import CheckpointManager
+
+        program = DraconisProgram(
+            queue_capacity=256, park_pulls=True, pull_ttl_ns=pull_ttl_ns
+        )
+        sim = Simulator()
+        switch = ProgrammableSwitch(sim, program)
+        topology = StarTopology(sim, switch)
+        collector = MetricsCollector()
+        Worker(
+            sim,
+            topology,
+            WorkerSpec(node_id=0, executors=4),
+            scheduler=switch.service_address,
+            collector=collector,
+        )
+        manager = CheckpointManager(sim, switch, interval_ns=us(100))
+        return sim, switch, topology, collector, manager
+
+    def _standby(self, pull_ttl_ns):
+        return DraconisProgram(
+            queue_capacity=256, park_pulls=True, pull_ttl_ns=pull_ttl_ns
+        )
+
+    def test_warm_failover_restores_and_rewakes_parked_pulls(self):
+        ttl = ms(50)  # long TTL: restored pulls stay live
+        sim, switch, topology, collector, manager = self._build_parked(ttl)
+        events = [
+            SubmitEvent(time_ns=us(600), tasks=(TaskSpec(duration_ns=us(100)),))
+        ]
+        client = Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=None),
+        )
+        # by us(400) every idle executor has a pull parked in the switch
+        sim.call_in(us(400), lambda: switch.install_program(self._standby(ttl)))
+        sim.run(until=ms(5))
+
+        assert manager.last_report is not None
+        assert manager.last_report.parked_restored > 0
+        # the post-failover submission completed by waking a restored (or
+        # re-parked) pull — no client timeout machinery exists to save it
+        assert client.stats.tasks_completed == 1
+        assert collector.unfinished_count() == 0
+
+    def test_stale_restored_pulls_expire_cleanly(self):
+        """Restored pulls keep their original parked_at, so ones older
+        than the TTL are garbage-collected instead of living forever in
+        the standby."""
+        ttl = us(200)
+        sim, switch, topology, collector, manager = self._build_parked(ttl)
+        events = [
+            SubmitEvent(time_ns=ms(1), tasks=(TaskSpec(duration_ns=us(100)),))
+        ]
+        client = Client(
+            sim,
+            topology.add_host("client0"),
+            uid=0,
+            scheduler=switch.service_address,
+            workload=events,
+            collector=collector,
+            config=ClientConfig(timeout_factor=None),
+        )
+        standby = self._standby(ttl)
+        sim.call_in(us(400), lambda: switch.install_program(standby))
+        sim.run(until=ms(5))
+
+        assert manager.last_report.parked_restored > 0
+        # the ms(1) submission's GC sweep expired the stale restored pulls
+        assert standby.sched_stats.pulls_expired > 0
+        # and the task itself still completed (fresh pulls keep arriving)
+        assert client.stats.tasks_completed == 1

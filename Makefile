@@ -1,8 +1,11 @@
 # Convenience targets for the Draconis reproduction.
 
 PY ?= python
+# Every target runs against the source tree directly — no install step
+# needed. (Targets previously assumed `make install` had been run.)
+export PYTHONPATH := src
 
-.PHONY: install test bench obs-bench obs-report experiments smoke chaos recovery examples clean
+.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos recovery examples clean
 
 install:
 	$(PY) setup.py develop
@@ -10,11 +13,21 @@ install:
 test:
 	$(PY) -m pytest tests/
 
+lint:
+	$(PY) -m ruff check src/repro tests
+	-$(PY) -m mypy src/repro
+
+coverage:
+	$(PY) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=80
+
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
 obs-bench:
 	$(PY) -m repro.obs.bench --scale smoke --check
+
+determinism:
+	$(PY) -m repro.obs.bench --scale smoke --determinism
 
 obs-report:
 	$(PY) -m repro.obs.report

@@ -31,7 +31,7 @@ from repro.protocol.messages import (
     TaskAssignment,
     TaskRequest,
 )
-from repro.sim.core import Interrupted, Simulator, us
+from repro.sim.core import AnyOf, Interrupted, Simulator, Timeout, us
 
 EXECUTOR_PORT_BASE = 7000
 
@@ -150,6 +150,26 @@ class Executor:
         #: None means no membership protocol (the paper's baseline)
         self.controller = controller
         self._hb_process = None
+        # The pull request never varies, so build it (and its wire size)
+        # once. Consumers never mutate payloads in place — the scheduler's
+        # priority ladder and piggyback paths copy via dataclasses.replace
+        # — so sharing one instance across sends is safe.
+        self._request_msg = TaskRequest(
+            executor_id=executor_id,
+            node_id=node_id,
+            rack_id=rack_id,
+            exec_rsrc=self.config.exec_rsrc,
+            rtrv_prio=1,
+        )
+        self._request_size = codec.wire_size(self._request_msg)
+        # Pre-drawn jitter pool for _poll_delay. numpy's Generator consumes
+        # the stream identically for uniform(a, b, 64) and 64 scalar
+        # uniform(a, b) calls, so batching keeps draw values bit-identical —
+        # but only while this RNG has a single consumer. A configured
+        # controller adds a heartbeat loop sharing the stream, so batching
+        # is disabled in that case (see _poll_delay).
+        self._jitter_pool = None
+        self._jitter_i = 0
         self.process = sim.spawn(self._run(), name=f"executor-{executor_id}")
         if controller is not None:
             self._hb_process = sim.spawn(
@@ -159,16 +179,13 @@ class Executor:
     # -- helpers -----------------------------------------------------------
 
     def _request(self) -> TaskRequest:
-        return TaskRequest(
-            executor_id=self.executor_id,
-            node_id=self.node_id,
-            rack_id=self.rack_id,
-            exec_rsrc=self.config.exec_rsrc,
-            rtrv_prio=1,
-        )
+        return self._request_msg
 
     def _send(self, message) -> None:
         self.socket.send(self.scheduler, message, codec.wire_size(message))
+
+    def _send_request(self) -> None:
+        self.socket.send(self.scheduler, self._request_msg, self._request_size)
 
     def _poll_delay(self, consecutive_noops: int) -> int:
         base = self.config.poll_interval_ns
@@ -179,7 +196,21 @@ class Executor:
         jitter = self.config.poll_jitter
         if jitter <= 0:
             return base
-        scale = 1.0 + float(self._rng.uniform(-jitter, jitter))
+        if self.controller is None:
+            pool = self._jitter_pool
+            i = self._jitter_i
+            if pool is None or i >= 64:
+                # tolist() keeps the exact float64 values while making the
+                # per-call index a plain-float load instead of a numpy
+                # scalar extraction.
+                pool = self._jitter_pool = self._rng.uniform(
+                    -jitter, jitter, 64
+                ).tolist()
+                i = 0
+            self._jitter_i = i + 1
+            scale = 1.0 + pool[i]
+        else:
+            scale = 1.0 + float(self._rng.uniform(-jitter, jitter))
         return max(1, int(base * scale))
 
     def stop(self) -> None:
@@ -236,8 +267,8 @@ class Executor:
     def _recv_or_timeout(self):
         """Wait for a response; None when the response timeout expires."""
         get_event = self.socket.recv()
-        timer = self.sim.timeout(self.config.response_timeout_ns)
-        winner = yield self.sim.any_of([get_event, timer])
+        timer = Timeout(self.sim, self.config.response_timeout_ns)
+        winner = yield AnyOf(self.sim, (get_event, timer))
         if winner is get_event:
             return get_event.value
         if not self.socket.cancel_recv(get_event):
@@ -274,58 +305,88 @@ class Executor:
             return  # fail-stop crash: abandon everything mid-flight
 
     def _pull_loop(self):
+        # Invariant handles bound once: the generator body is the single
+        # hottest actor in every workload, and each pull cycle otherwise
+        # re-reads the same attributes several times.
+        sim = self.sim
+        stats = self.stats
+        socket = self.socket
+        collector = self.collector
+        send_request = self._send_request
+        poll_delay = self._poll_delay
+        response_timeout_ns = self.config.response_timeout_ns
         # Stagger start-up so idle polls do not arrive in lockstep.
-        yield self.sim.timeout(int(self._rng.uniform(0, self.config.poll_interval_ns)))
-        self._send(self._request())
-        self.stats.requests_sent += 1
-        pull_started = self.sim.now
+        yield Timeout(sim, int(self._rng.uniform(0, self.config.poll_interval_ns)))
+        send_request()
+        stats.requests_sent += 1
+        pull_started = sim._now
 
         consecutive_noops = 0
         while not self._stopped:
-            packet = yield from self._recv_or_timeout()
+            # _recv_or_timeout, inlined: the yield-from delegation would
+            # route every resumption through an extra generator frame.
+            get_event = socket.recv()
+            timer = Timeout(sim, response_timeout_ns)
+            winner = yield AnyOf(sim, (get_event, timer))
+            if winner is get_event or not socket.cancel_recv(get_event):
+                packet = get_event._value
+            else:
+                packet = None
             if packet is None:
                 # Response lost (overloaded scheduler path): re-request.
-                self._send(self._request())
-                self.stats.requests_sent += 1
-                pull_started = self.sim.now
+                send_request()
+                stats.requests_sent += 1
+                pull_started = sim._now
                 continue
             payload = packet.payload
 
-            if isinstance(payload, NoOpTask):
-                self.stats.noops_received += 1
+            if payload.__class__ is NoOpTask:
+                stats.noops_received += 1
                 if self.obs is not None:
                     self.obs.incr("executor.noops")
                 consecutive_noops += 1
-                yield self.sim.timeout(self._poll_delay(consecutive_noops))
-                self._send(self._request())
-                self.stats.requests_sent += 1
-                pull_started = self.sim.now
+                yield Timeout(sim, poll_delay(consecutive_noops))
+                send_request()
+                stats.requests_sent += 1
+                pull_started = sim._now
                 continue
 
-            if not isinstance(payload, TaskAssignment):
-                continue  # stray traffic; a real executor would log this
+            if payload.__class__ is not TaskAssignment:
+                if isinstance(payload, TaskAssignment):
+                    pass  # a subclassed assignment still executes below
+                elif isinstance(payload, NoOpTask):
+                    # Subclassed no-op: back off exactly like the fast path.
+                    stats.noops_received += 1
+                    if self.obs is not None:
+                        self.obs.incr("executor.noops")
+                    consecutive_noops += 1
+                    yield Timeout(sim, self._poll_delay(consecutive_noops))
+                    self._send_request()
+                    stats.requests_sent += 1
+                    pull_started = sim._now
+                    continue
+                else:
+                    continue  # stray traffic; a real executor would log this
 
-            self.stats.idle_pull_time_ns += self.sim.now - pull_started
+            now = sim._now
+            stats.idle_pull_time_ns += now - pull_started
             if self.config.record_pull_rtts:
-                if self.stats.pull_rtts_ns is None:
-                    self.stats.pull_rtts_ns = []
-                self.stats.pull_rtts_ns.append(self.sim.now - pull_started)
+                if stats.pull_rtts_ns is None:
+                    stats.pull_rtts_ns = []
+                stats.pull_rtts_ns.append(now - pull_started)
             if self.obs is not None:
-                self.obs.observe(
-                    "executor.pull_rtt_ns", self.sim.now - pull_started
-                )
+                self.obs.observe("executor.pull_rtt_ns", now - pull_started)
             consecutive_noops = 0
             key = payload.key
-            self.collector.on_assign(
-                key, self.sim.now, self.executor_id, self.node_id
-            )
-            self.collector.on_start(key, self.sim.now)
+            collector.on_assign(key, now, self.executor_id, self.node_id)
+            collector.on_start(key, now)
 
-            started = self.sim.now
+            started = now
             yield from self._run_task(payload)
-            self.stats.busy_time_ns += self.sim.now - started
-            self.stats.tasks_executed += 1
-            self.collector.on_finish(key, self.sim.now)
+            now = sim._now
+            stats.busy_time_ns += now - started
+            stats.tasks_executed += 1
+            collector.on_finish(key, now)
 
             completion = Completion(
                 uid=payload.uid,
@@ -334,11 +395,11 @@ class Executor:
                 executor_id=self.executor_id,
                 success=True,
                 client=payload.client,
-                piggyback_request=self._request(),
+                piggyback_request=self._request_msg,
             )
             self._send(completion)
-            self.stats.requests_sent += 1
-            pull_started = self.sim.now
+            stats.requests_sent += 1
+            pull_started = now
 
     def _run_task(self, assignment: TaskAssignment):
         """Execute one task, including any §4.4 parameter indirection."""

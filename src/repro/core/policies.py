@@ -57,6 +57,9 @@ class Policy:
     num_queues = 1
     #: bound on task-swapping recirculations per request (§5.1)
     max_swaps = 0
+    #: True when :meth:`examine` is unconditionally ASSIGN — the program
+    #: then skips building :class:`ExecProps` on the retrieval hot path
+    always_assigns = False
 
     def submit_queue(self, task: TaskInfo) -> int:
         """Queue a submitted task joins (by TPROPS)."""
@@ -86,6 +89,7 @@ class FcfsPolicy(Policy):
     """Centralized FCFS (§4.8): one global queue, head task always runs."""
 
     name = "fcfs"
+    always_assigns = True
 
 
 class PriorityPolicy(Policy):
@@ -97,6 +101,7 @@ class PriorityPolicy(Policy):
     """
 
     name = "priority"
+    always_assigns = True  # priority steers queue choice, not placement
 
     def __init__(self, levels: int = 4) -> None:
         if levels < 1:

@@ -52,7 +52,7 @@ one stage on real hardware.
 """
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueueEntry:
     """One task held in switch memory: TASK_INFO plus client identity.
 
@@ -73,7 +73,7 @@ class QueueEntry:
         return replace(self, skip_counter=self.skip_counter + 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class EnqueueOutcome:
     """Result of one enqueue attempt.
 
@@ -95,7 +95,7 @@ class EnqueueOutcome:
     rtr_repair_value: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class DequeueOutcome:
     """Result of one dequeue attempt.
 
@@ -178,11 +178,9 @@ class SwitchCircularQueue:
         r = self.retrieve_ptr.read(ctx, 0)
         retrieve_overran = r > a  # the new task at ``a`` would be skipped
 
-        # Test-and-set semantics via a conditional RMW: only the first
+        # Test-and-set semantics via a predicated RMW: only the first
         # detector sees 0 and becomes responsible for the repair (§4.7.1).
-        old_flag = self.rtr_repair_flag.read_modify_write(
-            ctx, 0, lambda v: 1 if retrieve_overran else v
-        )
+        old_flag = self.rtr_repair_flag.write_if(ctx, 0, retrieve_overran, 1)
         repair_in_flight = old_flag == 1
         detector = retrieve_overran and not repair_in_flight
 
@@ -190,9 +188,7 @@ class SwitchCircularQueue:
         # flight the live retrieve_ptr register is garbage, so use the
         # corrected value the detector recorded; the detector itself
         # knows the head is about to become its own index.
-        rv_old = self.rtr_value.read_modify_write(
-            ctx, 0, lambda v: a if detector else v
-        )
+        rv_old = self.rtr_value.write_if(ctx, 0, detector, a)
         if detector:
             effective_r = a
         elif repair_in_flight:
@@ -209,9 +205,7 @@ class SwitchCircularQueue:
         # Mistaken increments (queue full, landing below the pending
         # head, or an add repair already in flight) are counted so a
         # single repair packet can undo them all.
-        old_mistakes = self.add_mistakes.read_modify_write(
-            ctx, 0, lambda v: v + 1 if (mistake or v > 0) else v
-        )
+        old_mistakes = self.add_mistakes.sticky_count(ctx, 0, mistake)
         add_pending = old_mistakes > 0
 
         if mistake or add_pending:
@@ -251,9 +245,7 @@ class SwitchCircularQueue:
         :meth:`dequeue`.
         """
         a = self.add_ptr.read(ctx, 0)
-        r = self.retrieve_ptr.read_modify_write(
-            ctx, 0, lambda v: v + 1 if v < a else v
-        )
+        r = self.retrieve_ptr.bounded_increment(ctx, 0, a)
         if r >= a:
             self.stats.over_reads += 1  # empty, but no pointer mistake
             return DequeueOutcome(entry=None, index=r, over_read=True)

@@ -186,6 +186,28 @@ class DraconisProgram(P4Program):
         self.record_queue_delays = record_queue_delays
         #: (queue_index, queue_delay_ns) samples, see Fig. 12
         self.queue_delays: List[Tuple[int, int]] = []
+        # Hot-path dispatch: one dict probe per packet instead of an
+        # isinstance ladder; unknown payloads fall back to plain forwarding.
+        self._handlers = {
+            JobSubmission: self._on_submission,
+            TaskRequest: self._on_request,
+            SwapTaskPacket: self._on_swap,
+            RepairPacket: self._on_repair,
+            Completion: self._on_completion,
+        }
+        self._conditional_retrieve = retrieve_mode == "conditional"
+        self._always_assign = bool(
+            getattr(self.policy, "always_assigns", False)
+        )
+        # No-op replies carry no fields and payloads are never mutated in
+        # place, so a single shared message (and its wire size) serves
+        # every empty-queue response.
+        self._noop_msg = NoOpTask()
+        self._noop_size = codec.wire_size(self._noop_msg)
+        # The policy is fixed for the scheduler's lifetime; bind its two
+        # per-retrieval hooks once instead of two attribute chains per pull.
+        self._first_request_queue = self.policy.first_request_queue
+        self._next_queue_on_empty = self.policy.next_queue_on_empty
 
     # -- helpers ----------------------------------------------------------
 
@@ -198,9 +220,12 @@ class DraconisProgram(P4Program):
 
     def _task_hop(self, uid: int, jid: int, tid: int, stage: str,
                   detail: str = "") -> None:
-        obs = self._obs()
+        switch = self.switch
+        if switch is None:
+            return
+        obs = switch.obs
         if obs is not None:
-            obs.task_event((uid, jid, tid), stage, self._now(), detail)
+            obs.task_event((uid, jid, tid), stage, switch.sim.now, detail)
 
     def _queue(self, index: int) -> SwitchCircularQueue:
         if not 0 <= index < len(self.queues):
@@ -447,16 +472,13 @@ class DraconisProgram(P4Program):
 
     def process(self, ctx: PacketContext, packet: Packet) -> Sequence[Action]:
         payload = packet.payload
-        if isinstance(payload, JobSubmission):
-            return self._on_submission(ctx, packet, payload)
-        if isinstance(payload, TaskRequest):
-            return self._on_request(ctx, packet, payload, packet.src)
-        if isinstance(payload, SwapTaskPacket):
-            return self._on_swap(ctx, packet, payload)
-        if isinstance(payload, RepairPacket):
-            return self._on_repair(ctx, packet, payload)
-        if isinstance(payload, Completion):
-            return self._on_completion(ctx, packet, payload)
+        handler = self._handlers.get(payload.__class__)
+        if handler is not None:
+            return handler(ctx, packet, payload)
+        # Message subclasses still reach their base handler.
+        for cls, candidate in self._handlers.items():
+            if isinstance(payload, cls):
+                return candidate(ctx, packet, payload)
         # Unknown scheduler-port payloads are forwarded like a regular
         # switch would (§4.1, colocation safety).
         return [Forward(packet)]
@@ -559,12 +581,21 @@ class DraconisProgram(P4Program):
         ctx: PacketContext,
         packet: Packet,
         request: TaskRequest,
-        requester: Address,
+        requester: Optional[Address] = None,
     ) -> Sequence[Action]:
-        queue_index = self.policy.first_request_queue(request)
+        # Registered directly in _handlers (no wrapper — task_request is
+        # the hottest opcode): a plain traversal answers the packet source,
+        # the completion-piggyback path passes the requester explicitly.
+        if requester is None:
+            requester = packet.src
+        queue_index = self._first_request_queue(request)
+        queues = self.queues
+        conditional = self._conditional_retrieve
         while True:
-            queue = self._queue(queue_index)
-            if self.retrieve_mode == "conditional":
+            if not 0 <= queue_index < len(queues):
+                raise SwitchError(f"queue index {queue_index} out of range")
+            queue = queues[queue_index]
+            if conditional:
                 outcome = queue.dequeue_conditional(ctx)
             else:
                 outcome = queue.dequeue(ctx)
@@ -572,8 +603,9 @@ class DraconisProgram(P4Program):
                 break
             if outcome.repair_pending:
                 self.sched_stats.noops_sent += 1
-                return [self._reply(requester, NoOpTask())]
-            next_queue = self.policy.next_queue_on_empty(queue_index)
+                return [Reply(dst=requester, payload=self._noop_msg,
+                              size=self._noop_size)]
+            next_queue = self._next_queue_on_empty(queue_index)
             if next_queue is None:
                 # Bottom of the ladder, nothing queued anywhere: park the
                 # pull (if enabled) so the next submission assigns without
@@ -581,7 +613,8 @@ class DraconisProgram(P4Program):
                 if self._try_park(requester, request):
                     return []
                 self.sched_stats.noops_sent += 1
-                return [self._reply(requester, NoOpTask())]
+                return [Reply(dst=requester, payload=self._noop_msg,
+                              size=self._noop_size)]
             if self.queues_in_stages:
                 # Tofino 2 layout: the next level's registers live in a
                 # later stage of the same traversal — no recirculation.
@@ -595,8 +628,16 @@ class DraconisProgram(P4Program):
             return [Recirculate(packet)]
 
         entry = outcome.entry
-        self._note_dequeue(queue_index, entry)
-        self._journal_dequeue(entry)
+        if self.record_queue_delays:
+            self.queue_delays.append(
+                (queue_index, self._now() - entry.enqueued_at)
+            )
+        if self.journal is not None:
+            self.journal.record_dequeue((entry.uid, entry.jid, entry.task.tid))
+        if self._always_assign:
+            # Unconditional-placement policies (FCFS, priority) skip the
+            # ExecProps build and the examine call per retrieval.
+            return [self._assign(requester, entry, request.executor_id)]
         props = ExecProps.from_request(request)
         if self.policy.examine(entry, props) is Verdict.ASSIGN:
             return [self._assign(requester, entry, request.executor_id)]
@@ -633,12 +674,18 @@ class DraconisProgram(P4Program):
             self.ctrl.note_assign(
                 (entry.uid, entry.jid, entry.task.tid), entry, executor_id
             )
-        self._task_hop(entry.uid, entry.jid, entry.task.tid, "sched_assign",
-                       f"to={requester.node}")
+        switch = self.switch
+        if switch is not None and switch.obs is not None:
+            switch.obs.task_event(
+                (entry.uid, entry.jid, entry.task.tid), "sched_assign",
+                switch.sim.now, f"to={requester.node}",
+            )
         assignment = TaskAssignment(
             uid=entry.uid, jid=entry.jid, task=entry.task, client=entry.client
         )
-        return self._reply(requester, assignment)
+        return Reply(
+            dst=requester, payload=assignment, size=codec.wire_size(assignment)
+        )
 
     def _note_dequeue(self, queue_index: int, entry: QueueEntry) -> None:
         if self.record_queue_delays:
@@ -810,7 +857,17 @@ class DraconisProgram(P4Program):
             )
         request = completion.piggyback_request
         if completion.client is not None:
-            notice = replace(completion, piggyback_request=None)
+            # Direct construction: dataclasses.replace() resolves fields
+            # dynamically and is measurably slower on this per-task path.
+            notice = Completion(
+                uid=completion.uid,
+                jid=completion.jid,
+                tid=completion.tid,
+                executor_id=completion.executor_id,
+                success=completion.success,
+                client=completion.client,
+                piggyback_request=None,
+            )
             actions.append(self._reply(completion.client, notice))
         if request is not None:
             actions.extend(self._on_request(ctx, packet, request, packet.src))

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.scheduler import DraconisProgram
 from repro.experiments import common
+from repro.experiments.parallel_runner import add_jobs_argument, parallel_map
 from repro.faults import (
     PLAN_KINDS,
     FaultInjector,
@@ -250,21 +251,32 @@ def run_chaos(
     )
 
 
+def _chaos_cell(item: Tuple[int, str, Dict]) -> ChaosResult:
+    """One (seed, kind) cell — module-level so the pool can pickle it."""
+    seed, kind, kwargs = item
+    return run_chaos(seed, kind=kind, **kwargs)
+
+
 def run(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     kinds: Sequence[str] = PLAN_KINDS,
     duration_ns: int = ms(30),
     drain_ns: int = ms(30),
+    jobs: Optional[int] = None,
     **kwargs,
 ) -> List[ChaosResult]:
-    """The acceptance sweep: every kind × every seed."""
-    return [
-        run_chaos(
-            seed, kind=kind, duration_ns=duration_ns, drain_ns=drain_ns, **kwargs
-        )
-        for kind in kinds
-        for seed in seeds
-    ]
+    """The acceptance sweep: every kind × every seed, forked across cores.
+
+    Every cell seeds its own ``RngStreams`` and simulator, so the results
+    are identical (content and order) whatever ``jobs`` is; an attached
+    ``obs`` bus forces the serial path since its callbacks cannot cross a
+    process boundary.
+    """
+    cell_kwargs = dict(duration_ns=duration_ns, drain_ns=drain_ns, **kwargs)
+    cells = [(seed, kind, cell_kwargs) for kind in kinds for seed in seeds]
+    return parallel_map(
+        _chaos_cell, cells, jobs=jobs, serial=kwargs.get("obs") is not None
+    )
 
 
 def print_table(results: Sequence[ChaosResult]) -> None:
@@ -296,12 +308,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     )
     parser.add_argument("--duration-ms", type=float, default=30.0)
     parser.add_argument("--drain-ms", type=float, default=30.0)
+    add_jobs_argument(parser)
     args = parser.parse_args(argv)
     results = run(
         seeds=range(args.seeds),
         kinds=tuple(args.kind) if args.kind else PLAN_KINDS,
         duration_ns=int(ms(args.duration_ms)),
         drain_ns=int(ms(args.drain_ms)),
+        jobs=args.jobs,
     )
     print_table(results)
 

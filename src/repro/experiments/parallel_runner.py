@@ -1,0 +1,115 @@
+"""Multiprocessing fan-out for multi-seed experiment sweeps.
+
+Every experiment cell in this repo (one seed of one arm) builds its own
+:class:`~repro.sim.core.Simulator` and its own ``RngStreams(seed)``, so
+cells are embarrassingly parallel and bit-deterministic regardless of
+which process runs them. :func:`parallel_map` exploits that: it fans a
+list of cells out over a ``fork`` process pool, preserves input order in
+the results, and folds each worker's simulated-event count back into
+:meth:`Simulator.credit_global_events` so the harness-level events/sec
+totals printed by ``run_all`` remain truthful.
+
+Serial execution is the fallback, not an error, whenever parallelism is
+impossible or pointless:
+
+* ``jobs=1`` (or a single cell) — nothing to fan out;
+* the platform has no ``fork`` start method (``spawn`` would re-import
+  the world per worker and cannot share an attached telemetry bus);
+* the caller attached an in-process observer (``obs``) — callbacks
+  cannot cross a process boundary, so the sweep degrades to serial
+  rather than silently dropping telemetry.
+
+Usage::
+
+    from repro.experiments.parallel_runner import parallel_map
+
+    def _cell(item):          # module-level => picklable
+        seed, kind = item
+        return run_chaos(seed, kind=kind)
+
+    results = parallel_map(_cell, [(0, "mixed"), (1, "mixed")], jobs=4)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sim.core import Simulator
+
+__all__ = ["parallel_map", "resolve_jobs", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` start method exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int], cells: int) -> int:
+    """Effective worker count for ``cells`` work items.
+
+    ``None`` means "use the machine": one worker per core, capped at the
+    number of cells. Explicit values are clamped to ``[1, cells]`` so a
+    caller asking for 32 workers on a 4-cell sweep doesn't pay 28 idle
+    fork/teardown round-trips.
+    """
+    if cells <= 0:
+        return 1
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, cells))
+
+
+def _invoke(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[Any, int]:
+    """Worker entry: run one cell, return (result, event delta).
+
+    Module-level so the pool can pickle it. The delta is measured around
+    the cell (not process lifetime) because a forked worker inherits the
+    parent's ``_global_events`` snapshot and may run several cells.
+    """
+    fn, item = payload
+    before = Simulator.global_events_processed()
+    result = fn(item)
+    return result, Simulator.global_events_processed() - before
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    jobs: Optional[int] = None,
+    serial: bool = False,
+) -> List[Any]:
+    """Order-preserving map of ``fn`` over ``items``, forked across cores.
+
+    Args:
+        fn: a picklable callable (module-level function, or a
+            ``functools.partial`` of one) taking one item.
+        items: work items; must be picklable when the pool engages.
+        jobs: worker processes; ``None`` = one per core, ``1`` = serial.
+        serial: force in-process execution (e.g. an attached observer).
+
+    Returns:
+        ``[fn(item) for item in items]`` — identical to the serial result
+        in content *and order*; only wall-clock changes.
+    """
+    cells = list(items)
+    workers = resolve_jobs(jobs, len(cells))
+    if serial or workers <= 1 or len(cells) <= 1 or not fork_available():
+        return [fn(item) for item in cells]
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=workers) as pool:
+        pairs = pool.map(_invoke, [(fn, item) for item in cells])
+    Simulator.credit_global_events(sum(delta for _, delta in pairs))
+    return [result for result, _ in pairs]
+
+
+def add_jobs_argument(parser, default: Optional[int] = None) -> None:
+    """Attach the standard ``--jobs`` flag to an experiment CLI."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=default,
+        help="worker processes for the sweep (default: one per core; "
+        "1 disables the pool)",
+    )

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.scheduler import DraconisProgram
 from repro.experiments import common
+from repro.experiments.parallel_runner import add_jobs_argument, parallel_map
 from repro.faults import FaultInjector, FaultPlan, SwitchFailover
 from repro.sim.core import ms
 from repro.sim.rng import RngStreams
@@ -217,17 +218,32 @@ def run_recovery(
     )
 
 
+def _recovery_cell(item) -> RecoveryResult:
+    """One (seed, interval) cell — module-level so the pool can pickle it."""
+    seed, interval, kwargs = item
+    return run_recovery(seed, checkpoint_interval_ns=interval, **kwargs)
+
+
 def run(
     seeds: Sequence[int] = (0, 1, 2),
     intervals_ns: Sequence[Optional[int]] = DEFAULT_INTERVALS_NS,
+    jobs: Optional[int] = None,
     **kwargs,
 ) -> List[RecoveryResult]:
-    """The acceptance sweep: baseline + each checkpoint interval × seeds."""
-    return [
-        run_recovery(seed, checkpoint_interval_ns=interval, **kwargs)
+    """The acceptance sweep: baseline + each checkpoint interval × seeds.
+
+    Cells fork across cores (see :mod:`repro.experiments.parallel_runner`);
+    results are identical to the serial sweep in content and order. An
+    attached ``obs`` bus forces the serial path.
+    """
+    cells = [
+        (seed, interval, kwargs)
         for interval in intervals_ns
         for seed in seeds
     ]
+    return parallel_map(
+        _recovery_cell, cells, jobs=jobs, serial=kwargs.get("obs") is not None
+    )
 
 
 def summarize(results: Sequence[RecoveryResult]) -> Dict:
@@ -274,11 +290,13 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument(
         "--out", help="write the JSON summary to this path (CI artifact)"
     )
+    add_jobs_argument(parser)
     args = parser.parse_args(argv)
     results = run(
         seeds=range(args.seeds),
         duration_ns=int(ms(args.duration_ms)),
         drain_ns=int(ms(args.drain_ms)),
+        jobs=args.jobs,
     )
     print_table(results)
     summary = summarize(results)

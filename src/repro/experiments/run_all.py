@@ -13,6 +13,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.experiments.parallel_runner import add_jobs_argument
 from repro.experiments import (
     ablation_retrieve,
     fault_tolerance,
@@ -71,6 +72,7 @@ def main() -> None:
     parser.add_argument(
         "--scale", choices=sorted(SCALES), default="report"
     )
+    add_jobs_argument(parser)
     args = parser.parse_args()
     knobs = SCALES[args.scale]
     start = time.time()
@@ -162,7 +164,7 @@ def main() -> None:
     section(
         "§3.3 — fault tolerance (chaos sweep)",
         lambda: fault_tolerance.print_table(
-            fault_tolerance.run(**knobs["chaos"])
+            fault_tolerance.run(**knobs["chaos"], jobs=args.jobs)
         ),
     )
 

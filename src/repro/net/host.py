@@ -36,13 +36,27 @@ class Socket:
             payload=payload,
             size=payload_size + ETHERNET_IP_UDP_OVERHEAD,
         )
-        return self.host.transmit(packet)
+        # Host.transmit, inlined: one frame less per datagram (the method
+        # remains the public entry point for pre-built packets).
+        host = self.host
+        uplink = host._uplink
+        if uplink is None:
+            raise NetworkError(f"host {host.name} has no uplink")
+        host.tx_packets += 1
+        return uplink.send(packet)
 
     def recv(self) -> Event:
         """Event triggering with the next :class:`Packet` for this port."""
         if self._handler is not None:
             raise NetworkError(f"socket {self.address} is in handler mode")
-        return self._inbox.get()
+        # Store.get, inlined: executors call recv() once per pull cycle.
+        inbox = self._inbox
+        event = Event(inbox.sim)
+        if inbox._items:
+            event.succeed(inbox._items.popleft())
+        else:
+            inbox._getters.append(event)
+        return event
 
     def cancel_recv(self, event: Event) -> bool:
         """Withdraw a pending :meth:`recv` (see Store.cancel_get)."""
@@ -111,4 +125,16 @@ class Host:
         if sock is None:
             self.rx_unroutable += 1
             return
-        sock.deliver(packet)
+        # Socket.deliver + Store.put, inlined: two frames less per
+        # delivered packet. Socket inboxes are unbounded, so the
+        # capacity/tail-drop branch of Store.put is dead here.
+        if sock._handler is not None:
+            sock._handler(packet)
+            return
+        inbox = sock._inbox
+        inbox.total_put += 1
+        getters = inbox._getters
+        if getters:
+            getters.popleft().succeed(packet)
+        else:
+            inbox._items.append(packet)

@@ -10,6 +10,7 @@ transmitter is FIFO — a busy link queues packets (bounded, tail-drop).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from heapq import heappush as _heappush
 from typing import Callable, Optional, Tuple
 
 from repro.errors import NetworkError
@@ -73,6 +74,10 @@ class Link:
         self.propagation_ns = propagation_ns
         self.queue_packets = queue_packets
         self._tx_free_at = 0  # when the transmitter next becomes idle
+        # Bandwidth is immutable, so both the per-byte factor and the
+        # 128-byte queue-estimate divisor can be fixed at construction.
+        self._bits_sec = 8 * SEC
+        self._est_pkt_ns = max(1, (128 * 8 * SEC) // bandwidth_bps)
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
@@ -91,11 +96,12 @@ class Link:
 
     def queued_packets(self) -> int:
         """Approximate queue occupancy in packets (for drop decisions)."""
-        backlog_ns = max(0, self._tx_free_at - self.sim.now)
+        backlog_ns = self._tx_free_at - self.sim._now
+        if backlog_ns <= 0:
+            return 0
         # Average scheduler packet is small; use a 128-byte estimate purely
         # for the bounded-queue heuristic.
-        per_packet = self.serialization_ns(128)
-        return backlog_ns // per_packet
+        return backlog_ns // self._est_pkt_ns
 
     def send(self, packet: Packet) -> bool:
         """Enqueue a packet for transmission; False means dropped.
@@ -104,11 +110,39 @@ class Link:
         fault; both count in ``packets_dropped`` so packet-conservation
         accounting (tx = rx + drops) holds under fault injection too.
         """
-        decision = (
-            self.fault_hook.on_send(self, packet)
-            if self.fault_hook is not None
-            else None
-        )
+        if self.fault_hook is None:
+            # Healthy-link fast path: no fault decision to consult, so all
+            # three injected-fault branches below are dead. Every packet on
+            # every link passes through here.
+            sim = self.sim
+            now = sim._now
+            free_at = self._tx_free_at
+            backlog_ns = free_at - now
+            if (
+                backlog_ns > 0
+                and backlog_ns // self._est_pkt_ns >= self.queue_packets
+            ):
+                self.packets_dropped += 1
+                if self.obs is not None:
+                    self.obs.incr("net.drops")
+                return False
+            size = packet.size
+            ser_ns = (size * self._bits_sec) // self.bandwidth_bps
+            start = now if now > free_at else free_at
+            done = start + (ser_ns if ser_ns > 0 else 1)
+            self._tx_free_at = done
+            self.packets_sent += 1
+            self.bytes_sent += size
+            # call_at, inlined: arrival >= now by construction so the
+            # past-check is dead.
+            seq = sim._sequence
+            sim._sequence = seq + 1
+            _heappush(
+                sim._heap,
+                (done + self.propagation_ns, seq, self.sink, (packet,)),
+            )
+            return True
+        decision = self.fault_hook.on_send(self, packet)
         if decision is not None and decision.drop:
             self.injected_drops += 1
             self.packets_dropped += 1
@@ -116,28 +150,42 @@ class Link:
                 self.obs.incr("net.injected_drops")
                 self.obs.incr("net.drops")
             return False
-        if self.queued_packets() >= self.queue_packets:
+        sim = self.sim
+        now = sim._now
+        free_at = self._tx_free_at
+        backlog_ns = free_at - now
+        if (
+            backlog_ns > 0
+            and backlog_ns // self._est_pkt_ns >= self.queue_packets
+        ):
             self.packets_dropped += 1
             if self.obs is not None:
                 self.obs.incr("net.drops")
             return False
-        start = max(self.sim.now, self._tx_free_at)
-        done = start + self.serialization_ns(packet.size)
+        size = packet.size
+        ser_ns = (size * self._bits_sec) // self.bandwidth_bps
+        start = now if now > free_at else free_at
+        done = start + (ser_ns if ser_ns > 0 else 1)
         self._tx_free_at = done
         self.packets_sent += 1
-        self.bytes_sent += packet.size
+        self.bytes_sent += size
         arrival = done + self.propagation_ns
         if decision is not None and decision.extra_delay_ns > 0:
             self.injected_delays += 1
             arrival += decision.extra_delay_ns
-        self.sim.call_at(arrival, self.sink, packet)
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        _heappush(sim._heap, (arrival, seq, self.sink, (packet,)))
         if decision is not None and decision.duplicate:
             # The copy shares the payload object (payloads are never
             # mutated in place, only rebound), but must be a distinct
             # Packet: switch programs rewrite packet.payload/dst on the
             # original while the copy is still in flight.
             self.injected_dups += 1
-            dup = replace(packet, trace=list(packet.trace))
+            dup = replace(
+                packet,
+                trace=list(packet.trace) if packet.trace is not None else None,
+            )
             self.sim.call_at(arrival + self.propagation_ns, self.sink, dup)
         return True
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, NamedTuple
+from typing import Any, NamedTuple, Optional
 
 ETHERNET_IP_UDP_OVERHEAD = 14 + 20 + 8
 """Bytes of L2+L3+L4 header prepended to every scheduler message."""
@@ -28,7 +28,7 @@ class Address(NamedTuple):
 _packet_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A datagram in flight.
 
@@ -40,16 +40,17 @@ class Packet:
         pkt_id: unique id, for tracing.
         recirculated: number of times a switch recirculated this packet.
         trace: optional list of (time_ns, where) hops, filled when tracing
-            is enabled on the topology.
+            is enabled on the topology; None (the default) until a tracer
+            attaches one, so the untraced hot path skips the list alloc.
     """
 
     src: Address
     dst: Address
     payload: Any
     size: int
-    pkt_id: int = field(default_factory=lambda: next(_packet_ids))
+    pkt_id: int = field(default_factory=_packet_ids.__next__)
     recirculated: int = 0
-    trace: list = field(default_factory=list)
+    trace: Optional[list] = None
 
     def __post_init__(self) -> None:
         if self.size <= 0:

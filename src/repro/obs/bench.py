@@ -164,6 +164,65 @@ def render(current: dict, baseline: Optional[dict] = None) -> str:
     return "\n".join(lines)
 
 
+def determinism_problems(first: dict, second: dict) -> List[str]:
+    """Differences between two same-seed runs (empty = deterministic).
+
+    Wall time and events/sec are excluded — those measure the machine.
+    Everything the simulation itself produced (dispatch counts, completed
+    tasks, scheduling-delay percentiles) must match bit-for-bit.
+    """
+    problems: List[str] = []
+    for a, b in zip(first["cases"], second["cases"]):
+        for key in ("events", "tasks_completed", "sched_delay"):
+            if a[key] != b[key]:
+                problems.append(
+                    f"{a['name']}: {key} differs between identical-seed "
+                    f"runs: {a[key]!r} vs {b[key]!r}"
+                )
+    return problems
+
+
+def markdown_summary(current: dict, baseline: Optional[dict] = None) -> str:
+    """Delta table for the CI job summary (``$GITHUB_STEP_SUMMARY``)."""
+    base_cases = {}
+    if baseline is not None:
+        base_cases = {c["name"]: c for c in baseline.get("cases", ())}
+
+    def delta(name: str, eps: int) -> str:
+        base = base_cases.get(name, {}).get("events_per_sec", 0)
+        if base <= 0:
+            return "—"
+        return f"{eps / base - 1.0:+.1%}"
+
+    lines = [
+        f"### Scheduler bench ({current['scale']}, seed {current['seed']}, "
+        f"python {current['python']})",
+        "",
+        "| case | events | wall s | events/s | Δ vs baseline | p50 µs "
+        "| p99 µs | p999 µs |",
+        "|---|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for case in current["cases"]:
+        d = case["sched_delay"]
+        lines.append(
+            f"| {case['name']} | {case['events']:,} | {case['wall_s']:.3f} "
+            f"| {case['events_per_sec']:,} "
+            f"| {delta(case['name'], case['events_per_sec'])} "
+            f"| {d['p50_us']:.1f} | {d['p99_us']:.1f} | {d['p999_us']:.1f} |"
+        )
+    total_delta = "—"
+    if baseline is not None and baseline.get("events_per_sec", 0) > 0:
+        total_delta = (
+            f"{current['events_per_sec'] / baseline['events_per_sec'] - 1.0:+.1%}"
+        )
+    lines.append(
+        f"| **TOTAL** | {current['total_events']:,} "
+        f"| {current['total_wall_s']:.3f} | {current['events_per_sec']:,} "
+        f"| {total_delta} | | | |"
+    )
+    return "\n".join(lines) + "\n"
+
+
 def load_json(path: Path) -> Optional[dict]:
     if not path.exists():
         return None
@@ -194,7 +253,33 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
         help="allowed fractional events/sec regression (default 0.30)",
     )
+    parser.add_argument(
+        "--determinism", action="store_true",
+        help="run the suite twice with the same seed and exit 1 unless "
+             "events, tasks_completed, and every percentile are identical "
+             "(writes no result file)",
+    )
+    parser.add_argument(
+        "--summary", type=Path, default=None,
+        help="append a markdown delta table to this file "
+             "(point at $GITHUB_STEP_SUMMARY in CI)",
+    )
     args = parser.parse_args(argv)
+
+    if args.determinism:
+        first = run_suite(scale=args.scale)
+        second = run_suite(scale=args.scale)
+        problems = determinism_problems(first, second)
+        for problem in problems:
+            print(f"NONDETERMINISM: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(
+            f"deterministic: {len(first['cases'])} cases, "
+            f"{first['total_events']:,} events, identical results across "
+            f"two same-seed runs"
+        )
+        return 0
 
     baseline_path = args.baseline if args.baseline is not None else args.out
     baseline = load_json(baseline_path)
@@ -204,6 +289,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     args.out.write_text(json.dumps(current, indent=2) + "\n")
     print(f"\nwrote {args.out}")
+
+    if args.summary is not None:
+        with args.summary.open("a") as handle:
+            handle.write(markdown_summary(current, baseline))
+        print(f"summary appended to {args.summary}")
 
     if baseline is not None:
         problems = compare(current, baseline, threshold=args.threshold)

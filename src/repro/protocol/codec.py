@@ -11,12 +11,20 @@ counts for serialization delay, and round-trip tests pin the format so a
 task is never silently widened past what a job_submission packet can
 carry. :func:`wire_size` returns the encoded size without building the
 bytes (hot path).
+
+Implementation notes (perf): every fixed field group is a precompiled
+:class:`struct.Struct`; dispatch is a dict keyed by message class
+(encode/size) or by the opcode byte (decode) instead of an isinstance
+ladder; :func:`decode` accepts any buffer (``bytes`` or ``memoryview``)
+and recurses into piggybacked messages through a zero-copy view. The
+wire format itself is unchanged — ``tests/data/golden_codec.json`` pins
+the exact bytes produced by the pre-overhaul codec.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import ProtocolError
 from repro.net.packet import Address
@@ -35,10 +43,33 @@ from repro.protocol.messages import (
 )
 from repro.protocol.opcodes import OpCode
 
-_U8 = struct.Struct(">B")
 _U16 = struct.Struct(">H")
 _U32 = struct.Struct(">I")
 _U64 = struct.Struct(">Q")
+
+# Fixed field groups, one precompiled Struct per layout. Field order is
+# the wire order documented above; the leading ``B`` is the opcode byte.
+_TASK_HEAD = struct.Struct(">IIH")  # tid fn_id par_len
+_JOB_HEAD = struct.Struct(">BIIH")  # op uid jid #tasks
+_TASK_REQUEST_WIRE = struct.Struct(">BIHHQB")  # whole message, 18 bytes
+_PAIR_HEAD = struct.Struct(">BII")  # op uid jid
+_ACK_WIRE = struct.Struct(">BIIH")  # whole message, 11 bytes
+_ERROR_HEAD = struct.Struct(">BIIIH")  # op uid jid backoff #tasks
+_COMPLETION_HEAD = struct.Struct(">BIIIIB")  # op uid jid tid exec success
+_SWAP_MID = struct.Struct(">IQHHI")  # swap_indx exec_props node rack rtr_ptr
+_SWAP_TAIL = struct.Struct(">IHHBB")  # exec_id swaps skip insert qindex
+_HEARTBEAT_WIRE = struct.Struct(">BIH")  # whole message, 7 bytes
+
+_OP_JOB = int(OpCode.JOB_SUBMISSION)
+_OP_REQUEST = int(OpCode.TASK_REQUEST)
+_OP_ASSIGNMENT = int(OpCode.TASK_ASSIGNMENT)
+_OP_ACK = int(OpCode.SUBMISSION_ACK)
+_OP_ERROR = int(OpCode.ERROR)
+_OP_COMPLETION = int(OpCode.COMPLETION)
+_OP_SWAP = int(OpCode.SWAP_TASK)
+_OP_REPAIR = int(OpCode.REPAIR)
+_NOOP_BYTES = bytes([int(OpCode.NO_OP)])
+_HEARTBEAT_OP = int(OpCode.HEARTBEAT)
 
 MAX_FN_PAR_BYTES = 64
 """Fixed FN_PAR field capacity; larger parameters use indirection (§4.4)."""
@@ -49,322 +80,416 @@ across packets (§4.3, "Handling Large Jobs")."""
 
 
 def _encode_task(out: bytearray, task: TaskInfo) -> None:
-    if len(task.fn_par) > MAX_FN_PAR_BYTES:
+    fn_par = task.fn_par
+    if len(fn_par) > MAX_FN_PAR_BYTES:
         raise ProtocolError(
-            f"fn_par of {len(task.fn_par)} bytes exceeds the fixed field "
+            f"fn_par of {len(fn_par)} bytes exceeds the fixed field "
             f"({MAX_FN_PAR_BYTES}); use the indirection mechanisms of §4.4"
         )
-    out += _U32.pack(task.tid)
-    out += _U32.pack(task.fn_id)
-    out += _U16.pack(len(task.fn_par))
-    out += task.fn_par
+    out += _TASK_HEAD.pack(task.tid, task.fn_id, len(fn_par))
+    out += fn_par
     out += _U64.pack(task.tprops & 0xFFFFFFFFFFFFFFFF)
 
 
-def _decode_task(data: bytes, offset: int) -> tuple:
-    tid = _U32.unpack_from(data, offset)[0]
-    fn_id = _U32.unpack_from(data, offset + 4)[0]
-    par_len = _U16.unpack_from(data, offset + 8)[0]
+def _decode_task(data, offset: int) -> tuple:
+    tid, fn_id, par_len = _TASK_HEAD.unpack_from(data, offset)
     start = offset + 10
-    fn_par = bytes(data[start : start + par_len])
-    tprops = _U64.unpack_from(data, start + par_len)[0]
-    return TaskInfo(tid=tid, fn_id=fn_id, fn_par=fn_par, tprops=tprops), (
-        start + par_len + 8
-    )
+    end = start + par_len
+    fn_par = bytes(data[start:end])
+    tprops = _U64.unpack_from(data, end)[0]
+    return TaskInfo(tid=tid, fn_id=fn_id, fn_par=fn_par, tprops=tprops), end + 8
 
 
 def _task_size(task: TaskInfo) -> int:
-    return 4 + 4 + 2 + len(task.fn_par) + 8
+    return 18 + len(task.fn_par)
 
 
 def _encode_address(out: bytearray, address: Optional[Address]) -> None:
     if address is None:
-        out += _U8.pack(0)
+        out.append(0)
         return
     node = address.node.encode("utf-8")
     if len(node) > 255:
         raise ProtocolError(f"node name too long: {address.node!r}")
-    out += _U8.pack(len(node))
+    out.append(len(node))
     out += node
     out += _U16.pack(address.port)
 
 
-def _decode_address(data: bytes, offset: int) -> tuple:
-    length = _U8.unpack_from(data, offset)[0]
+def _decode_address(data, offset: int) -> tuple:
+    length = data[offset]
     if length == 0:
         return None, offset + 1
-    node = data[offset + 1 : offset + 1 + length].decode("utf-8")
+    node = bytes(data[offset + 1 : offset + 1 + length]).decode("utf-8")
     port = _U16.unpack_from(data, offset + 1 + length)[0]
-    return Address(node, port), offset + 1 + length + 2
+    return Address(node, port), offset + 3 + length
 
 
 def _address_size(address: Optional[Address]) -> int:
     if address is None:
         return 1
-    return 1 + len(address.node.encode("utf-8")) + 2
+    node = address.node
+    # ASCII node names (the only kind the topologies generate) encode to
+    # one byte per character; skip the encode on the wire_size hot path.
+    if node.isascii():
+        return 3 + len(node)
+    return 3 + len(node.encode("utf-8"))
+
+
+# -- encode -------------------------------------------------------------------
+
+
+def _enc_job(out: bytearray, m: JobSubmission) -> None:
+    tasks = m.tasks
+    if len(tasks) > MAX_TASKS_PER_PACKET:
+        raise ProtocolError(
+            f"{len(tasks)} tasks exceed the per-packet limit "
+            f"({MAX_TASKS_PER_PACKET}); split the job across packets"
+        )
+    out += _JOB_HEAD.pack(_OP_JOB, m.uid, m.jid, len(tasks))
+    for task in tasks:
+        _encode_task(out, task)
+
+
+def _enc_request(out: bytearray, m: TaskRequest) -> None:
+    out += _TASK_REQUEST_WIRE.pack(
+        _OP_REQUEST,
+        m.executor_id,
+        m.node_id,
+        m.rack_id,
+        m.exec_rsrc & 0xFFFFFFFFFFFFFFFF,
+        m.rtrv_prio,
+    )
+
+
+def _enc_assignment(out: bytearray, m: TaskAssignment) -> None:
+    out += _PAIR_HEAD.pack(_OP_ASSIGNMENT, m.uid, m.jid)
+    _encode_task(out, m.task)
+    _encode_address(out, m.client)
+
+
+def _enc_noop(out: bytearray, m: NoOpTask) -> None:
+    out += _NOOP_BYTES
+
+
+def _enc_ack(out: bytearray, m: SubmissionAck) -> None:
+    out += _ACK_WIRE.pack(_OP_ACK, m.uid, m.jid, m.accepted)
+
+
+def _enc_error(out: bytearray, m: ErrorPacket) -> None:
+    out += _ERROR_HEAD.pack(
+        _OP_ERROR, m.uid, m.jid, m.backoff_hint_ns, len(m.tasks)
+    )
+    for task in m.tasks:
+        _encode_task(out, task)
+
+
+def _enc_completion(out: bytearray, m: Completion) -> None:
+    out += _COMPLETION_HEAD.pack(
+        _OP_COMPLETION,
+        m.uid,
+        m.jid,
+        m.tid,
+        m.executor_id,
+        1 if m.success else 0,
+    )
+    _encode_address(out, m.client)
+    piggyback = m.piggyback_request
+    if piggyback is not None:
+        out.append(1)
+        _encode_into(out, piggyback)
+    else:
+        out.append(0)
+
+
+def _enc_swap(out: bytearray, m: SwapTaskPacket) -> None:
+    out += _PAIR_HEAD.pack(_OP_SWAP, m.uid, m.jid)
+    _encode_task(out, m.task)
+    _encode_address(out, m.client)
+    out += _SWAP_MID.pack(
+        m.swap_indx,
+        m.exec_props & 0xFFFFFFFFFFFFFFFF,
+        m.node_id,
+        m.rack_id,
+        m.pkt_retrieve_ptr,
+    )
+    _encode_address(out, m.requester)
+    out += _SWAP_TAIL.pack(
+        m.executor_id,
+        m.swaps_left,
+        m.skip_counter,
+        1 if m.insert_mode else 0,
+        m.queue_index,
+    )
+
+
+def _enc_heartbeat(out: bytearray, m: Heartbeat) -> None:
+    out += _HEARTBEAT_WIRE.pack(_HEARTBEAT_OP, m.executor_id, m.node_id)
+
+
+def _enc_repair(out: bytearray, m: RepairPacket) -> None:
+    target = m.target.encode("ascii")
+    out.append(_OP_REPAIR)
+    out.append(len(target))
+    out += target
+    out += _U32.pack(m.value)
+    out.append(m.queue_index)
+
+
+_ENCODERS: Dict[type, Callable] = {
+    JobSubmission: _enc_job,
+    TaskRequest: _enc_request,
+    TaskAssignment: _enc_assignment,
+    NoOpTask: _enc_noop,
+    SubmissionAck: _enc_ack,
+    ErrorPacket: _enc_error,
+    Completion: _enc_completion,
+    SwapTaskPacket: _enc_swap,
+    Heartbeat: _enc_heartbeat,
+    RepairPacket: _enc_repair,
+}
+
+
+def _encode_into(out: bytearray, message) -> None:
+    encoder = _ENCODERS.get(message.__class__)
+    if encoder is None:
+        # Subclasses of a message type fall back to their base encoder.
+        for cls, candidate in _ENCODERS.items():
+            if isinstance(message, cls):
+                encoder = candidate
+                break
+        else:
+            raise ProtocolError(f"cannot encode {type(message).__name__}")
+    encoder(out, message)
 
 
 def encode(message) -> bytes:
     """Serialize any protocol message to bytes."""
     out = bytearray()
-    op = message.op
-    out += _U8.pack(int(op))
-    if isinstance(message, JobSubmission):
-        if len(message.tasks) > MAX_TASKS_PER_PACKET:
-            raise ProtocolError(
-                f"{len(message.tasks)} tasks exceed the per-packet limit "
-                f"({MAX_TASKS_PER_PACKET}); split the job across packets"
-            )
-        out += _U32.pack(message.uid)
-        out += _U32.pack(message.jid)
-        out += _U16.pack(len(message.tasks))
-        for task in message.tasks:
-            _encode_task(out, task)
-    elif isinstance(message, TaskRequest):
-        out += _U32.pack(message.executor_id)
-        out += _U16.pack(message.node_id)
-        out += _U16.pack(message.rack_id)
-        out += _U64.pack(message.exec_rsrc & 0xFFFFFFFFFFFFFFFF)
-        out += _U8.pack(message.rtrv_prio)
-    elif isinstance(message, TaskAssignment):
-        out += _U32.pack(message.uid)
-        out += _U32.pack(message.jid)
-        _encode_task(out, message.task)
-        _encode_address(out, message.client)
-    elif isinstance(message, NoOpTask):
-        pass
-    elif isinstance(message, SubmissionAck):
-        out += _U32.pack(message.uid)
-        out += _U32.pack(message.jid)
-        out += _U16.pack(message.accepted)
-    elif isinstance(message, ErrorPacket):
-        out += _U32.pack(message.uid)
-        out += _U32.pack(message.jid)
-        out += _U32.pack(message.backoff_hint_ns)
-        out += _U16.pack(len(message.tasks))
-        for task in message.tasks:
-            _encode_task(out, task)
-    elif isinstance(message, Completion):
-        out += _U32.pack(message.uid)
-        out += _U32.pack(message.jid)
-        out += _U32.pack(message.tid)
-        out += _U32.pack(message.executor_id)
-        out += _U8.pack(1 if message.success else 0)
-        _encode_address(out, message.client)
-        if message.piggyback_request is not None:
-            out += _U8.pack(1)
-            out += encode(message.piggyback_request)
-        else:
-            out += _U8.pack(0)
-    elif isinstance(message, SwapTaskPacket):
-        out += _U32.pack(message.uid)
-        out += _U32.pack(message.jid)
-        _encode_task(out, message.task)
-        _encode_address(out, message.client)
-        out += _U32.pack(message.swap_indx)
-        out += _U64.pack(message.exec_props & 0xFFFFFFFFFFFFFFFF)
-        out += _U16.pack(message.node_id)
-        out += _U16.pack(message.rack_id)
-        out += _U32.pack(message.pkt_retrieve_ptr)
-        _encode_address(out, message.requester)
-        out += _U32.pack(message.executor_id)
-        out += _U16.pack(message.swaps_left)
-        out += _U16.pack(message.skip_counter)
-        out += _U8.pack(1 if message.insert_mode else 0)
-        out += _U8.pack(message.queue_index)
-    elif isinstance(message, Heartbeat):
-        out += _U32.pack(message.executor_id)
-        out += _U16.pack(message.node_id)
-    elif isinstance(message, RepairPacket):
-        target = message.target.encode("ascii")
-        out += _U8.pack(len(target))
-        out += target
-        out += _U32.pack(message.value)
-        out += _U8.pack(message.queue_index)
-    else:
-        raise ProtocolError(f"cannot encode {type(message).__name__}")
+    _encode_into(out, message)
     return bytes(out)
 
 
-def decode(data: bytes):
-    """Parse bytes back into a protocol message.
+# -- decode -------------------------------------------------------------------
+
+
+def _dec_job(data):
+    _, uid, jid, count = _JOB_HEAD.unpack_from(data, 0)
+    offset = 11
+    tasks = []
+    for _i in range(count):
+        task, offset = _decode_task(data, offset)
+        tasks.append(task)
+    return JobSubmission(uid=uid, jid=jid, tasks=tasks)
+
+
+def _dec_request(data):
+    _, executor_id, node_id, rack_id, exec_rsrc, rtrv_prio = (
+        _TASK_REQUEST_WIRE.unpack_from(data, 0)
+    )
+    return TaskRequest(
+        executor_id=executor_id,
+        node_id=node_id,
+        rack_id=rack_id,
+        exec_rsrc=exec_rsrc,
+        rtrv_prio=rtrv_prio,
+    )
+
+
+def _dec_assignment(data):
+    _, uid, jid = _PAIR_HEAD.unpack_from(data, 0)
+    task, offset = _decode_task(data, 9)
+    client, _offset = _decode_address(data, offset)
+    return TaskAssignment(uid=uid, jid=jid, task=task, client=client)
+
+
+def _dec_noop(data):
+    return NoOpTask()
+
+
+def _dec_ack(data):
+    _, uid, jid, accepted = _ACK_WIRE.unpack_from(data, 0)
+    return SubmissionAck(uid=uid, jid=jid, accepted=accepted)
+
+
+def _dec_error(data):
+    _, uid, jid, backoff_hint_ns, count = _ERROR_HEAD.unpack_from(data, 0)
+    offset = 15
+    tasks = []
+    for _i in range(count):
+        task, offset = _decode_task(data, offset)
+        tasks.append(task)
+    return ErrorPacket(
+        uid=uid, jid=jid, tasks=tasks, backoff_hint_ns=backoff_hint_ns
+    )
+
+
+def _dec_completion(data):
+    _, uid, jid, tid, executor_id, success = _COMPLETION_HEAD.unpack_from(
+        data, 0
+    )
+    client, offset = _decode_address(data, 18)
+    piggyback = None
+    if data[offset]:
+        # Zero-copy recursion: hand the piggybacked message a view of the
+        # tail rather than slicing a fresh bytes object.
+        piggyback = decode(memoryview(data)[offset + 1 :])
+        if not isinstance(piggyback, TaskRequest):
+            raise ProtocolError("completion piggyback must be TaskRequest")
+    return Completion(
+        uid=uid,
+        jid=jid,
+        tid=tid,
+        executor_id=executor_id,
+        success=bool(success),
+        client=client,
+        piggyback_request=piggyback,
+    )
+
+
+def _dec_swap(data):
+    _, uid, jid = _PAIR_HEAD.unpack_from(data, 0)
+    task, offset = _decode_task(data, 9)
+    client, offset = _decode_address(data, offset)
+    swap_indx, exec_props, node_id, rack_id, pkt_retrieve_ptr = (
+        _SWAP_MID.unpack_from(data, offset)
+    )
+    requester, offset = _decode_address(data, offset + 20)
+    executor_id, swaps_left, skip_counter, insert_mode, queue_index = (
+        _SWAP_TAIL.unpack_from(data, offset)
+    )
+    return SwapTaskPacket(
+        uid=uid,
+        jid=jid,
+        task=task,
+        client=client,
+        swap_indx=swap_indx,
+        exec_props=exec_props,
+        node_id=node_id,
+        rack_id=rack_id,
+        pkt_retrieve_ptr=pkt_retrieve_ptr,
+        requester=requester,
+        executor_id=executor_id,
+        swaps_left=swaps_left,
+        skip_counter=skip_counter,
+        insert_mode=bool(insert_mode),
+        queue_index=queue_index,
+    )
+
+
+def _dec_heartbeat(data):
+    _, executor_id, node_id = _HEARTBEAT_WIRE.unpack_from(data, 0)
+    return Heartbeat(executor_id=executor_id, node_id=node_id)
+
+
+def _dec_repair(data):
+    length = data[1]
+    target = bytes(data[2 : 2 + length]).decode("ascii")
+    value = _U32.unpack_from(data, 2 + length)[0]
+    queue_index = data[6 + length]
+    return RepairPacket(target=target, value=value, queue_index=queue_index)
+
+
+_DECODERS: Dict[int, Callable] = {
+    int(OpCode.JOB_SUBMISSION): _dec_job,
+    int(OpCode.TASK_REQUEST): _dec_request,
+    int(OpCode.TASK_ASSIGNMENT): _dec_assignment,
+    int(OpCode.NO_OP): _dec_noop,
+    int(OpCode.SUBMISSION_ACK): _dec_ack,
+    int(OpCode.ERROR): _dec_error,
+    int(OpCode.COMPLETION): _dec_completion,
+    int(OpCode.SWAP_TASK): _dec_swap,
+    int(OpCode.HEARTBEAT): _dec_heartbeat,
+    int(OpCode.REPAIR): _dec_repair,
+}
+
+
+def decode(data):
+    """Parse bytes (or any buffer) back into a protocol message.
 
     Raises :class:`ProtocolError` for anything malformed — unknown
     opcodes, truncated fields, bad encodings — never a bare
     ``struct.error`` (a scheduler must not crash on a garbage datagram).
     """
+    if not len(data):
+        raise ProtocolError("empty message")
+    decoder = _DECODERS.get(data[0])
+    if decoder is None:
+        raise ProtocolError(f"unknown opcode {data[0]}")
     try:
-        return _decode(data)
+        return decoder(data)
     except ProtocolError:
         raise
     except (struct.error, UnicodeDecodeError, IndexError) as exc:
         raise ProtocolError(f"malformed message: {exc}") from exc
 
 
-def _decode(data: bytes):
-    if not data:
-        raise ProtocolError("empty message")
-    try:
-        op = OpCode(data[0])
-    except ValueError as exc:
-        raise ProtocolError(f"unknown opcode {data[0]}") from exc
-    offset = 1
-    if op is OpCode.JOB_SUBMISSION:
-        uid = _U32.unpack_from(data, offset)[0]
-        jid = _U32.unpack_from(data, offset + 4)[0]
-        count = _U16.unpack_from(data, offset + 8)[0]
-        offset += 10
-        tasks = []
-        for _ in range(count):
-            task, offset = _decode_task(data, offset)
-            tasks.append(task)
-        return JobSubmission(uid=uid, jid=jid, tasks=tasks)
-    if op is OpCode.TASK_REQUEST:
-        executor_id = _U32.unpack_from(data, offset)[0]
-        node_id = _U16.unpack_from(data, offset + 4)[0]
-        rack_id = _U16.unpack_from(data, offset + 6)[0]
-        exec_rsrc = _U64.unpack_from(data, offset + 8)[0]
-        rtrv_prio = _U8.unpack_from(data, offset + 16)[0]
-        return TaskRequest(
-            executor_id=executor_id,
-            node_id=node_id,
-            rack_id=rack_id,
-            exec_rsrc=exec_rsrc,
-            rtrv_prio=rtrv_prio,
-        )
-    if op is OpCode.TASK_ASSIGNMENT:
-        uid = _U32.unpack_from(data, offset)[0]
-        jid = _U32.unpack_from(data, offset + 4)[0]
-        task, offset = _decode_task(data, offset + 8)
-        client, offset = _decode_address(data, offset)
-        return TaskAssignment(uid=uid, jid=jid, task=task, client=client)
-    if op is OpCode.NO_OP:
-        return NoOpTask()
-    if op is OpCode.SUBMISSION_ACK:
-        uid = _U32.unpack_from(data, offset)[0]
-        jid = _U32.unpack_from(data, offset + 4)[0]
-        accepted = _U16.unpack_from(data, offset + 8)[0]
-        return SubmissionAck(uid=uid, jid=jid, accepted=accepted)
-    if op is OpCode.ERROR:
-        uid = _U32.unpack_from(data, offset)[0]
-        jid = _U32.unpack_from(data, offset + 4)[0]
-        backoff_hint_ns = _U32.unpack_from(data, offset + 8)[0]
-        count = _U16.unpack_from(data, offset + 12)[0]
-        offset += 14
-        tasks = []
-        for _ in range(count):
-            task, offset = _decode_task(data, offset)
-            tasks.append(task)
-        return ErrorPacket(
-            uid=uid, jid=jid, tasks=tasks, backoff_hint_ns=backoff_hint_ns
-        )
-    if op is OpCode.COMPLETION:
-        uid = _U32.unpack_from(data, offset)[0]
-        jid = _U32.unpack_from(data, offset + 4)[0]
-        tid = _U32.unpack_from(data, offset + 8)[0]
-        executor_id = _U32.unpack_from(data, offset + 12)[0]
-        success = bool(_U8.unpack_from(data, offset + 16)[0])
-        client, offset = _decode_address(data, offset + 17)
-        has_piggyback = _U8.unpack_from(data, offset)[0]
-        piggyback = None
-        if has_piggyback:
-            piggyback = decode(data[offset + 1 :])
-            if not isinstance(piggyback, TaskRequest):
-                raise ProtocolError("completion piggyback must be TaskRequest")
-        return Completion(
-            uid=uid,
-            jid=jid,
-            tid=tid,
-            executor_id=executor_id,
-            success=success,
-            client=client,
-            piggyback_request=piggyback,
-        )
-    if op is OpCode.SWAP_TASK:
-        uid = _U32.unpack_from(data, offset)[0]
-        jid = _U32.unpack_from(data, offset + 4)[0]
-        task, offset = _decode_task(data, offset + 8)
-        client, offset = _decode_address(data, offset)
-        swap_indx = _U32.unpack_from(data, offset)[0]
-        exec_props = _U64.unpack_from(data, offset + 4)[0]
-        node_id = _U16.unpack_from(data, offset + 12)[0]
-        rack_id = _U16.unpack_from(data, offset + 14)[0]
-        pkt_retrieve_ptr = _U32.unpack_from(data, offset + 16)[0]
-        requester, offset = _decode_address(data, offset + 20)
-        executor_id = _U32.unpack_from(data, offset)[0]
-        swaps_left = _U16.unpack_from(data, offset + 4)[0]
-        skip_counter = _U16.unpack_from(data, offset + 6)[0]
-        insert_mode = bool(_U8.unpack_from(data, offset + 8)[0])
-        queue_index = _U8.unpack_from(data, offset + 9)[0]
-        return SwapTaskPacket(
-            uid=uid,
-            jid=jid,
-            task=task,
-            client=client,
-            swap_indx=swap_indx,
-            exec_props=exec_props,
-            node_id=node_id,
-            rack_id=rack_id,
-            pkt_retrieve_ptr=pkt_retrieve_ptr,
-            requester=requester,
-            executor_id=executor_id,
-            swaps_left=swaps_left,
-            skip_counter=skip_counter,
-            insert_mode=insert_mode,
-            queue_index=queue_index,
-        )
-    if op is OpCode.HEARTBEAT:
-        executor_id = _U32.unpack_from(data, offset)[0]
-        node_id = _U16.unpack_from(data, offset + 4)[0]
-        return Heartbeat(executor_id=executor_id, node_id=node_id)
-    if op is OpCode.REPAIR:
-        length = _U8.unpack_from(data, offset)[0]
-        target = data[offset + 1 : offset + 1 + length].decode("ascii")
-        value = _U32.unpack_from(data, offset + 1 + length)[0]
-        queue_index = _U8.unpack_from(data, offset + 5 + length)[0]
-        return RepairPacket(target=target, value=value, queue_index=queue_index)
-    raise ProtocolError(f"decoder missing for opcode {op!r}")
+# -- sizes --------------------------------------------------------------------
+
+_TASK_REQUEST_SIZE = _TASK_REQUEST_WIRE.size  # 18
+
+
+def _size_job(m: JobSubmission) -> int:
+    size = 11
+    for task in m.tasks:
+        size += 18 + len(task.fn_par)
+    return size
+
+
+def _size_assignment(m: TaskAssignment) -> int:
+    return 9 + _task_size(m.task) + _address_size(m.client)
+
+
+def _size_error(m: ErrorPacket) -> int:
+    size = 15
+    for task in m.tasks:
+        size += 18 + len(task.fn_par)
+    return size
+
+
+def _size_completion(m: Completion) -> int:
+    size = 19 + _address_size(m.client)
+    piggyback = m.piggyback_request
+    if piggyback is not None:
+        size += wire_size(piggyback)
+    return size
+
+
+def _size_swap(m: SwapTaskPacket) -> int:
+    return (
+        39  # op + uid + jid + mid block + tail block
+        + _task_size(m.task)
+        + _address_size(m.client)
+        + _address_size(m.requester)
+    )
+
+
+def _size_repair(m: RepairPacket) -> int:
+    return 7 + len(m.target.encode("ascii"))
+
+
+_SIZERS: Dict[type, Callable] = {
+    JobSubmission: _size_job,
+    TaskRequest: lambda m: _TASK_REQUEST_SIZE,
+    TaskAssignment: _size_assignment,
+    NoOpTask: lambda m: 1,
+    SubmissionAck: lambda m: 11,
+    ErrorPacket: _size_error,
+    Completion: _size_completion,
+    SwapTaskPacket: _size_swap,
+    Heartbeat: lambda m: 7,
+    RepairPacket: _size_repair,
+}
 
 
 def wire_size(message) -> int:
     """Encoded size in bytes, without building the byte string."""
-    if isinstance(message, JobSubmission):
-        return 1 + 10 + sum(_task_size(t) for t in message.tasks)
-    if isinstance(message, TaskRequest):
-        return 1 + 4 + 2 + 2 + 8 + 1
-    if isinstance(message, TaskAssignment):
-        return 1 + 8 + _task_size(message.task) + _address_size(message.client)
-    if isinstance(message, NoOpTask):
-        return 1
-    if isinstance(message, SubmissionAck):
-        return 1 + 10
-    if isinstance(message, ErrorPacket):
-        return 1 + 14 + sum(_task_size(t) for t in message.tasks)
-    if isinstance(message, Completion):
-        size = 1 + 4 + 4 + 4 + 4 + 1 + _address_size(message.client) + 1
-        if message.piggyback_request is not None:
-            size += wire_size(message.piggyback_request)
-        return size
-    if isinstance(message, SwapTaskPacket):
-        return (
-            1
-            + 8
-            + _task_size(message.task)
-            + _address_size(message.client)
-            + 4
-            + 8
-            + 2
-            + 2
-            + 4
-            + _address_size(message.requester)
-            + 4
-            + 2
-            + 2
-            + 1
-            + 1
-        )
-    if isinstance(message, Heartbeat):
-        return 1 + 4 + 2
-    if isinstance(message, RepairPacket):
-        return 1 + 1 + len(message.target.encode("ascii")) + 4 + 1
-    raise ProtocolError(f"cannot size {type(message).__name__}")
+    sizer = _SIZERS.get(message.__class__)
+    if sizer is None:
+        for cls, candidate in _SIZERS.items():
+            if isinstance(message, cls):
+                sizer = candidate
+                break
+        else:
+            raise ProtocolError(f"cannot size {type(message).__name__}")
+    return sizer(message)

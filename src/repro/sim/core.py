@@ -15,7 +15,7 @@ The clock unit is the nanosecond. Use :func:`us`, :func:`ms` and
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop as _heappop, heappush as _heappush
 from time import perf_counter_ns as _perf_counter_ns
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
@@ -95,7 +95,19 @@ class Event:
             raise SimulationError("event triggered twice")
         self._triggered = True
         self._value = value
-        self._schedule_callbacks()
+        # _schedule_callbacks, inlined: succeed() runs once per message
+        # delivery and per timer, so the extra call shows up in profiles.
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            sim = self.sim
+            heap = sim._heap
+            now = sim._now
+            seq = sim._sequence
+            for callback in callbacks:
+                _heappush(heap, (now, seq, callback, (self,)))
+                seq += 1
+            sim._sequence = seq
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -110,9 +122,20 @@ class Event:
         return self
 
     def _schedule_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
+        # Hot path: push directly onto the heap at the current time instead
+        # of going through call_in (which re-checks the clock per callback).
+        callbacks = self._callbacks
+        if not callbacks:
+            return
+        self._callbacks = []
+        sim = self.sim
+        heap = sim._heap
+        now = sim._now
+        seq = sim._sequence
         for callback in callbacks:
-            self.sim.call_in(0, callback, self)
+            _heappush(heap, (now, seq, callback, (self,)))
+            seq += 1
+        sim._sequence = seq
 
 
 class Timeout(Event):
@@ -121,14 +144,37 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None) -> None:
-        super().__init__(sim)
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
+        # Event.__init__ and call_in, inlined: timers are the single most
+        # constructed event type (every poll backoff and response timeout).
+        self.sim = sim
+        self._callbacks = []
+        self._triggered = False
+        self._value = None
+        self._failure = None
         self.delay = delay
-        sim.call_in(delay, self._fire, value)
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        _heappush(sim._heap, (sim._now + int(delay), seq, self._fire, (value,)))
 
     def _fire(self, value: Any) -> None:
-        self.succeed(value)
+        # succeed(), inlined minus the double-trigger guard: the loop
+        # dispatches each heap entry exactly once, so _fire cannot race
+        # a second trigger of its own event.
+        self._triggered = True
+        self._value = value
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            sim = self.sim
+            heap = sim._heap
+            now = sim._now
+            seq = sim._sequence
+            for callback in callbacks:
+                _heappush(heap, (now, seq, callback, (self,)))
+                seq += 1
+            sim._sequence = seq
 
 
 class _Condition(Event):
@@ -137,13 +183,23 @@ class _Condition(Event):
     __slots__ = ("events", "_remaining")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
-        super().__init__(sim)
+        # Event.__init__ and add_callback, inlined: one AnyOf per
+        # recv-with-timeout makes condition construction a hot path.
+        self.sim = sim
+        self._callbacks = []
+        self._triggered = False
+        self._value = None
+        self._failure = None
         self.events: Tuple[Event, ...] = tuple(events)
         if not self.events:
             raise SimulationError("condition needs at least one event")
         self._remaining = len(self.events)
+        on_child = self._on_child
         for event in self.events:
-            event.add_callback(self._on_child)
+            if event._triggered:
+                sim.call_in(0, on_child, event)
+            else:
+                event._callbacks.append(on_child)
 
     def _on_child(self, event: Event) -> None:
         raise NotImplementedError
@@ -160,11 +216,24 @@ class AnyOf(_Condition):
     def _on_child(self, event: Event) -> None:
         if self._triggered:
             return
-        if event.failed:
-            assert event.failure is not None
-            self.fail(event.failure)
-        else:
-            self.succeed(event)
+        if event._failure is not None:
+            self.fail(event._failure)
+            return
+        # succeed(event), inlined (the double-trigger guard above already
+        # ran): one _on_child fires per winning recv/timeout race.
+        self._triggered = True
+        self._value = event
+        callbacks = self._callbacks
+        if callbacks:
+            self._callbacks = []
+            sim = self.sim
+            heap = sim._heap
+            now = sim._now
+            seq = sim._sequence
+            for callback in callbacks:
+                _heappush(heap, (now, seq, callback, (self,)))
+                seq += 1
+            sim._sequence = seq
 
 
 class AllOf(_Condition):
@@ -241,10 +310,35 @@ class Process(Event):
         target.add_callback(self._on_event)
 
     def _on_event(self, event: Event) -> None:
-        if event.failed:
-            self._resume(None, event.failure)
+        # _resume, inlined with slot reads instead of the failed/value
+        # properties: this is the resumption path for every yield in every
+        # process. _resume itself stays for spawn/interrupt/error paths.
+        if self._triggered:
+            return
+        failure = event._failure
+        try:
+            if failure is not None:
+                target = self._generator.throw(failure)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - deliberate propagation
+            self.fail(err)
+            return
+        if not isinstance(target, Event):
+            self._resume(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected Event"
+                ),
+            )
+            return
+        if target._triggered:
+            self.sim.call_in(0, self._on_event, target)
         else:
-            self._resume(event.value, None)
+            target._callbacks.append(self._on_event)
 
     def interrupt(self, reason: str = "interrupted") -> None:
         """Throw :class:`Interrupted` into the process at the current time."""
@@ -253,6 +347,58 @@ class Process(Event):
 
 class Interrupted(SimulationError):
     """Raised inside a process when :meth:`Process.interrupt` is called."""
+
+
+class ScheduledCallback:
+    """Handle to one scheduled callback, cancellable via a tombstone.
+
+    :meth:`Simulator.call_at_cancellable` returns one of these. ``cancel``
+    does not search the heap (O(n)) nor leave a live entry to be skipped
+    by a per-dispatch flag check on every event; it plants the entry's
+    sequence number in the simulator's tombstone set, and the run loop
+    discards the entry when it reaches the top of the heap — O(log n)
+    amortized, zero cost for the non-cancelling majority of events.
+    Tombstoned entries do not count as dispatches.
+    """
+
+    __slots__ = ("sim", "when", "seq", "callback", "args", "fired", "cancelled")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        when: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+    ) -> None:
+        self.sim = sim
+        self.when = when
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.fired = False
+        self.cancelled = False
+
+    def _fire(self) -> None:
+        self.fired = True
+        self.callback(*self.args)
+
+    def cancel(self) -> bool:
+        """Tombstone the entry; the callback will never run.
+
+        Returns True when the entry was still pending (the callback is now
+        guaranteed never to fire); False when it already fired or was
+        already cancelled. Idempotent.
+        """
+        if self.fired or self.cancelled:
+            return False
+        self.cancelled = True
+        self.sim._cancelled.add(self.seq)
+        return True
+
+    @property
+    def pending(self) -> bool:
+        return not (self.fired or self.cancelled)
 
 
 class Simulator:
@@ -269,6 +415,9 @@ class Simulator:
         self._heap: List[Tuple[int, int, Callable[..., None], tuple]] = []
         self._events_processed = 0
         self._running = False
+        #: tombstoned sequence numbers (see :class:`ScheduledCallback`);
+        #: entries whose seq is in here are discarded instead of dispatched
+        self._cancelled: set = set()
         #: optional :class:`repro.obs.profile.SimProfiler`; when set, every
         #: dispatch is timed and attributed to the callback's component
         self.profiler: Optional[Any] = None
@@ -277,6 +426,18 @@ class Simulator:
     def global_events_processed(cls) -> int:
         """Total dispatches across all simulators in this process."""
         return cls._global_events
+
+    @classmethod
+    def credit_global_events(cls, count: int) -> None:
+        """Fold dispatches performed in another process into the counter.
+
+        The parallel experiment runner ships each worker's event delta
+        back with its result so harness-level events/sec reports stay
+        truthful when a sweep fans out over a process pool.
+        """
+        if count < 0:
+            raise SimulationError(f"event credit must be >= 0: {count}")
+        cls._global_events += count
 
     @property
     def now(self) -> int:
@@ -295,12 +456,44 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past: {when} < now {self._now}"
             )
-        heapq.heappush(self._heap, (when, self._sequence, callback, args))
-        self._sequence += 1
+        seq = self._sequence
+        self._sequence = seq + 1
+        _heappush(self._heap, (when, seq, callback, args))
 
     def call_in(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
         """Schedule ``callback(*args)`` after ``delay`` nanoseconds."""
-        self.call_at(self._now + int(delay), callback, *args)
+        when = self._now + int(delay)
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}"
+            )
+        seq = self._sequence
+        self._sequence = seq + 1
+        _heappush(self._heap, (when, seq, callback, args))
+
+    def call_at_cancellable(
+        self, when: int, callback: Callable[..., None], *args: Any
+    ) -> ScheduledCallback:
+        """Like :meth:`call_at`, returning a cancellable handle.
+
+        The handle costs one small slotted object per call, so the plain
+        :meth:`call_at` stays the default for the never-cancelled majority.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule in the past: {when} < now {self._now}"
+            )
+        seq = self._sequence
+        self._sequence = seq + 1
+        handle = ScheduledCallback(self, when, seq, callback, args)
+        _heappush(self._heap, (when, seq, handle._fire, ()))
+        return handle
+
+    def call_in_cancellable(
+        self, delay: int, callback: Callable[..., None], *args: Any
+    ) -> ScheduledCallback:
+        """Like :meth:`call_in`, returning a cancellable handle."""
+        return self.call_at_cancellable(self._now + int(delay), callback, *args)
 
     # -- event constructors ---------------------------------------------
 
@@ -342,24 +535,79 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        started_events = self._events_processed
-        profiler = self.profiler
+        heap = self._heap
+        cancelled = self._cancelled
+        pop = _heappop
+        count = 0
         try:
+            if self.profiler is None and max_events is None:
+                # Fast path (the bench/report configuration): indexed tuple
+                # access, tombstone discard, and an inner drain of
+                # same-timestamp batches that skips the until-check and the
+                # clock store for every event after the first in a batch.
+                # Dispatch counters are accumulated locally and written back
+                # once in ``finally`` — nothing observes them mid-run.
+                if until is None:
+                    while heap:
+                        when, seq, callback, args = pop(heap)
+                        if cancelled and seq in cancelled:
+                            cancelled.discard(seq)
+                            continue
+                        self._now = when
+                        count += 1
+                        callback(*args)
+                        while heap and heap[0][0] == when:
+                            _, seq, callback, args = pop(heap)
+                            if cancelled and seq in cancelled:
+                                cancelled.discard(seq)
+                                continue
+                            count += 1
+                            callback(*args)
+                    return self._now
+                while heap:
+                    when = heap[0][0]
+                    if when > until:
+                        self._now = until
+                        return until
+                    _, seq, callback, args = pop(heap)
+                    if cancelled and seq in cancelled:
+                        cancelled.discard(seq)
+                        continue
+                    self._now = when
+                    count += 1
+                    callback(*args)
+                    while heap and heap[0][0] == when:
+                        _, seq, callback, args = pop(heap)
+                        if cancelled and seq in cancelled:
+                            cancelled.discard(seq)
+                            continue
+                        count += 1
+                        callback(*args)
+                if until > self._now:
+                    self._now = until
+                return self._now
+
+            # Generic path: profiling and/or an event budget are active.
+            profiler = self.profiler
             budget = max_events
-            while self._heap:
-                when, _seq, callback, args = self._heap[0]
+            while heap:
+                head = heap[0]
+                when = head[0]
                 if until is not None and when > until:
                     self._now = until
-                    return self._now
-                heapq.heappop(self._heap)
+                    return until
+                pop(heap)
+                if cancelled and head[1] in cancelled:
+                    cancelled.discard(head[1])
+                    continue
                 self._now = when
-                self._events_processed += 1
+                count += 1
                 if profiler is None:
-                    callback(*args)
+                    head[2](*head[3])
                 else:
                     t0 = _perf_counter_ns()
-                    callback(*args)
-                    profiler.account(callback, _perf_counter_ns() - t0)
+                    head[2](*head[3])
+                    profiler.account(head[2], _perf_counter_ns() - t0)
                 if budget is not None:
                     budget -= 1
                     if budget <= 0:
@@ -371,24 +619,39 @@ class Simulator:
             return self._now
         finally:
             self._running = False
-            Simulator._global_events += self._events_processed - started_events
+            self._events_processed += count
+            Simulator._global_events += count
 
     def step(self) -> bool:
         """Dispatch a single scheduled callback. Returns False when idle."""
-        if not self._heap:
-            return False
-        when, _seq, callback, args = heapq.heappop(self._heap)
-        self._now = when
-        self._events_processed += 1
-        Simulator._global_events += 1
-        if self.profiler is None:
-            callback(*args)
-        else:
-            t0 = _perf_counter_ns()
-            callback(*args)
-            self.profiler.account(callback, _perf_counter_ns() - t0)
-        return True
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            e = _heappop(heap)
+            if cancelled and e[1] in cancelled:
+                cancelled.discard(e[1])
+                continue
+            self._now = e[0]
+            self._events_processed += 1
+            Simulator._global_events += 1
+            if self.profiler is None:
+                e[2](*e[3])
+            else:
+                t0 = _perf_counter_ns()
+                e[2](*e[3])
+                self.profiler.account(e[2], _perf_counter_ns() - t0)
+            return True
+        return False
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled callback, or None when idle."""
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            head = heap[0]
+            if cancelled and head[1] in cancelled:
+                _heappop(heap)
+                cancelled.discard(head[1])
+                continue
+            return head[0]
+        return None

@@ -20,6 +20,7 @@ The model keeps the properties that matter for the paper's results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from heapq import heappush as _heappush
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import SwitchError
@@ -33,7 +34,7 @@ from repro.switchsim.resources import SwitchModel, TOFINO1
 # -- actions a program can emit per traversal -------------------------------
 
 
-@dataclass
+@dataclass(slots=True)
 class Forward:
     """Send the (possibly rewritten) packet to ``dst``."""
 
@@ -41,7 +42,7 @@ class Forward:
     dst: Optional[Address] = None  # None = packet.dst
 
 
-@dataclass
+@dataclass(slots=True)
 class Reply:
     """Send a new message from the switch itself back to ``dst``.
 
@@ -54,14 +55,14 @@ class Reply:
     size: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Recirculate:
     """Re-inject the packet into ingress via the recirculation port."""
 
     packet: Packet
 
 
-@dataclass
+@dataclass(slots=True)
 class Drop:
     """Discard the packet (counted)."""
 
@@ -213,11 +214,24 @@ class ProgrammableSwitch(BaseSwitch):
         if not self.program.wants(packet):
             self.forward(packet)
             return
-        self._enter_pipeline(packet)
-
-    def _enter_pipeline(self, packet: Packet) -> None:
         # Serialize ingress at line rate; the gap is sub-nanosecond in
         # reality, we round up to 1 ns which is still never the bottleneck.
+        sim = self.sim
+        now = sim._now
+        free_at = self._ingress_free_at
+        start = now if now > free_at else free_at
+        self._ingress_free_at = start + self._pipeline_gap_ns
+        # call_at, inlined (start >= now, so the past-check is dead).
+        seq = sim._sequence
+        sim._sequence = seq + 1
+        _heappush(
+            sim._heap,
+            (start + self.model.pipeline_latency_ns, seq, self._traverse,
+             (packet,)),
+        )
+
+    def _enter_pipeline(self, packet: Packet) -> None:
+        # Kept for subclasses/tests that inject packets mid-pipeline.
         start = max(self.sim.now, self._ingress_free_at)
         self._ingress_free_at = start + self._pipeline_gap_ns
         done = start + self.model.pipeline_latency_ns
@@ -229,22 +243,19 @@ class ProgrammableSwitch(BaseSwitch):
             self.obs.on_switch_ingress(self.sim.now, packet)
         ctx = PacketContext(packet)
         actions = self.program.process(ctx, packet)
+        apply = self._apply
         for action in actions:
-            self._apply(action)
+            apply(action)
 
     # -- actions -----------------------------------------------------------
 
     def _apply(self, action: Action) -> None:
+        # Exact-class checks: the action taxonomy is closed (no subclasses)
+        # and Reply/Forward dominate, so two identity compares beat the
+        # isinstance ladder on every packet.
         obs = self.obs
-        if isinstance(action, Forward):
-            pkt = action.packet
-            if action.dst is not None:
-                pkt.dst = action.dst
-            self.stats.forwards += 1
-            if obs is not None:
-                obs.on_switch_forward(self.sim.now, pkt)
-            self.forward(pkt)
-        elif isinstance(action, Reply):
+        cls = action.__class__
+        if cls is Reply:
             self.stats.replies += 1
             if obs is not None:
                 obs.on_switch_reply(self.sim.now, action.dst.node, action.payload)
@@ -254,17 +265,72 @@ class ProgrammableSwitch(BaseSwitch):
                 payload=action.payload,
                 size=action.size + ETHERNET_IP_UDP_OVERHEAD,
             )
-            self.forward(reply)
-        elif isinstance(action, Recirculate):
+            # BaseSwitch.forward, inlined for the two dominant branches.
+            port = self._ports.get(reply.dst.node)
+            if port is None:
+                self.unroutable_packets += 1
+            else:
+                self.forwarded_packets += 1
+                port.send(reply)
+        elif cls is Forward:
+            pkt = action.packet
+            if action.dst is not None:
+                pkt.dst = action.dst
+            self.stats.forwards += 1
+            if obs is not None:
+                obs.on_switch_forward(self.sim.now, pkt)
+            port = self._ports.get(pkt.dst.node)
+            if port is None:
+                self.unroutable_packets += 1
+            else:
+                self.forwarded_packets += 1
+                port.send(pkt)
+        elif cls is Recirculate:
             if obs is not None:
                 obs.on_switch_recirculate(self.sim.now, action.packet)
             self._recirculate(action.packet)
-        elif isinstance(action, Drop):
+        elif cls is Drop:
             self.stats.program_drops += 1
             if obs is not None:
                 obs.on_switch_drop(self.sim.now, action.packet, action.reason)
+        elif isinstance(action, (Forward, Reply, Recirculate, Drop)):
+            # Someone subclassed an action type; route it the slow way.
+            self._apply_generic(action)
         else:
             raise SwitchError(f"unknown switch action: {action!r}")
+
+    def _apply_generic(self, action: Action) -> None:
+        if isinstance(action, Forward):
+            pkt = action.packet
+            if action.dst is not None:
+                pkt.dst = action.dst
+            self.stats.forwards += 1
+            if self.obs is not None:
+                self.obs.on_switch_forward(self.sim.now, pkt)
+            self.forward(pkt)
+        elif isinstance(action, Reply):
+            self.stats.replies += 1
+            if self.obs is not None:
+                self.obs.on_switch_reply(
+                    self.sim.now, action.dst.node, action.payload
+                )
+            reply = Packet(
+                src=self.service_address,
+                dst=action.dst,
+                payload=action.payload,
+                size=action.size + ETHERNET_IP_UDP_OVERHEAD,
+            )
+            self.forward(reply)
+        elif isinstance(action, Recirculate):
+            if self.obs is not None:
+                self.obs.on_switch_recirculate(self.sim.now, action.packet)
+            self._recirculate(action.packet)
+        else:
+            self.stats.program_drops += 1
+            if self.obs is not None:
+                self.obs.on_switch_drop(
+                    self.sim.now, action.packet, action.reason
+                )
 
     def _recirculate(self, packet: Packet) -> None:
         """Queue a packet on the recirculation port; overflow drops it."""

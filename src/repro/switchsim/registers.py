@@ -29,19 +29,21 @@ class PacketContext:
 
     def __init__(self, packet: Any = None) -> None:
         self.packet = packet
-        self.accessed: Dict[int, str] = {}
+        self.accessed: Dict["RegisterArray", str] = {}
         self.metadata: Dict[str, Any] = {}
 
     def note_access(self, array: "RegisterArray", kind: str) -> None:
-        key = id(array)
-        previous = self.accessed.get(key)
+        # Keyed by the array object itself (identity hash) — one dict
+        # probe on the hot path instead of an id() call plus a probe.
+        accessed = self.accessed
+        previous = accessed.get(array)
         if previous is not None:
             raise RegisterAccessError(
                 f"register array {array.name!r} accessed twice in one "
                 f"traversal (first {previous}, then {kind}); recirculate "
                 f"to access it again"
             )
-        self.accessed[key] = kind
+        accessed[array] = kind
 
 
 class RegisterArray:
@@ -82,10 +84,29 @@ class RegisterArray:
                 f"[0, {self.size})"
             )
 
+    def _note_inline(self, ctx: PacketContext, kind: str, index: int) -> None:
+        """Constraint bookkeeping for the inlined hot primitives.
+
+        The fast paths below do the membership probe and the index
+        comparison themselves; this helper only fires on violation, so the
+        enforcement semantics (and error text) stay identical to
+        :meth:`PacketContext.note_access` / :meth:`_check_index`.
+        """
+        previous = ctx.accessed.get(self)
+        if previous is not None:
+            raise RegisterAccessError(
+                f"register array {self.name!r} accessed twice in one "
+                f"traversal (first {previous}, then {kind}); recirculate "
+                f"to access it again"
+            )
+        self._check_index(index)
+
     def read(self, ctx: PacketContext, index: int) -> int:
         """Single read — consumes this array's access for the traversal."""
-        ctx.note_access(self, "read")
-        self._check_index(index)
+        accessed = ctx.accessed
+        if self in accessed or not 0 <= index < self.size:
+            self._note_inline(ctx, "read", index)
+        accessed[self] = "read"
         self.reads += 1
         return self._cells[index]
 
@@ -114,7 +135,77 @@ class RegisterArray:
 
     def read_and_increment(self, ctx: PacketContext, index: int = 0) -> int:
         """The paper's ``read_and_increment``: returns pre-increment value."""
-        return self.read_modify_write(ctx, index, lambda v: v + 1)
+        accessed = ctx.accessed
+        if self in accessed or not 0 <= index < self.size:
+            self._note_inline(ctx, "rmw", index)
+        accessed[self] = "rmw"
+        self.reads += 1
+        self.writes += 1
+        cells = self._cells
+        old = cells[index]
+        cells[index] = old + 1
+        return old
+
+    # Predicated single-ALU primitives. Each is one atomic RMW whose
+    # update is a comparison plus a conditional move — exactly the shape
+    # a Tofino stateful ALU executes — and each replaces a
+    # ``read_modify_write`` call site that previously allocated a fresh
+    # closure per packet. Counter accounting matches ``read_modify_write``
+    # (one read and one write per access, even when the predicate leaves
+    # the cell unchanged: the ALU always drives the write port).
+
+    def write_if(
+        self, ctx: PacketContext, index: int, cond: bool, value: int
+    ) -> int:
+        """Predicated store: ``cell = value`` when ``cond``; returns the
+        pre-access value. With ``cond`` derived from earlier-stage state
+        this is the hardware's test-and-set."""
+        accessed = ctx.accessed
+        if self in accessed or not 0 <= index < self.size:
+            self._note_inline(ctx, "rmw", index)
+        accessed[self] = "rmw"
+        self.reads += 1
+        self.writes += 1
+        cells = self._cells
+        old = cells[index]
+        if cond:
+            cells[index] = value
+        return old
+
+    def bounded_increment(
+        self, ctx: PacketContext, index: int, bound: int
+    ) -> int:
+        """Predicated increment: ``cell += 1`` while ``cell < bound``;
+        returns the pre-access value."""
+        accessed = ctx.accessed
+        if self in accessed or not 0 <= index < self.size:
+            self._note_inline(ctx, "rmw", index)
+        accessed[self] = "rmw"
+        self.reads += 1
+        self.writes += 1
+        cells = self._cells
+        old = cells[index]
+        if old < bound:
+            cells[index] = old + 1
+        return old
+
+    def sticky_count(
+        self, ctx: PacketContext, index: int, start: bool
+    ) -> int:
+        """Predicated counter: increments when ``start`` is set or the cell
+        is already non-zero; returns the pre-access value. Models the
+        mistake counter that keeps counting once armed (§4.7.1)."""
+        accessed = ctx.accessed
+        if self in accessed or not 0 <= index < self.size:
+            self._note_inline(ctx, "rmw", index)
+        accessed[self] = "rmw"
+        self.reads += 1
+        self.writes += 1
+        cells = self._cells
+        old = cells[index]
+        if start or old > 0:
+            cells[index] = old + 1
+        return old
 
     def compare_and_swap(
         self, ctx: PacketContext, index: int, expect: int, value: int
@@ -172,15 +263,26 @@ class ObjectRegisterArray(RegisterArray):
 
     def read_and_clear(self, ctx: PacketContext, index: int) -> Any:
         """Atomically read a cell and invalidate it (pop an entry)."""
-        return self.read_modify_write(ctx, index, lambda _old: None)
+        accessed = ctx.accessed
+        if self in accessed or not 0 <= index < self.size:
+            self._note_inline(ctx, "rmw", index)
+        accessed[self] = "rmw"
+        self.reads += 1
+        self.writes += 1
+        cells = self._cells
+        old = cells[index]
+        cells[index] = None
+        return old
 
     def exchange(self, ctx: PacketContext, index: int, value: Any) -> Any:
         """Atomically write ``value`` and return the previous cell content.
 
         This is the single-access primitive behind task swapping (§5.1).
         """
-        ctx.note_access(self, "exchange")
-        self._check_index(index)
+        accessed = ctx.accessed
+        if self in accessed or not 0 <= index < self.size:
+            self._note_inline(ctx, "exchange", index)
+        accessed[self] = "exchange"
         self.reads += 1
         self.writes += 1
         old = self._cells[index]

@@ -1,0 +1,94 @@
+"""The parallel sweep runner: order, determinism, and event accounting."""
+
+import pytest
+
+from repro.experiments import fault_tolerance, recovery
+from repro.experiments.parallel_runner import (
+    fork_available,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.sim.core import Simulator, ms
+
+
+def _square(x):
+    return x * x
+
+
+def _simulate_a_bit(n):
+    """A cell that actually dispatches simulator events in the worker."""
+    sim = Simulator()
+    hits = []
+    for i in range(n):
+        sim.call_at(i + 1, hits.append, i)
+    sim.run()
+    return len(hits)
+
+
+class TestResolveJobs:
+    def test_auto_caps_at_cells(self):
+        assert resolve_jobs(None, 2) <= 2
+
+    def test_explicit_clamped_to_cells(self):
+        assert resolve_jobs(32, 3) == 3
+
+    def test_minimum_one(self):
+        assert resolve_jobs(0, 5) == 1
+        assert resolve_jobs(None, 0) == 1
+
+
+class TestParallelMap:
+    def test_preserves_order_and_content(self):
+        items = list(range(7))
+        assert parallel_map(_square, items, jobs=3) == [
+            _square(i) for i in items
+        ]
+
+    def test_serial_flag_matches_pool(self):
+        items = [1, 2, 3, 4]
+        assert parallel_map(_square, items, jobs=2) == parallel_map(
+            _square, items, serial=True
+        )
+
+    def test_single_cell_runs_serially(self):
+        # One cell never pays for a pool; closures (unpicklable) still work.
+        acc = []
+        assert parallel_map(lambda x: acc.append(x) or x, [9], jobs=4) == [9]
+        assert acc == [9]
+
+    @pytest.mark.skipif(not fork_available(), reason="no fork on platform")
+    def test_worker_events_credited_to_parent(self):
+        before = Simulator.global_events_processed()
+        results = parallel_map(_simulate_a_bit, [50, 70], jobs=2)
+        assert results == [50, 70]
+        assert Simulator.global_events_processed() - before >= 120
+
+    def test_credit_rejects_negative(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            Simulator.credit_global_events(-1)
+
+
+class TestSweepDeterminism:
+    """Parallel sweeps must be bit-identical to the serial ones."""
+
+    def test_chaos_sweep_parallel_equals_serial(self):
+        knobs = dict(
+            seeds=(0, 1), kinds=("crash",), duration_ns=ms(8), drain_ns=ms(10)
+        )
+        serial = fault_tolerance.run(jobs=1, **knobs)
+        parallel = fault_tolerance.run(jobs=2, **knobs)
+        assert serial == parallel
+        assert all(r.conserved for r in parallel)
+
+    def test_recovery_sweep_parallel_equals_serial(self):
+        knobs = dict(
+            seeds=(0,),
+            intervals_ns=(None, ms(1)),
+            duration_ns=ms(8),
+            drain_ns=ms(8),
+        )
+        serial = recovery.run(jobs=1, **knobs)
+        parallel = recovery.run(jobs=2, **knobs)
+        assert serial == parallel

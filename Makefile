@@ -5,7 +5,7 @@ PY ?= python
 # needed. (Targets previously assumed `make install` had been run.)
 export PYTHONPATH := src
 
-.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos recovery examples clean
+.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos fuzz recovery examples clean
 
 install:
 	$(PY) setup.py develop
@@ -40,6 +40,9 @@ smoke:
 
 chaos:
 	$(PY) -m repro.experiments.fault_tolerance --seeds 5
+
+fuzz:
+	$(PY) -m repro.experiments.fuzz --iterations 60 --artifact-dir fuzz-artifacts
 
 recovery:
 	$(PY) -m repro.experiments.recovery --seeds 3 --out recovery-summary.json

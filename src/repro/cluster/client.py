@@ -80,9 +80,14 @@ class ClientStats:
     #: (``max_retries``, bounces + timeouts combined) ran out
     bounce_give_ups: int = 0
     timeouts: int = 0
+    #: timed-out tasks abandoned because the shared retry budget ran out
+    timeout_give_ups: int = 0
     #: completion notices for tasks already completed (resubmission races
     #: or duplicated packets); suppressed, first completion wins
     duplicate_completions: int = 0
+    #: completion notices for tasks this client never submitted (stray or
+    #: misrouted traffic); ignored without creating a phantom record
+    stray_completions: int = 0
 
 
 class Client:
@@ -112,6 +117,10 @@ class Client:
         #: per-task retry count, shared by bounce retries and timeout
         #: resubmissions; pruned on completion
         self._retries: Dict[TaskKey, int] = {}
+        #: tasks abandoned after exhausting the retry budget — the one
+        #: *allowed* way a submitted task ends incomplete; the verify
+        #: oracle treats any other incomplete task as lost
+        self._gave_up: set = set()
         self._rng = np.random.default_rng(100_000 + uid)
         self._timeout_heap: List[Tuple[int, TaskKey]] = []
         self._timeout_waker = None
@@ -198,12 +207,41 @@ class Client:
 
     def _on_completion(self, completion: Completion) -> None:
         key = completion.key
+        if key not in self._outstanding and key not in self.collector.records:
+            # A completion for a task this client never submitted would
+            # otherwise fabricate a phantom record (submitted_at=-1);
+            # ignore it and count the stray.
+            self.stats.stray_completions += 1
+            return
         self.collector.on_complete(key, self.sim.now)
         self._retries.pop(key, None)
+        self._gave_up.discard(key)
         if self._outstanding.pop(key, None) is not None:
             self.stats.tasks_completed += 1
         else:
             self.stats.duplicate_completions += 1
+
+    # -- verify-oracle inspection -------------------------------------------
+
+    def outstanding_keys(self) -> set:
+        """Keys submitted but not completed (oracle inspection)."""
+        return set(self._outstanding)
+
+    def gave_up_keys(self) -> set:
+        """Outstanding keys abandoned after the retry budget ran out."""
+        return set(self._gave_up)
+
+    def pending_timeout_keys(self) -> set:
+        """Outstanding keys that still have a resubmit timer armed.
+
+        The timeout heap keeps stale entries for completed tasks until
+        the drain loop reaches them; filtering by ``_outstanding`` gives
+        the live view the quiescence invariant needs: an outstanding key
+        with no pending timer and no give-up was silently abandoned.
+        """
+        return {
+            key for _, key in self._timeout_heap if key in self._outstanding
+        }
 
     def _bounce_delay_ns(self, error: ErrorPacket) -> int:
         """Wait before re-sending a bounced batch.
@@ -248,6 +286,7 @@ class Client:
                 # Budget exhausted: the task stays outstanding (reported
                 # as unfinished) rather than spinning forever.
                 self.stats.bounce_give_ups += 1
+                self._gave_up.add(key)
                 continue
             self._retries[key] = retries + 1
             self.collector.on_bounce(key, now=self.sim.now)
@@ -317,7 +356,13 @@ class Client:
                 continue
             retries = self._retries.get(key, 0)
             if retries >= self.config.max_retries:
-                continue  # give up; the task counts as unfinished
+                # Give up; the task counts as unfinished. Counted so the
+                # verify oracle can tell a budgeted give-up from a task
+                # the client silently lost track of.
+                if key not in self._gave_up:
+                    self.stats.timeout_give_ups += 1
+                    self._gave_up.add(key)
+                continue
             self._retries[key] = retries + 1
             self.stats.timeouts += 1
             self.collector.on_resubmit(key, self.sim.now)

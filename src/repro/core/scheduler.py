@@ -881,6 +881,23 @@ class DraconisProgram(P4Program):
     def parked_pull_count(self) -> int:
         return len(self._parked_pulls)
 
+    def queued_keys(self) -> list:
+        """Every queued task key, in queue order (oracle inspection).
+
+        Control-plane scan — the verify oracle compares this against a
+        checkpoint+journal replay after failover, and against per-queue
+        ``occupancy()`` for register sanity.
+        """
+        keys = []
+        for queue in self.queues:
+            for entry in queue.snapshot_entries():
+                keys.append((entry.uid, entry.jid, entry.task.tid))
+        return keys
+
+    def parked_executor_ids(self) -> set:
+        """Executor ids with a pull currently parked (oracle inspection)."""
+        return {pull.request.executor_id for pull in self._parked_pulls}
+
     def check_invariants(self) -> None:
         for queue in self.queues:
             queue.check_invariants()

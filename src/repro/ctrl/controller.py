@@ -228,3 +228,24 @@ class Controller:
         pending, self._reclaim_backlog = self._reclaim_backlog, []
         for entry in pending:
             self._reinject(entry)
+
+    # -- verify-oracle inspection -------------------------------------------
+
+    def audit(self) -> Dict[str, Any]:
+        """Control-plane state the verify oracle's lease-safety checks read.
+
+        ``stale_leases`` are leases that expired more than one sweep ago
+        but were never collected — the sweep loop has a one-period
+        detection lag, anything older means the sweep is broken.
+        """
+        now = self.sim.now
+        return {
+            "leases": dict(self._leases),
+            "stale_leases": [
+                lease
+                for lease in self._leases.values()
+                if lease.expires_at_ns <= now - self.sweep_ns
+            ],
+            "inflight": len(self._inflight),
+            "reclaim_backlog": len(self._reclaim_backlog),
+        }

@@ -1,0 +1,103 @@
+"""Chaos-fuzz campaign entry point.
+
+Runs :class:`repro.verify.FaultFuzzer`: N scenarios sampled from
+consecutive seeds, each a Draconis cluster under a grammar-generated
+fault schedule, judged by the full invariant oracle. Failures are
+shrunk to minimal plans and written as replayable artifacts::
+
+    python -m repro.experiments.fuzz --iterations 60 --jobs 0
+    python -m repro.experiments.fuzz --artifact-dir fuzz-artifacts
+    python -m repro.verify.replay fuzz-artifacts/seed42.min.json
+
+Exit status is 0 iff every scenario upheld every invariant. Each
+failure produces two artifacts in ``--artifact-dir``: the original
+failing run (``seedN.json``) and the shrunk minimal reproduction
+(``seedN.min.json``), either replayable bit-for-bit with
+``python -m repro.verify.replay``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Optional, Sequence
+
+from repro.experiments.parallel_runner import add_jobs_argument
+from repro.verify import FaultFuzzer, run_scenario, save_artifact
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=60, help="scenarios to run"
+    )
+    parser.add_argument(
+        "--base-seed", type=int, default=0, help="first scenario seed"
+    )
+    parser.add_argument(
+        "--max-events", type=int, default=8, help="fault events per plan cap"
+    )
+    parser.add_argument(
+        "--shrink-attempts",
+        type=int,
+        default=200,
+        help="re-run budget per failure during shrinking",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="write failing plans (original + minimized) here",
+    )
+    add_jobs_argument(parser)
+    args = parser.parse_args(argv)
+
+    fuzzer = FaultFuzzer(
+        iterations=args.iterations,
+        base_seed=args.base_seed,
+        max_events=args.max_events,
+        jobs=args.jobs,
+        shrink_attempts=args.shrink_attempts,
+    )
+    results, failures = fuzzer.run()
+    for result in results:
+        print(result.row())
+
+    checks = sum(r.checks for r in results)
+    print(
+        f"\n{len(results) - len(failures)}/{len(results)} scenarios upheld "
+        f"every invariant ({checks} oracle checks)"
+    )
+    if not failures:
+        return 0
+
+    for failure in failures:
+        result = failure.result
+        seed = result.scenario.seed
+        print(
+            f"\nseed {seed}: {', '.join(result.invariants_violated())} — "
+            f"shrunk {failure.original_events} -> "
+            f"{failure.minimized_events} event(s) in "
+            f"{failure.shrink_attempts} attempts"
+        )
+        for violation in result.violations[:5]:
+            print(f"  ! {violation}")
+        if args.artifact_dir:
+            os.makedirs(args.artifact_dir, exist_ok=True)
+            original = os.path.join(args.artifact_dir, f"seed{seed}.json")
+            save_artifact(result, original)
+            # the minimized artifact records the *minimized* run's own
+            # outcome so replay compares against what it reproduces
+            minimized = run_scenario(failure.minimized)
+            minimized_path = os.path.join(
+                args.artifact_dir, f"seed{seed}.min.json"
+            )
+            save_artifact(minimized, minimized_path)
+            print(f"  wrote {original} and {minimized_path}")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

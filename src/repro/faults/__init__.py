@@ -22,13 +22,16 @@ conservation property tests are the primary consumers.
 from repro.faults.events import (
     FaultEvent,
     LinkFault,
+    PacketCorruption,
     Partition,
     RecircExhaustion,
     SwitchFailover,
     WorkerCrash,
     WorkerSlowdown,
     event_end,
+    event_from_dict,
     event_start,
+    event_to_dict,
 )
 from repro.faults.links import Degradation, LinkChaos, chaos_for
 from repro.faults.plan import PLAN_KINDS, FaultPlan
@@ -43,6 +46,7 @@ __all__ = [
     "LinkChaos",
     "LinkFault",
     "PLAN_KINDS",
+    "PacketCorruption",
     "Partition",
     "RecircExhaustion",
     "SwitchFailover",
@@ -50,5 +54,7 @@ __all__ = [
     "WorkerSlowdown",
     "chaos_for",
     "event_end",
+    "event_from_dict",
     "event_start",
+    "event_to_dict",
 ]

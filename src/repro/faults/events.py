@@ -13,13 +13,20 @@ The catalogue maps directly onto the failure regimes of paper §3.3:
 * worker faults — fail-stop crash (optionally followed by a restart) and
   slowdown; dead executors simply stop pulling;
 * switch faults — failover to a standby program with empty registers,
-  and recirculation-budget exhaustion.
+  and recirculation-budget exhaustion;
+* wire corruption — seeded bit-flips/truncation of encoded payload
+  bytes; frames whose decode fails are discarded (the FCS model), and
+  the decode attempt itself fuzzes the protocol parser.
+
+Events round-trip through plain dicts (:func:`event_to_dict` /
+:func:`event_from_dict`) so a :class:`~repro.faults.plan.FaultPlan` can
+be serialized into a replay artifact or shared as JSON.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -126,6 +133,38 @@ class RecircExhaustion:
             )
 
 
+@dataclass(frozen=True)
+class PacketCorruption:
+    """Corrupt encoded payload bytes on the cables of ``nodes``.
+
+    With probability ``corrupt_prob`` per packet the frame's encoded
+    bytes are mutated — truncated with probability ``truncate_prob``,
+    otherwise 1..``max_bit_flips`` random bits are flipped — then pushed
+    through ``repro.protocol.codec.decode``. A decoder that raises
+    anything but ``ProtocolError`` is a bug this fault exists to find.
+    Corrupted frames are always discarded (checksum model) and counted
+    as ``corrupt_drops``; recovery is by client resubmission, like loss.
+    """
+
+    start_ns: int
+    end_ns: int
+    nodes: Optional[Tuple[str, ...]] = None  # host names; None = all links
+    corrupt_prob: float = 0.05
+    truncate_prob: float = 0.3
+    max_bit_flips: int = 3
+
+    def validate(self) -> None:
+        _check_window(self, self.start_ns, self.end_ns)
+        for name in ("corrupt_prob", "truncate_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]: {p}")
+        if self.max_bit_flips < 1:
+            raise ConfigurationError(
+                f"max_bit_flips must be >= 1: {self.max_bit_flips}"
+            )
+
+
 FaultEvent = (
     LinkFault,
     Partition,
@@ -133,8 +172,61 @@ FaultEvent = (
     WorkerSlowdown,
     SwitchFailover,
     RecircExhaustion,
+    PacketCorruption,
 )
 """Tuple of every event type, for isinstance checks and validation."""
+
+_EVENT_TYPES: Dict[str, type] = {cls.__name__: cls for cls in FaultEvent}
+
+#: dataclass fields holding tuples of node names (JSON stores lists)
+_TUPLE_FIELDS = ("nodes",)
+
+
+def event_to_dict(event) -> dict:
+    """Serialize one fault event to a plain JSON-safe dict.
+
+    The event class name travels in ``"kind"``; tuple-valued fields are
+    converted to lists (JSON has no tuples). Inverse of
+    :func:`event_from_dict`.
+    """
+    if not isinstance(event, FaultEvent):
+        raise ConfigurationError(f"not a fault event: {event!r}")
+    payload = {"kind": type(event).__name__}
+    for f in fields(event):
+        value = getattr(event, f.name)
+        if f.name in _TUPLE_FIELDS and value is not None:
+            value = list(value)
+        payload[f.name] = value
+    return payload
+
+
+def event_from_dict(payload: dict) -> object:
+    """Rebuild a fault event from :func:`event_to_dict` output.
+
+    Validates eagerly: an unknown kind or field raises
+    ``ConfigurationError`` (not a bare ``TypeError``), so malformed
+    artifacts fail with a message naming the offending key.
+    """
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown fault event kind {kind!r}; "
+            f"one of {sorted(_EVENT_TYPES)}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigurationError(
+            f"{kind}: unknown fields {sorted(unknown)}"
+        )
+    for name in _TUPLE_FIELDS:
+        if data.get(name) is not None and name in known:
+            data[name] = tuple(data[name])
+    event = cls(**data)
+    event.validate()
+    return event
 
 
 def _check_window(event, start_ns: int, end_ns: int) -> None:

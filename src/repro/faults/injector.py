@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.faults.events import (
     LinkFault,
+    PacketCorruption,
     Partition,
     RecircExhaustion,
     SwitchFailover,
@@ -48,6 +49,7 @@ class FaultInjectorStats:
     slowdowns: int = 0
     partitions: int = 0
     link_faults: int = 0
+    corruptions: int = 0
     failovers: int = 0
     recirc_exhaustions: int = 0
     #: sim time of the most recent switch failover (-1 if none fired);
@@ -61,6 +63,7 @@ class FaultInjectorStats:
             + self.slowdowns
             + self.partitions
             + self.link_faults
+            + self.corruptions
             + self.failovers
             + self.recirc_exhaustions
         )
@@ -91,6 +94,13 @@ class FaultInjector:
         self.stats = FaultInjectorStats()
         self._armed = False
         self._touched_links: List[Link] = []
+        # Overlapping RecircExhaustion windows share one saved baseline:
+        # per-event save/restore pairs unwind in open order, so the
+        # later-closing window would "restore" the limit the first one
+        # had set, leaving the switch degraded forever (found by the
+        # chaos fuzzer, seed 42, minimized to two overlapping windows).
+        self._recirc_windows = 0
+        self._recirc_baseline: Optional[int] = None
 
     # -- link plumbing ----------------------------------------------------
 
@@ -160,6 +170,18 @@ class FaultInjector:
                 event.start_ns,
                 event.end_ns,
             )
+        elif isinstance(event, PacketCorruption):
+            self.stats.corruptions += 1
+            self._schedule_window(
+                self._links_for(event.nodes),
+                lambda: Degradation(
+                    corrupt_prob=event.corrupt_prob,
+                    truncate_prob=event.truncate_prob,
+                    max_bit_flips=event.max_bit_flips,
+                ),
+                event.start_ns,
+                event.end_ns,
+            )
         elif isinstance(event, Partition):
             self.stats.partitions += 1
             self._schedule_window(
@@ -217,15 +239,18 @@ class FaultInjector:
                 raise ConfigurationError(
                     "switch does not support recirculation faults"
                 )
-            saved: List[int] = []
-
             def exhaust() -> None:
                 self.stats.recirc_exhaustions += 1
-                saved.append(self.switch.set_recirc_limit(event.queue_packets))
+                previous = self.switch.set_recirc_limit(event.queue_packets)
+                if self._recirc_windows == 0:
+                    self._recirc_baseline = previous
+                self._recirc_windows += 1
 
             def restore() -> None:
-                if saved:
-                    self.switch.set_recirc_limit(saved.pop())
+                self._recirc_windows -= 1
+                if self._recirc_windows == 0 and self._recirc_baseline is not None:
+                    self.switch.set_recirc_limit(self._recirc_baseline)
+                    self._recirc_baseline = None
 
             self.sim.call_at(max(now, event.start_ns), exhaust)
             self.sim.call_at(max(now, event.end_ns), restore)
@@ -245,9 +270,15 @@ class FaultInjector:
 
     def injected_totals(self) -> Dict[str, int]:
         """Aggregate injected-fault counters over every touched link."""
-        totals = {"injected_drops": 0, "injected_dups": 0, "injected_delays": 0}
+        totals = {
+            "injected_drops": 0,
+            "injected_dups": 0,
+            "injected_delays": 0,
+            "corrupt_drops": 0,
+        }
         for link in self._touched_links:
             totals["injected_drops"] += link.injected_drops
             totals["injected_dups"] += link.injected_dups
             totals["injected_delays"] += link.injected_delays
+            totals["corrupt_drops"] += link.corrupt_drops
         return totals

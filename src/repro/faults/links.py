@@ -15,8 +15,10 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from repro.errors import ProtocolError
 from repro.net.link import Link, LinkFaultHook, SendDecision
 from repro.net.packet import Packet
+from repro.protocol import codec
 from repro.sim.core import Simulator
 
 
@@ -27,15 +29,30 @@ class Degradation:
     ``match`` optionally restricts the degradation to packets satisfying
     a predicate (e.g. only task assignments), which is how the targeted
     loss tests select traffic without wrapping ``Link.send``.
+
+    ``corrupt_prob`` models wire corruption: the payload is run through
+    the real protocol codec, the encoded bytes are mutated (truncation
+    with probability ``truncate_prob``, otherwise 1..``max_bit_flips``
+    random bit-flips), and the mutated frame is pushed back through
+    ``decode``. The frame is then discarded either way — the FCS catches
+    corrupted frames long before a parser sees them in a real deployment
+    — but the decode attempt is a live parser fuzz: anything other than
+    a clean decode or a ``ProtocolError`` crashes the run, which is
+    exactly what the chaos fuzzer exists to surface.
     """
 
     loss_prob: float = 0.0
     duplicate_prob: float = 0.0
     reorder_prob: float = 0.0
     reorder_jitter_ns: int = 5_000
+    corrupt_prob: float = 0.0
+    truncate_prob: float = 0.3
+    max_bit_flips: int = 3
     match: Optional[Callable[[Packet], bool]] = None
     #: packets this degradation dropped (per-window accounting)
     drops: int = field(default=0, init=False)
+    #: packets dropped because this degradation corrupted them
+    corrupt_drops: int = field(default=0, init=False)
 
     def applies_to(self, packet: Packet) -> bool:
         return self.match is None or bool(self.match(packet))
@@ -71,6 +88,11 @@ class LinkChaos(LinkFaultHook):
             if deg.loss_prob > 0 and self.rng.random() < deg.loss_prob:
                 deg.drops += 1
                 return SendDecision(drop=True)
+            if deg.corrupt_prob > 0 and self.rng.random() < deg.corrupt_prob:
+                self._corrupt(deg, packet)
+                deg.drops += 1
+                deg.corrupt_drops += 1
+                return SendDecision(drop=True, corrupt=True)
             if decision is None:
                 decision = SendDecision()
             if deg.duplicate_prob > 0 and self.rng.random() < deg.duplicate_prob:
@@ -85,6 +107,34 @@ class LinkChaos(LinkFaultHook):
         ):
             return decision
         return None
+
+    def _corrupt(self, deg: Degradation, packet: Packet) -> None:
+        """Mutate the frame's encoded bytes and fuzz the decoder with them.
+
+        Payloads that the protocol codec cannot encode (baseline
+        schedulers ship plain Python objects) have no byte representation
+        to mutate; the frame is simply counted as a corrupt drop.
+        """
+        try:
+            data = bytearray(codec.encode(packet.payload))
+        except ProtocolError:
+            return
+        if not data:
+            return
+        if self.rng.random() < deg.truncate_prob:
+            data = data[: int(self.rng.integers(0, len(data)))]
+        else:
+            flips = int(self.rng.integers(1, deg.max_bit_flips + 1))
+            for _ in range(flips):
+                bit = int(self.rng.integers(0, len(data) * 8))
+                data[bit // 8] ^= 1 << (bit % 8)
+        try:
+            codec.decode(bytes(data))
+        except ProtocolError:
+            # Detected corruption — the normal outcome. Any *other*
+            # exception propagates and fails the run: a decoder that
+            # crashes on garbage is the bug this fault hunts for.
+            pass
 
 
 def chaos_for(link: Link, sim: Simulator, rng=None) -> LinkChaos:

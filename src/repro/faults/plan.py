@@ -12,6 +12,7 @@ seed fully determines the plan, so failures reproduce exactly.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -21,16 +22,19 @@ from repro.errors import ConfigurationError
 from repro.faults.events import (
     FaultEvent,
     LinkFault,
+    PacketCorruption,
     Partition,
     RecircExhaustion,
     SwitchFailover,
     WorkerCrash,
     WorkerSlowdown,
+    event_from_dict,
     event_start,
+    event_to_dict,
 )
 
 #: plan kinds understood by :meth:`FaultPlan.randomized`
-PLAN_KINDS = ("crash", "partition", "failover", "mixed")
+PLAN_KINDS = ("crash", "partition", "failover", "corrupt", "mixed")
 
 
 @dataclass
@@ -69,6 +73,28 @@ class FaultPlan:
 
     def kinds(self) -> Tuple[str, ...]:
         return tuple(sorted({type(e).__name__ for e in self.events}))
+
+    # -- JSON round-trip --------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize to JSON (the replay-artifact plan format)."""
+        return json.dumps(
+            {"events": [event_to_dict(e) for e in self.events]},
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`; validates every event."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "events" not in payload:
+            raise ConfigurationError(
+                'plan JSON must be an object with an "events" list'
+            )
+        return cls([event_from_dict(e) for e in payload["events"]])
 
     # -- randomized chaos plans -------------------------------------------
 
@@ -109,6 +135,21 @@ class FaultPlan:
             return start, min(start + length, hi)
 
         events: List[object] = []
+        if kind == "corrupt":
+            # Kept out of "mixed" so pre-existing mixed plans stay
+            # byte-stable for a given seed; the fuzzed grammar below is
+            # where corruption composes with everything else.
+            start, end = window()
+            events.append(
+                PacketCorruption(
+                    start_ns=start,
+                    end_ns=end,
+                    nodes=None,
+                    corrupt_prob=float(rng.uniform(0.02, 0.2)),
+                    truncate_prob=float(rng.uniform(0.1, 0.5)),
+                    max_bit_flips=int(rng.integers(1, 5)),
+                )
+            )
         if kind in ("crash", "mixed"):
             node = int(rng.choice(list(worker_nodes)))
             restart = (
@@ -156,3 +197,174 @@ class FaultPlan:
                     RecircExhaustion(start_ns=start, end_ns=end, queue_packets=0)
                 )
         return FaultPlan(events)
+
+    @staticmethod
+    def fuzzed(
+        rng: np.random.Generator,
+        horizon_ns: int,
+        worker_nodes: Sequence[int],
+        worker_names: Optional[Sequence[str]] = None,
+        max_events: int = 8,
+    ) -> "FaultPlan":
+        """The chaos-fuzzer grammar: overlapping windows, bursts, corruption.
+
+        Unlike :meth:`randomized` (one fault per §3.3 regime, tuned for
+        the recovery experiment's metrics), this grammar free-composes the
+        whole catalogue: windows overlap, the same node can crash
+        repeatedly (a burst), failovers can fire back to back, and wire
+        corruption runs concurrently with partitions or failovers. Two
+        guardrails keep generated plans *recoverable*, so an invariant
+        violation means a bug rather than an impossible scenario: at
+        least one worker always survives (or restarts), and every window
+        closes inside the middle 60% of the horizon, leaving room to
+        drain.
+        """
+        if not worker_nodes:
+            raise ConfigurationError("fuzzed plan needs worker nodes")
+        if max_events < 1:
+            raise ConfigurationError(f"max_events must be >= 1: {max_events}")
+        nodes = list(worker_nodes)
+        names = list(
+            worker_names
+            if worker_names is not None
+            else [f"worker{n}" for n in nodes]
+        )
+        lo, hi = int(horizon_ns * 0.2), int(horizon_ns * 0.8)
+
+        def when() -> int:
+            return int(rng.integers(lo, hi))
+
+        def window(max_frac: float = 0.2) -> Tuple[int, int]:
+            start = when()
+            length = int(
+                rng.integers(max(1, horizon_ns * 0.02), horizon_ns * max_frac)
+            )
+            return start, min(start + length, hi)
+
+        def maybe_target():
+            return (
+                None if rng.random() < 0.5 else (str(rng.choice(names)),)
+            )
+
+        # Permanent (no-restart) crashes are budgeted: one worker must
+        # always survive so the drain phase can actually drain.
+        state = {"permanent_budget": len(nodes) - 1}
+        permanently_dead: set = set()
+
+        def crash_burst() -> List[object]:
+            node = int(rng.choice(nodes))
+            cycles = int(rng.integers(1, 4))
+            out: List[object] = []
+            at = when()
+            for _ in range(cycles):
+                if at >= hi:
+                    break
+                permanent = (
+                    rng.random() < 0.25
+                    and state["permanent_budget"] > 0
+                    and node not in permanently_dead
+                )
+                if permanent:
+                    out.append(
+                        WorkerCrash(
+                            at_ns=at, node_id=node, restart_after_ns=None
+                        )
+                    )
+                    state["permanent_budget"] -= 1
+                    permanently_dead.add(node)
+                    break
+                restart = int(
+                    rng.integers(horizon_ns * 0.03, horizon_ns * 0.15)
+                )
+                out.append(
+                    WorkerCrash(
+                        at_ns=at, node_id=node, restart_after_ns=restart
+                    )
+                )
+                # Next cycle strictly after the restart lands, so the
+                # injector never crashes an already-crashed worker.
+                at = at + restart + int(
+                    rng.integers(horizon_ns * 0.01, horizon_ns * 0.05)
+                )
+            return out
+
+        def link_fault() -> List[object]:
+            start, end = window()
+            return [
+                LinkFault(
+                    start_ns=start,
+                    end_ns=end,
+                    nodes=maybe_target(),
+                    loss_prob=float(rng.uniform(0.0, 0.2)),
+                    duplicate_prob=float(rng.uniform(0.0, 0.08)),
+                    reorder_prob=float(rng.uniform(0.0, 0.15)),
+                )
+            ]
+
+        def corruption() -> List[object]:
+            start, end = window()
+            return [
+                PacketCorruption(
+                    start_ns=start,
+                    end_ns=end,
+                    nodes=maybe_target(),
+                    corrupt_prob=float(rng.uniform(0.01, 0.25)),
+                    truncate_prob=float(rng.uniform(0.0, 0.6)),
+                    max_bit_flips=int(rng.integers(1, 6)),
+                )
+            ]
+
+        def partition() -> List[object]:
+            start, end = window(max_frac=0.15)
+            return [
+                Partition(
+                    start_ns=start,
+                    end_ns=end,
+                    nodes=(str(rng.choice(names)),),
+                )
+            ]
+
+        def slowdown() -> List[object]:
+            start, end = window()
+            return [
+                WorkerSlowdown(
+                    start_ns=start,
+                    end_ns=end,
+                    node_id=int(rng.choice(nodes)),
+                    factor=float(rng.uniform(1.5, 8.0)),
+                )
+            ]
+
+        def failover_burst() -> List[object]:
+            return [
+                SwitchFailover(at_ns=when())
+                for _ in range(int(rng.integers(1, 3)))
+            ]
+
+        def recirc() -> List[object]:
+            start, end = window(max_frac=0.08)
+            return [
+                RecircExhaustion(
+                    start_ns=start,
+                    end_ns=end,
+                    queue_packets=int(rng.integers(0, 3)),
+                )
+            ]
+
+        productions = (
+            link_fault,
+            corruption,
+            partition,
+            crash_burst,
+            slowdown,
+            failover_burst,
+            recirc,
+        )
+        weights = np.array([0.20, 0.18, 0.15, 0.17, 0.12, 0.10, 0.08])
+        weights = weights / weights.sum()
+        target = int(rng.integers(1, max_events + 1))
+        events: List[object] = []
+        while len(events) < target:
+            idx = int(rng.choice(len(productions), p=weights))
+            events.extend(productions[idx]())
+        return FaultPlan(events[:max_events])

@@ -115,6 +115,8 @@ class NetworkFaultSummary:
     injected_drops: int
     injected_dups: int
     injected_delays: int
+    #: injected drops that were wire corruption (subset of injected_drops)
+    corrupt_drops: int = 0
 
     @property
     def loss_fraction(self) -> float:
@@ -130,13 +132,13 @@ class NetworkFaultSummary:
             f"links={self.links:>3}  sent={self.packets_sent:>9}  "
             f"dropped={self.packets_dropped:>7} ({self.loss_fraction:6.2%})  "
             f"injected: drop={self.injected_drops} dup={self.injected_dups} "
-            f"delay={self.injected_delays}"
+            f"delay={self.injected_delays} corrupt={self.corrupt_drops}"
         )
 
 
 def summarize_links(links: Iterable) -> NetworkFaultSummary:
     """Aggregate :class:`repro.net.link.Link` counters across a topology."""
-    count = sent = dropped = inj_drop = inj_dup = inj_delay = 0
+    count = sent = dropped = inj_drop = inj_dup = inj_delay = corrupt = 0
     for link in links:
         count += 1
         sent += link.packets_sent
@@ -144,6 +146,9 @@ def summarize_links(links: Iterable) -> NetworkFaultSummary:
         inj_drop += link.injected_drops
         inj_dup += link.injected_dups
         inj_delay += link.injected_delays
+        # getattr: older tests aggregate bare namespaces without the
+        # corruption counter
+        corrupt += getattr(link, "corrupt_drops", 0)
     return NetworkFaultSummary(
         links=count,
         packets_sent=sent,
@@ -151,6 +156,7 @@ def summarize_links(links: Iterable) -> NetworkFaultSummary:
         injected_drops=inj_drop,
         injected_dups=inj_dup,
         injected_delays=inj_delay,
+        corrupt_drops=corrupt,
     )
 
 

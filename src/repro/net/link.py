@@ -30,12 +30,15 @@ class SendDecision:
     lossy or partitioned cable). ``extra_delay_ns`` postpones delivery of
     this packet only, letting later packets overtake it (reordering).
     ``duplicate`` delivers a second copy of the packet shortly after the
-    first (e.g. a flapping port re-emitting a frame).
+    first (e.g. a flapping port re-emitting a frame). ``corrupt`` marks a
+    drop as wire corruption (mutated frame caught by the checksum) so it
+    is counted in ``Link.corrupt_drops`` separately from plain loss.
     """
 
     drop: bool = False
     extra_delay_ns: int = 0
     duplicate: bool = False
+    corrupt: bool = False
 
 
 class LinkFaultHook:
@@ -86,6 +89,9 @@ class Link:
         self.injected_drops = 0
         self.injected_dups = 0
         self.injected_delays = 0
+        #: injected drops that were wire corruption (subset of
+        #: ``injected_drops``; tx = rx + packets_dropped still holds)
+        self.corrupt_drops = 0
         #: optional :class:`repro.obs.bus.TelemetryBus`; wire-level drops
         #: and injected faults are counted there when attached
         self.obs = None
@@ -146,9 +152,13 @@ class Link:
         if decision is not None and decision.drop:
             self.injected_drops += 1
             self.packets_dropped += 1
+            if decision.corrupt:
+                self.corrupt_drops += 1
             if self.obs is not None:
                 self.obs.incr("net.injected_drops")
                 self.obs.incr("net.drops")
+                if decision.corrupt:
+                    self.obs.incr("net.corrupt_drops")
             return False
         sim = self.sim
         now = sim._now

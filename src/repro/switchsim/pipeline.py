@@ -188,6 +188,27 @@ class ProgrammableSwitch(BaseSwitch):
             hook(program, old)
         return old
 
+    def audit(self) -> dict:
+        """Cheap register-sanity probe for the verify oracle.
+
+        Runs the program's own control-plane invariant checks (pointer
+        windows, occupancy bounds) and reports the numbers the oracle
+        cross-checks; raises ``SwitchError`` on a violated invariant.
+        Safe to call mid-run — it is pure control-plane reads.
+        """
+        program = self.program
+        if hasattr(program, "check_invariants"):
+            program.check_invariants()
+        report = {
+            "recirc_limit": self.recirc_queue_packets,
+            "failovers": self.stats.failovers,
+        }
+        if hasattr(program, "total_queued"):
+            report["total_queued"] = program.total_queued()
+        if hasattr(program, "parked_pull_count"):
+            report["parked_pulls"] = program.parked_pull_count()
+        return report
+
     def recirc_backlog_fraction(self) -> float:
         """Occupied fraction of the recirculation queue (degradation signal)."""
         if self.recirc_queue_packets <= 0:

@@ -1,0 +1,54 @@
+"""Chaos fuzzing + invariant verification (the ROADMAP's "as many
+scenarios as you can imagine", made systematic).
+
+The package turns the hand-picked chaos sweeps of
+``experiments.fault_tolerance`` into a generative pipeline:
+
+* :mod:`repro.verify.oracle` — the invariant catalogue checked after
+  (and cheaply during) every run: task conservation, lease safety,
+  checkpoint/journal consistency across failover, switch register
+  sanity, and quiescence;
+* :mod:`repro.verify.fuzzer` — :class:`FaultFuzzer`, which samples
+  cluster scenarios and :meth:`FaultPlan.fuzzed` fault schedules from a
+  seeded grammar and judges each run with the oracle;
+* :mod:`repro.verify.shrink` — a delta-debugging shrinker that reduces
+  a failing plan (drop events, narrow windows, reduce intensities) to a
+  minimal reproduction that still trips the oracle;
+* :mod:`repro.verify.artifact` — the serialized plan+seed+verdict
+  format every failure is saved as;
+* :mod:`repro.verify.replay` — ``python -m repro.verify.replay
+  artifact.json`` re-runs an artifact bit-deterministically.
+
+Everything is seed-deterministic: the same scenario produces the same
+event count, task trace fingerprint, and oracle verdict on every run.
+"""
+
+from repro.verify.artifact import (
+    ARTIFACT_VERSION,
+    load_artifact,
+    save_artifact,
+)
+from repro.verify.fuzzer import (
+    FaultFuzzer,
+    FuzzResult,
+    FuzzScenario,
+    run_scenario,
+    sample_scenario,
+)
+from repro.verify.oracle import InvariantOracle, OracleReport, Violation
+from repro.verify.shrink import shrink_plan
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "FaultFuzzer",
+    "FuzzResult",
+    "FuzzScenario",
+    "InvariantOracle",
+    "OracleReport",
+    "Violation",
+    "load_artifact",
+    "run_scenario",
+    "sample_scenario",
+    "save_artifact",
+    "shrink_plan",
+]

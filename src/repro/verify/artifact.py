@@ -1,0 +1,90 @@
+"""Replay artifacts: a failing (or exemplary) fuzz run, serialized.
+
+An artifact is everything needed to re-run one scenario and check that
+it reproduces: the scenario (seed + feature toggles + the *explicit*
+fault plan, stored as a parsed JSON object so artifacts stay greppable
+and diffable), and the expected outcome (verdict, violated invariant
+families, simulator event count, task-trace fingerprint). The replay
+CLI (:mod:`repro.verify.replay`) compares a fresh run against the
+``expected`` block field by field.
+
+The format is versioned; loading a newer-versioned artifact fails
+loudly rather than misinterpreting it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
+from repro.verify.fuzzer import FuzzResult, FuzzScenario
+
+ARTIFACT_VERSION = 1
+
+
+def artifact_dict(result: FuzzResult) -> Dict[str, Any]:
+    """Build the artifact payload for one finished run."""
+    scenario = result.scenario.to_dict()
+    # store the plan as a nested object, not an escaped string
+    scenario["plan"] = json.loads(scenario.pop("plan_json"))
+    return {
+        "version": ARTIFACT_VERSION,
+        "scenario": scenario,
+        "expected": {
+            "ok": result.ok,
+            "violations": [
+                {"invariant": v.invariant, "detail": v.detail}
+                for v in result.violations
+            ],
+            "event_count": result.event_count,
+            "fingerprint": result.fingerprint,
+            "tasks_submitted": result.tasks_submitted,
+            "tasks_completed": result.tasks_completed,
+        },
+    }
+
+
+def save_artifact(result: FuzzResult, path: str) -> None:
+    """Write ``result`` as a replayable artifact at ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(artifact_dict(result), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and structurally validate an artifact file.
+
+    Returns the raw dict with ``scenario`` replaced by a hydrated
+    :class:`~repro.verify.fuzzer.FuzzScenario` under ``"scenario"``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"artifact {path} is not valid JSON: {exc}"
+            ) from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"artifact {path} must be a JSON object")
+    version = payload.get("version")
+    if version != ARTIFACT_VERSION:
+        raise ConfigurationError(
+            f"artifact {path} has version {version!r}, this build reads "
+            f"version {ARTIFACT_VERSION}"
+        )
+    for section in ("scenario", "expected"):
+        if section not in payload:
+            raise ConfigurationError(
+                f"artifact {path} is missing its {section!r} section"
+            )
+    scenario = dict(payload["scenario"])
+    plan = scenario.pop("plan", None)
+    if plan is None:
+        raise ConfigurationError(f"artifact {path} scenario has no plan")
+    # canonicalize through FaultPlan: validates every event and restores
+    # the exact to_json() form the scenario was saved with
+    scenario["plan_json"] = FaultPlan.from_json(json.dumps(plan)).to_json()
+    payload["scenario"] = FuzzScenario.from_dict(scenario)
+    return payload

@@ -1,0 +1,322 @@
+"""The chaos fuzzer: sample a scenario + fault plan, run it, judge it.
+
+One fuzz iteration is fully described by a :class:`FuzzScenario` — a
+seed plus the cluster feature toggles drawn from it. Everything
+downstream (workload arrivals, fault plan, injector randomness, link
+chaos) derives from named :class:`~repro.sim.rng.RngStreams` of that
+seed, so a scenario is its own reproduction recipe: ``run_scenario``
+on the same scenario returns the same simulator event count, the same
+task-trace fingerprint, and the same oracle verdict, bit for bit.
+
+:class:`FaultFuzzer` is the campaign driver: it samples scenarios,
+fans them out across cores (:func:`~repro.experiments.parallel_runner.
+parallel_map` — each cell seeds its own simulator, so results are
+independent of ``--jobs``), shrinks every failure to a minimal plan
+(:mod:`repro.verify.shrink`), and writes each one as a replayable
+artifact (:mod:`repro.verify.artifact`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.scheduler import DraconisProgram
+from repro.errors import ConfigurationError
+from repro.experiments import common
+from repro.experiments.parallel_runner import parallel_map
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.core import ms
+from repro.sim.rng import RngStreams
+from repro.verify.oracle import InvariantOracle, OracleReport, Violation
+from repro.verify.shrink import shrink_plan
+from repro.workloads import exponential, open_loop, rate_for_utilization
+
+#: moderate load, same reasoning as experiments.fault_tolerance: a
+#: crashed worker must leave headroom or recovery is capacity-bound
+DEFAULT_UTILIZATION = 0.45
+DEFAULT_TIMEOUT_FACTOR = 4.0
+
+
+@dataclass(frozen=True)
+class FuzzScenario:
+    """One fuzz iteration, fully determined by its fields.
+
+    ``plan_json`` is ``None`` while the plan is still implicit in the
+    seed (the fuzzer's normal sampling path); results and artifacts pin
+    it to the explicit JSON so a replay — or a shrunk variant — runs the
+    exact plan without re-deriving it.
+    """
+
+    seed: int
+    duration_ns: int = ms(12)
+    drain_ns: int = ms(30)
+    workers: int = 3
+    executors_per_worker: int = 4
+    utilization: float = DEFAULT_UTILIZATION
+    timeout_factor: float = DEFAULT_TIMEOUT_FACTOR
+    park_pulls: bool = True
+    controller: bool = False
+    checkpoints: bool = False
+    max_events: int = 8
+
+    plan_json: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FuzzScenario":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown FuzzScenario fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one scenario run (plan pinned to explicit JSON)."""
+
+    scenario: FuzzScenario
+    ok: bool
+    violations: List[Violation]
+    checks: int
+    event_count: int
+    fingerprint: str
+    tasks_submitted: int
+    tasks_completed: int
+    faults_fired: int
+    injected: Dict[str, int] = field(default_factory=dict)
+
+    def invariants_violated(self) -> List[str]:
+        return sorted({v.invariant for v in self.violations})
+
+    def row(self) -> str:
+        verdict = "OK" if self.ok else ",".join(self.invariants_violated())
+        features = "".join(
+            flag
+            for flag, on in (
+                ("C", self.scenario.controller),
+                ("K", self.scenario.checkpoints),
+                ("P", self.scenario.park_pulls),
+            )
+            if on
+        )
+        return (
+            f"seed={self.scenario.seed:<6} feat={features or '-':<3} "
+            f"faults={self.faults_fired:<2} "
+            f"tasks={self.tasks_completed}/{self.tasks_submitted:<5} "
+            f"events={self.event_count:<7} "
+            f"fp={self.fingerprint[:12]}  {verdict}"
+        )
+
+
+def sample_scenario(seed: int, max_events: int = 8) -> FuzzScenario:
+    """Draw the cluster feature toggles for one iteration from the seed.
+
+    The draws come from a dedicated named stream so adding a toggle
+    later never perturbs the workload, plan, or injector streams of
+    existing seeds.
+    """
+    rng = RngStreams(seed).stream("fuzz-scenario")
+    return FuzzScenario(
+        seed=seed,
+        controller=bool(rng.random() < 0.4),
+        checkpoints=bool(rng.random() < 0.4),
+        park_pulls=bool(rng.random() < 0.7),
+        max_events=max_events,
+    )
+
+
+def _trace_fingerprint(handles: common.ClusterHandles) -> str:
+    """sha256 over the full task trace + counters — the determinism probe.
+
+    Any divergence in scheduling order, retry timing, or fault impact
+    shows up here even when aggregate counts happen to collide.
+    """
+    collector = handles.collector
+    digest = hashlib.sha256()
+    for key in sorted(collector.records):
+        record = collector.records[key]
+        digest.update(
+            (
+                f"{key}:{record.submitted_at}:{record.assigned_at}:"
+                f"{record.started_at}:{record.finished_at}:"
+                f"{record.completed_at}:{record.executor_id}:"
+                f"{record.submissions}:{record.bounces}\n"
+            ).encode()
+        )
+    digest.update(
+        (
+            f"resub={collector.resubmissions} bounce={collector.bounce_retries}"
+            f" dup_a={collector.duplicate_assignments}"
+            f" dup_f={collector.duplicate_finishes}"
+            f" dup_c={collector.duplicate_completions}\n"
+        ).encode()
+    )
+    return digest.hexdigest()
+
+
+def run_scenario(scenario: FuzzScenario) -> FuzzResult:
+    """Build, fault, run, and judge one scenario. Bit-deterministic."""
+    config = common.ClusterConfig(
+        scheduler="draconis",
+        workers=scenario.workers,
+        executors_per_worker=scenario.executors_per_worker,
+        seed=scenario.seed,
+        queue_capacity=4096,
+        timeout_factor=scenario.timeout_factor,
+        park_pulls=scenario.park_pulls,
+        controller=scenario.controller,
+        checkpoint_interval_ns=ms(1) if scenario.checkpoints else None,
+    )
+    rngs = RngStreams(scenario.seed)
+    sampler = exponential(150)
+    rate = rate_for_utilization(
+        scenario.utilization, config.total_executors, sampler.mean_ns
+    )
+    events = list(
+        open_loop(
+            rngs.stream("fuzz-arrivals"), rate, sampler, scenario.duration_ns
+        )
+    )
+    handles = common.build_cluster(config, [events], rngs=rngs)
+
+    if scenario.plan_json is not None:
+        plan = FaultPlan.from_json(scenario.plan_json)
+        # burn the plan stream anyway so the downstream injector/link
+        # streams match the original sampling run exactly
+        FaultPlan.fuzzed(
+            rngs.stream("fuzz-plan"),
+            scenario.duration_ns,
+            worker_nodes=[w.spec.node_id for w in handles.workers],
+            max_events=scenario.max_events,
+        )
+    else:
+        plan = FaultPlan.fuzzed(
+            rngs.stream("fuzz-plan"),
+            scenario.duration_ns,
+            worker_nodes=[w.spec.node_id for w in handles.workers],
+            max_events=scenario.max_events,
+        )
+
+    def standby_program() -> DraconisProgram:
+        return DraconisProgram(
+            policy=config.policy,
+            queue_capacity=config.queue_capacity,
+            retrieve_mode=config.retrieve_mode,
+            queues_in_stages=config.queues_in_stages,
+            park_pulls=config.park_pulls,
+            pull_ttl_ns=config.pull_ttl_ns,
+        )
+
+    injector = FaultInjector(
+        handles.sim,
+        plan,
+        handles.topology,
+        workers=handles.workers,
+        switch=handles.switch,
+        program_factory=standby_program,
+        rng=rngs.stream("fuzz-injector"),
+    ).arm()
+
+    horizon = scenario.duration_ns + scenario.drain_ns
+    oracle = InvariantOracle(handles, injector=injector).attach(horizon)
+    handles.sim.run(until=horizon)
+    report: OracleReport = oracle.check_final()
+
+    collector = handles.collector
+    return FuzzResult(
+        scenario=replace(scenario, plan_json=plan.to_json()),
+        ok=report.ok,
+        violations=list(report.violations),
+        checks=report.checks,
+        event_count=handles.sim.events_processed,
+        fingerprint=_trace_fingerprint(handles),
+        tasks_submitted=collector.submitted_count(),
+        tasks_completed=collector.completed_count(),
+        faults_fired=injector.stats.total(),
+        injected=injector.injected_totals(),
+    )
+
+
+def _fuzz_cell(scenario: FuzzScenario) -> FuzzResult:
+    """Module-level so the fork pool can pickle it."""
+    return run_scenario(scenario)
+
+
+@dataclass
+class CampaignFailure:
+    """One failing scenario, with its shrunk minimal reproduction."""
+
+    result: FuzzResult
+    minimized: FuzzScenario
+    minimized_events: int
+    original_events: int
+    shrink_attempts: int
+
+
+class FaultFuzzer:
+    """Campaign driver: sample → run → shrink failures → artifacts."""
+
+    def __init__(
+        self,
+        iterations: int = 50,
+        base_seed: int = 0,
+        max_events: int = 8,
+        jobs: Optional[int] = None,
+        shrink_attempts: int = 200,
+    ) -> None:
+        self.iterations = iterations
+        self.base_seed = base_seed
+        self.max_events = max_events
+        self.jobs = jobs
+        self.shrink_attempts = shrink_attempts
+
+    def scenarios(self) -> List[FuzzScenario]:
+        return [
+            sample_scenario(self.base_seed + i, max_events=self.max_events)
+            for i in range(self.iterations)
+        ]
+
+    def run(self) -> Tuple[List[FuzzResult], List[CampaignFailure]]:
+        """Run the campaign; returns (all results, shrunk failures)."""
+        results = parallel_map(_fuzz_cell, self.scenarios(), jobs=self.jobs)
+        failures = [
+            self.shrink_failure(result) for result in results if not result.ok
+        ]
+        return results, failures
+
+    def shrink_failure(self, result: FuzzResult) -> CampaignFailure:
+        """Delta-debug a failing scenario's plan to a minimal repro.
+
+        A candidate plan "still fails" when it reproduces at least one
+        of the original run's violated invariant families — not
+        necessarily all of them; a smaller plan that still trips
+        ``task-conservation`` is a better bug report than a fat plan
+        that also happens to trip ``quiescence``.
+        """
+        scenario = result.scenario
+        original = FaultPlan.from_json(scenario.plan_json)
+        target = set(result.invariants_violated())
+
+        def still_fails(candidate: FaultPlan) -> bool:
+            trial = replace(scenario, plan_json=candidate.to_json())
+            rerun = run_scenario(trial)
+            return bool(target & set(rerun.invariants_violated()))
+
+        minimal, attempts = shrink_plan(
+            original, still_fails, max_attempts=self.shrink_attempts
+        )
+        minimized = replace(scenario, plan_json=minimal.to_json())
+        return CampaignFailure(
+            result=result,
+            minimized=minimized,
+            minimized_events=len(minimal),
+            original_events=len(original),
+            shrink_attempts=attempts,
+        )

@@ -1,0 +1,100 @@
+"""Deterministic replay of a fuzz artifact.
+
+Usage::
+
+    python -m repro.verify.replay artifact.json [--verbose]
+
+Re-runs the artifact's scenario (same seed, same explicit fault plan)
+and compares against the recorded outcome:
+
+* the oracle **verdict** (ok flag and the set of violated invariant
+  families),
+* the simulator **event count**,
+* the task-trace **fingerprint** (sha256 over every lifecycle record).
+
+Exit status 0 means the run reproduced the artifact bit for bit —
+including reproducing a *failing* verdict: replaying a bug artifact
+"succeeds" when the bug fires again. Any divergence (a fixed bug, a
+determinism regression, a drifted default) exits 1 with a field-by-
+field diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.verify.artifact import load_artifact
+from repro.verify.fuzzer import run_scenario
+
+
+def replay(path: str, verbose: bool = False) -> int:
+    """Replay one artifact; returns the process exit code."""
+    payload = load_artifact(path)
+    scenario = payload["scenario"]
+    expected = payload["expected"]
+
+    print(
+        f"replaying {path}: seed={scenario.seed} "
+        f"controller={scenario.controller} checkpoints={scenario.checkpoints} "
+        f"park_pulls={scenario.park_pulls}"
+    )
+    result = run_scenario(scenario)
+
+    mismatches: List[str] = []
+
+    def compare(name: str, got, want) -> None:
+        if got != want:
+            mismatches.append(f"{name}: expected {want!r}, got {got!r}")
+        elif verbose:
+            print(f"  {name}: {got!r} (match)")
+
+    compare("verdict.ok", result.ok, expected["ok"])
+    compare(
+        "verdict.invariants",
+        result.invariants_violated(),
+        sorted({v["invariant"] for v in expected["violations"]}),
+    )
+    compare("event_count", result.event_count, expected["event_count"])
+    compare("fingerprint", result.fingerprint, expected["fingerprint"])
+    compare(
+        "tasks_submitted", result.tasks_submitted, expected["tasks_submitted"]
+    )
+    compare(
+        "tasks_completed", result.tasks_completed, expected["tasks_completed"]
+    )
+
+    if not result.ok:
+        print("reproduced violations:")
+        for violation in result.violations:
+            print(f"  ! {violation}")
+
+    if mismatches:
+        print("REPLAY DIVERGED:")
+        for mismatch in mismatches:
+            print(f"  x {mismatch}")
+        return 1
+    verdict = "ok" if result.ok else "failing (as recorded)"
+    print(
+        f"replay reproduced the artifact exactly: verdict={verdict} "
+        f"events={result.event_count} fp={result.fingerprint[:16]}"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("artifact", help="path to a fuzz artifact JSON file")
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every compared field"
+    )
+    args = parser.parse_args(argv)
+    return replay(args.artifact, verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

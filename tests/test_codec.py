@@ -224,3 +224,32 @@ class TestDecoderRobustness:
         parsing (decoders read fixed offsets, not to-end-of-buffer)."""
         msg = TaskRequest(executor_id=7)
         assert decode(encode(msg) + b"\x00" * 8) == msg
+
+    @given(
+        msg=st.sampled_from(
+            [
+                JobSubmission(uid=1, jid=2, tasks=[TaskInfo(tid=9)]),
+                TaskRequest(executor_id=3, node_id=1, rack_id=0),
+                TaskAssignment(uid=1, jid=2, task=TaskInfo(tid=0)),
+                Completion(uid=1, jid=2, tid=3, client=Address("c", 1)),
+                SubmissionAck(uid=4, jid=5, accepted=True),
+            ]
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=200)
+    def test_single_bit_flip_never_crashes(self, msg, data):
+        """The fuzzer's wire-corruption model in one property: flip any
+        single bit of a valid frame and the decoder must either parse
+        *something* or raise ProtocolError — a checksum mismatch on real
+        hardware drops the frame, but the parser still sees the bytes and
+        must not die on them (this is exactly what
+        ``LinkChaos._corrupt`` exercises on every corrupted packet)."""
+        encoded = bytearray(encode(msg))
+        bit = data.draw(st.integers(0, len(encoded) * 8 - 1))
+        encoded[bit // 8] ^= 1 << (bit % 8)
+        try:
+            result = decode(bytes(encoded))
+            assert hasattr(result, "op")
+        except ProtocolError:
+            pass  # the only acceptable failure mode

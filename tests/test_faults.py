@@ -342,6 +342,29 @@ class TestInjectorAndSwitch:
         cluster.sim.run(until=ms(1))
         assert cluster.switch.recirc_queue_packets == before
 
+    def test_overlapping_recirc_windows_restore_baseline(self):
+        # Chaos-fuzzer regression (seed 42): per-event save/restore
+        # pairs unwound in open order, so the later-closing window
+        # "restored" the limit the first window had set.
+        cluster = build_cluster(tasks=0)
+        before = cluster.switch.recirc_queue_packets
+        plan = FaultPlan(
+            [
+                RecircExhaustion(start_ns=us(100), end_ns=us(500), queue_packets=2),
+                RecircExhaustion(start_ns=us(300), end_ns=us(700), queue_packets=1),
+            ]
+        )
+        FaultInjector(
+            cluster.sim, plan, cluster.topology, workers=cluster.workers
+        ).arm()
+        cluster.sim.run(until=us(400))
+        assert cluster.switch.recirc_queue_packets == 1
+        cluster.sim.run(until=us(600))
+        # inner window closed, outer still open: stay exhausted
+        assert cluster.switch.recirc_queue_packets == 1
+        cluster.sim.run(until=ms(1))
+        assert cluster.switch.recirc_queue_packets == before
+
     def test_unknown_worker_node_rejected(self):
         cluster = build_cluster(workers=1, tasks=0)
         plan = FaultPlan([WorkerCrash(at_ns=us(10), node_id=99)])

@@ -1,0 +1,132 @@
+"""FaultPlan JSON round-trip — the replay-artifact plan format."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultPlan,
+    LinkFault,
+    PacketCorruption,
+    Partition,
+    RecircExhaustion,
+    SwitchFailover,
+    WorkerCrash,
+    WorkerSlowdown,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.sim.core import ms
+from repro.sim.rng import RngStreams
+
+EVERY_EVENT_KIND = [
+    LinkFault(start_ns=ms(1), end_ns=ms(2), loss_prob=0.2, duplicate_prob=0.1),
+    LinkFault(start_ns=ms(1), end_ns=ms(3), nodes=("worker0", "client0")),
+    PacketCorruption(start_ns=ms(2), end_ns=ms(4), corrupt_prob=0.1),
+    PacketCorruption(
+        start_ns=ms(2),
+        end_ns=ms(4),
+        nodes=("worker1",),
+        truncate_prob=0.5,
+        max_bit_flips=5,
+    ),
+    Partition(start_ns=ms(1), end_ns=ms(2), nodes=("worker0",)),
+    WorkerCrash(at_ns=ms(3), node_id=1, restart_after_ns=ms(2)),
+    WorkerCrash(at_ns=ms(3), node_id=2),  # permanent: None restart
+    WorkerSlowdown(start_ns=ms(1), end_ns=ms(5), node_id=0, factor=3.0),
+    SwitchFailover(at_ns=ms(4)),
+    RecircExhaustion(start_ns=ms(2), end_ns=ms(3), queue_packets=2),
+]
+
+
+class TestEventDictCodec:
+    @pytest.mark.parametrize(
+        "event", EVERY_EVENT_KIND, ids=lambda e: type(e).__name__
+    )
+    def test_round_trip(self, event):
+        payload = event_to_dict(event)
+        assert payload["kind"] == type(event).__name__
+        assert event_from_dict(payload) == event
+
+    def test_nodes_tuple_survives_as_tuple(self):
+        event = Partition(start_ns=0, end_ns=1, nodes=("a", "b"))
+        payload = event_to_dict(event)
+        assert payload["nodes"] == ["a", "b"]  # JSON-friendly list
+        restored = event_from_dict(payload)
+        assert restored.nodes == ("a", "b")  # hashable tuple again
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault event"):
+            event_from_dict({"kind": "MeteorStrike", "at_ns": 0})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            event_from_dict(
+                {"kind": "SwitchFailover", "at_ns": 0, "severity": 11}
+            )
+
+    def test_invalid_event_rejected_on_decode(self):
+        # decode re-validates: a window that ends before it starts is
+        # rejected even though the JSON itself is well-formed
+        with pytest.raises(Exception):
+            event_from_dict(
+                {"kind": "Partition", "start_ns": 10, "end_ns": 5, "nodes": []}
+            )
+
+
+class TestPlanJson:
+    def test_round_trip_all_kinds(self):
+        plan = FaultPlan(list(EVERY_EVENT_KIND))
+        restored = FaultPlan.from_json(plan.to_json())
+        assert list(restored) == list(plan)
+        # and the round-trip is a fixed point
+        assert restored.to_json() == plan.to_json()
+
+    def test_empty_plan(self):
+        assert list(FaultPlan.from_json(FaultPlan([]).to_json())) == []
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_missing_events_rejected(self):
+        with pytest.raises(ConfigurationError, match="events"):
+            FaultPlan.from_json('{"plan": []}')
+
+    def test_fuzzed_plans_round_trip(self):
+        # the fuzzer grammar's output must survive the artifact format
+        for seed in range(10):
+            rng = RngStreams(seed).stream("plan")
+            plan = FaultPlan.fuzzed(rng, ms(12), worker_nodes=[0, 1, 2])
+            assert list(FaultPlan.from_json(plan.to_json())) == list(plan)
+
+
+class TestFuzzedGrammar:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.fuzzed(
+            RngStreams(7).stream("plan"), ms(12), worker_nodes=[0, 1, 2]
+        )
+        b = FaultPlan.fuzzed(
+            RngStreams(7).stream("plan"), ms(12), worker_nodes=[0, 1, 2]
+        )
+        assert list(a) == list(b)
+
+    def test_event_cap_respected(self):
+        for seed in range(20):
+            rng = RngStreams(seed).stream("plan")
+            plan = FaultPlan.fuzzed(
+                rng, ms(12), worker_nodes=[0, 1], max_events=4
+            )
+            assert 1 <= len(plan) <= 4
+
+    def test_one_worker_always_survives(self):
+        # permanent crashes are budgeted: the grammar may kill at most
+        # n-1 workers for good, or recovery would be impossible
+        for seed in range(40):
+            rng = RngStreams(seed).stream("plan")
+            plan = FaultPlan.fuzzed(rng, ms(12), worker_nodes=[0, 1, 2])
+            permanent = {
+                e.node_id
+                for e in plan
+                if isinstance(e, WorkerCrash) and e.restart_after_ns is None
+            }
+            assert len(permanent) < 3

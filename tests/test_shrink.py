@@ -1,0 +1,143 @@
+"""Delta-debugging shrinker: pure unit tests with synthetic predicates.
+
+(The end-to-end path — shrinking a real failing fuzz run — is covered
+in test_verify.py::TestCampaign.)
+"""
+
+from repro.faults import (
+    FaultPlan,
+    LinkFault,
+    PacketCorruption,
+    WorkerCrash,
+    WorkerSlowdown,
+)
+from repro.sim.core import ms
+from repro.verify.shrink import shrink_plan
+
+
+def fat_plan():
+    """One known-bad event buried in ten irrelevant ones."""
+    bad = WorkerCrash(at_ns=ms(3), node_id=1, restart_after_ns=None)
+    noise = [
+        LinkFault(start_ns=ms(i), end_ns=ms(i + 1), loss_prob=0.1)
+        for i in range(2, 7)
+    ] + [
+        PacketCorruption(start_ns=ms(i), end_ns=ms(i + 1), corrupt_prob=0.1)
+        for i in range(2, 7)
+    ]
+    return FaultPlan([bad] + noise)
+
+
+def crash_of_node_1(candidate: FaultPlan) -> bool:
+    return any(
+        isinstance(e, WorkerCrash)
+        and e.node_id == 1
+        and e.restart_after_ns is None
+        for e in candidate
+    )
+
+
+class TestEventReduction:
+    def test_known_bad_event_isolated_from_noise(self):
+        minimal, attempts = shrink_plan(fat_plan(), crash_of_node_1)
+        assert len(minimal) <= 2
+        assert crash_of_node_1(minimal)
+        assert attempts > 0
+
+    def test_shrinking_is_deterministic(self):
+        a, attempts_a = shrink_plan(fat_plan(), crash_of_node_1)
+        b, attempts_b = shrink_plan(fat_plan(), crash_of_node_1)
+        assert list(a) == list(b)
+        assert attempts_a == attempts_b
+
+    def test_needs_two_events_keeps_both(self):
+        # the failure needs the crash AND at least one loss window: the
+        # shrinker must not over-shrink past a conjunction
+        def needs_both(candidate):
+            return crash_of_node_1(candidate) and any(
+                isinstance(e, LinkFault) and e.loss_prob > 0
+                for e in candidate
+            )
+
+        minimal, _ = shrink_plan(fat_plan(), needs_both)
+        assert needs_both(minimal)
+        assert len(minimal) == 2
+
+    def test_unshrinkable_plan_returned_unchanged(self):
+        plan = FaultPlan([WorkerCrash(at_ns=ms(1), node_id=1)])
+        minimal, _ = shrink_plan(plan, crash_of_node_1)
+        assert list(minimal) == list(plan)
+
+    def test_budget_bounds_predicate_evaluations(self):
+        calls = []
+
+        def counting(candidate):
+            calls.append(1)
+            return crash_of_node_1(candidate)
+
+        minimal, attempts = shrink_plan(fat_plan(), counting, max_attempts=2)
+        assert attempts == len(calls) == 2  # cap hit before convergence
+        assert crash_of_node_1(minimal)  # still a valid (if fat) repro
+
+
+class TestWindowNarrowing:
+    def test_window_narrows_toward_trigger_point(self):
+        # the bug only needs the window to cover t=2.1ms; a 6ms window
+        # should narrow to a fraction of that
+        trigger = ms(2) + ms(1) // 10
+
+        def covers_trigger(candidate):
+            return any(
+                isinstance(e, WorkerSlowdown)
+                and e.start_ns <= trigger < e.end_ns
+                for e in candidate
+            )
+
+        plan = FaultPlan(
+            [WorkerSlowdown(start_ns=ms(2), end_ns=ms(8), factor=4.0)]
+        )
+        minimal, _ = shrink_plan(plan, covers_trigger)
+        (event,) = list(minimal)
+        assert covers_trigger(minimal)
+        span = event.end_ns - event.start_ns
+        assert span < ms(1)  # 6ms window cut to under 1ms
+
+
+class TestIntensityReduction:
+    def test_irrelevant_probability_zeroed(self):
+        # the failure only depends on loss; duplicate_prob is noise and
+        # should be driven to zero outright
+        def needs_loss(candidate):
+            return any(
+                isinstance(e, LinkFault) and e.loss_prob >= 0.1
+                for e in candidate
+            )
+
+        plan = FaultPlan(
+            [
+                LinkFault(
+                    start_ns=ms(1),
+                    end_ns=ms(2),
+                    loss_prob=0.8,
+                    duplicate_prob=0.5,
+                )
+            ]
+        )
+        minimal, _ = shrink_plan(plan, needs_loss)
+        (event,) = list(minimal)
+        assert event.duplicate_prob == 0.0
+        assert 0.1 <= event.loss_prob < 0.8  # halved toward the threshold
+
+    def test_slowdown_factor_reduced_toward_one(self):
+        def needs_some_slowdown(candidate):
+            return any(
+                isinstance(e, WorkerSlowdown) and e.factor >= 2.0
+                for e in candidate
+            )
+
+        plan = FaultPlan(
+            [WorkerSlowdown(start_ns=ms(1), end_ns=ms(2), factor=16.0)]
+        )
+        minimal, _ = shrink_plan(plan, needs_some_slowdown)
+        (event,) = list(minimal)
+        assert 2.0 <= event.factor < 16.0

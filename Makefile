@@ -5,7 +5,7 @@ PY ?= python
 # needed. (Targets previously assumed `make install` had been run.)
 export PYTHONPATH := src
 
-.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos fuzz recovery examples clean
+.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos fuzz recovery live live-smoke examples clean
 
 install:
 	$(PY) setup.py develop
@@ -46,6 +46,12 @@ fuzz:
 
 recovery:
 	$(PY) -m repro.experiments.recovery --seeds 3 --out recovery-summary.json
+
+live:
+	$(PY) -m repro.live.conformance --seed 42 --out live-conformance.json
+
+live-smoke:
+	$(PY) -m repro.live.conformance --seed 42 --duration 0.25 --out live-conformance.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PY) $$f || exit 1; done

@@ -78,15 +78,18 @@ def save_result(
     return path
 
 
-def load_result(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+def load_result(
+    path: Union[str, pathlib.Path], expected_schema: str = SCHEMA
+) -> Dict[str, Any]:
     """Load a saved result; validates the schema tag.
 
     Returns the dictionary form (the live simulator objects are gone, so
     a full RunResult cannot be reconstructed — and analysis code only
-    needs the numbers).
+    needs the numbers). ``expected_schema`` lets sibling result formats
+    (``repro.live.results``) share the validated load path.
     """
     payload = json.loads(pathlib.Path(path).read_text())
-    if payload.get("schema") != SCHEMA:
+    if payload.get("schema") != expected_schema:
         raise ConfigurationError(
             f"{path}: unknown result schema {payload.get('schema')!r}"
         )

@@ -17,6 +17,7 @@ import numpy as np
 from repro.cluster.task import SubmitEvent
 from repro.errors import ConfigurationError
 from repro.experiments.common import ClusterConfig, RunResult, run_workload
+from repro.metrics.summary import latency_row
 from repro.sim.rng import RngStreams
 
 
@@ -35,10 +36,11 @@ class MetricStats:
         return self.std / self.mean if self.mean else float("inf")
 
     def row(self) -> str:
-        return (
-            f"{self.name:<18} mean={self.mean:>12.2f} std={self.std:>10.2f} "
-            f"cv={self.cv:>6.1%}"
+        stats = latency_row(
+            None, [("mean", self.mean), ("std", self.std)], unit="",
+            value_width=12,
         )
+        return f"{self.name:<18} {stats}  cv={self.cv:>6.1%}"
 
 
 @dataclass

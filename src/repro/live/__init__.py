@@ -1,0 +1,46 @@
+"""Real-network runtime: the Draconis protocol over actual UDP sockets.
+
+Every other subsystem executes inside the discrete-event simulator; this
+package runs the same wire format (:mod:`repro.protocol`) and the same
+scheduling structures (:mod:`repro.core`) on wall-clock time across real
+asyncio datagram sockets:
+
+* :class:`~repro.live.softswitch.SoftSwitch` — a software dataplane
+  hosting an unmodified :class:`~repro.core.scheduler.DraconisProgram`
+  behind a UDP socket, plus executor registration and JBSQ-style
+  per-executor dispatch bounds;
+* :class:`~repro.live.executor.LiveExecutor` — pulls and executes tasks
+  (busy-spin or timer) with the workload's service-time distributions;
+* :class:`~repro.live.client.LiveClient` /
+  :mod:`~repro.live.loadgen` — submission, bounce/loss retry, and open-
+  or closed-loop load generation;
+* :mod:`~repro.live.conformance` — runs one workload spec through the
+  simulator *and* the live runtime and asserts policy-level agreement.
+
+The point is comparability: the scheduler logic, queues, policies and
+codec are shared byte-for-byte with the simulator, so sim-vs-live
+deviations isolate the things a simulator cannot model (timer
+granularity, socket buffers, real packet loss).
+"""
+
+from repro.live.base import WallClock
+from repro.live.client import LiveClient, LiveClientConfig
+from repro.live.executor import LiveExecutor, LiveExecutorConfig
+from repro.live.loadgen import ClosedLoopGen, OpenLoopGen
+from repro.live.results import LiveResult
+from repro.live.runtime import LiveSpec, run_live
+from repro.live.softswitch import SoftSwitch
+
+__all__ = [
+    "ClosedLoopGen",
+    "LiveClient",
+    "LiveClientConfig",
+    "LiveExecutor",
+    "LiveExecutorConfig",
+    "LiveResult",
+    "LiveSpec",
+    "OpenLoopGen",
+    "SoftSwitch",
+    "WallClock",
+    "run_live",
+]

@@ -1,0 +1,68 @@
+"""Shared plumbing for the live runtime: clock, counters, sockets."""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional, Tuple
+
+from repro.net.packet import Address
+
+Endpoint = Tuple[str, int]
+"""A UDP (host, port) pair as asyncio datagram transports use it."""
+
+DEFAULT_SOCKET_BUFFER = 1 << 22
+"""4 MiB send/receive buffers. Loopback UDP drops silently once the
+receive buffer overflows; at the burst rates the throughput probe
+generates, the Linux defaults (typically 208 KiB) lose packets long
+before the event loop is the bottleneck."""
+
+
+class WallClock:
+    """Monotonic nanoseconds since construction.
+
+    Exposes the same ``.now`` attribute the simulator core does, so an
+    unmodified :class:`~repro.core.scheduler.DraconisProgram` reads
+    wall-clock time through ``switch.sim.now`` without knowing it left
+    the simulator.
+    """
+
+    __slots__ = ("t0",)
+
+    def __init__(self) -> None:
+        self.t0 = time.monotonic_ns()
+
+    @property
+    def now(self) -> int:
+        return time.monotonic_ns() - self.t0
+
+
+class Counters(dict):
+    """Per-component event counters (a dict with an increment helper)."""
+
+    def incr(self, name: str, n: int = 1) -> None:
+        self[name] = self.get(name, 0) + n
+
+
+def bump_socket_buffers(
+    transport, size: int = DEFAULT_SOCKET_BUFFER
+) -> None:
+    """Enlarge a datagram transport's socket buffers (best effort)."""
+    sock: Optional[socket.socket] = transport.get_extra_info("socket")
+    if sock is None:
+        return
+    for option in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, option, size)
+        except OSError:
+            pass  # the kernel cap (rmem_max) wins; keep whatever it grants
+
+
+def endpoint_of(address: Address) -> Endpoint:
+    """Map a protocol :class:`Address` onto a UDP endpoint.
+
+    In live mode the ``node`` field carries the literal host/IP, so the
+    mapping is the identity — kept as a function so the conversion sites
+    are findable if live mode ever grows a name service.
+    """
+    return (address.node, address.port)

@@ -1,0 +1,279 @@
+"""The live submission client: submit, track, retry, account.
+
+Mirrors the simulated :class:`repro.cluster.client.Client` contract on a
+real socket: jobs split into codec-limit packets, bounced tasks retry
+with capped-exponential backoff (honouring the switch's
+``backoff_hint_ns``), and a resubmit watchdog covers outright datagram
+loss — UDP on loopback drops silently when a socket buffer overflows, so
+the client is the conservation backstop. Task accounting is by unique
+``(uid, jid, tid)`` key: resubmit races produce *duplicate* completions
+(counted, harmless), never phantoms or losses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from repro.cluster.task import FN_SPIN, TaskSpec, encode_duration
+from repro.errors import ProtocolError
+from repro.live.base import Counters, Endpoint, WallClock, bump_socket_buffers
+from repro.obs.hdr import LogHistogram
+from repro.protocol import codec
+from repro.protocol.messages import (
+    Completion,
+    ErrorPacket,
+    JobSubmission,
+    SubmissionAck,
+    TaskInfo,
+    TaskKey,
+)
+
+
+@dataclass
+class LiveClientConfig:
+    """Retry and framing knobs."""
+
+    max_tasks_per_packet: int = codec.MAX_TASKS_PER_PACKET
+    #: base bounce-retry delay; doubles per retry of the same task.
+    bounce_retry_s: float = 0.001
+    #: cap on the exponential (2**n doublings of bounce_retry_s).
+    bounce_backoff_max: int = 6
+    #: shared retry budget per task (bounces + loss resubmits).
+    max_retries: int = 12
+    #: tasks pending longer than this are resubmitted (loss recovery);
+    #: None disables the watchdog.
+    resubmit_timeout_s: Optional[float] = 1.0
+
+
+class _Pending:
+    __slots__ = ("info", "jid", "submitted_ns", "retries")
+
+    def __init__(self, info: TaskInfo, jid: int, submitted_ns: int) -> None:
+        self.info = info
+        self.jid = jid
+        self.submitted_ns = submitted_ns
+        self.retries = 0
+
+
+class LiveClient(asyncio.DatagramProtocol):
+    """One submitting client on a connected UDP socket."""
+
+    def __init__(
+        self,
+        uid: int = 0,
+        config: Optional[LiveClientConfig] = None,
+        clock: Optional[WallClock] = None,
+        on_job_done: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.uid = uid
+        self.config = config or LiveClientConfig()
+        self.clock = clock or WallClock()
+        self.on_job_done = on_job_done
+        self.counters = Counters()
+        #: end-to-end latency (submit -> completion notice), nanoseconds
+        self.e2e_hist = LogHistogram()
+        self._pending: Dict[TaskKey, _Pending] = {}
+        self._done: Set[TaskKey] = set()
+        self._gave_up: Set[TaskKey] = set()
+        self._job_left: Dict[int, int] = {}
+        self._next_jid = 0
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._watchdog: Optional[asyncio.Task] = None
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, switch: Endpoint) -> None:
+        self._loop = asyncio.get_running_loop()
+        await self._loop.create_datagram_endpoint(
+            lambda: self, remote_addr=switch
+        )
+        if self.config.resubmit_timeout_s is not None:
+            self._watchdog = self._loop.create_task(self._watch())
+
+    def close(self) -> None:
+        self._closing = True
+        if self._watchdog is not None:
+            self._watchdog.cancel()
+            self._watchdog = None
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    def connection_made(self, transport) -> None:
+        self._transport = transport
+        bump_socket_buffers(transport)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, specs: Sequence[TaskSpec]) -> int:
+        """Submit one job of ``specs``; returns its jid."""
+        jid = self._next_jid
+        self._next_jid += 1
+        now = self.clock.now
+        infos = []
+        for tid, spec in enumerate(specs):
+            fn_par = (
+                encode_duration(spec.duration_ns)
+                if spec.fn_id == FN_SPIN and spec.duration_ns > 0
+                else b""
+            )
+            info = TaskInfo(
+                tid=tid, fn_id=spec.fn_id, fn_par=fn_par, tprops=spec.tprops
+            )
+            infos.append(info)
+            self._pending[(self.uid, jid, tid)] = _Pending(info, jid, now)
+        self._job_left[jid] = len(infos)
+        self.counters.incr("jobs_submitted")
+        self.counters.incr("tasks_submitted", len(infos))
+        self._send_tasks(jid, infos)
+        return jid
+
+    def _send_tasks(self, jid: int, infos: Sequence[TaskInfo]) -> None:
+        if self._transport is None:
+            return
+        limit = self.config.max_tasks_per_packet
+        for i in range(0, len(infos), limit):
+            self._transport.sendto(
+                codec.encode(
+                    JobSubmission(
+                        uid=self.uid, jid=jid, tasks=list(infos[i : i + limit])
+                    )
+                )
+            )
+            self.counters.incr("submissions_sent")
+
+    # -- receive -----------------------------------------------------------
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            message = codec.decode(data)
+        except ProtocolError:
+            self.counters.incr("malformed")
+            return
+        cls = message.__class__
+        if cls is Completion:
+            self._on_completion(message)
+        elif cls is ErrorPacket:
+            self._on_bounce(message)
+        elif cls is SubmissionAck:
+            self.counters.incr("acks")
+        else:
+            self.counters.incr("unexpected")
+
+    def error_received(self, exc) -> None:
+        self.counters.incr("socket_errors")
+
+    def _on_completion(self, completion: Completion) -> None:
+        key = (completion.uid, completion.jid, completion.tid)
+        entry = self._pending.pop(key, None)
+        if entry is None:
+            if key in self._done:
+                # A resubmitted task finished twice; by-key accounting
+                # keeps conservation exact.
+                self.counters.incr("duplicates")
+            else:
+                self.counters.incr("phantoms")
+            return
+        self._done.add(key)
+        self.counters.incr("completed")
+        self.e2e_hist.record(self.clock.now - entry.submitted_ns)
+        self._job_finished_one(entry.jid)
+
+    def _job_finished_one(self, jid: int) -> None:
+        left = self._job_left.get(jid)
+        if left is None:
+            return
+        left -= 1
+        if left <= 0:
+            del self._job_left[jid]
+            if self.on_job_done is not None:
+                self.on_job_done(jid)
+        else:
+            self._job_left[jid] = left
+
+    def _on_bounce(self, error: ErrorPacket) -> None:
+        self.counters.incr("bounces")
+        retry: List[TaskInfo] = []
+        max_retry_round = 0
+        for info in error.tasks:
+            key = (error.uid, error.jid, info.tid)
+            entry = self._pending.get(key)
+            if entry is None:
+                continue  # completed (or given up) while the bounce flew
+            entry.retries += 1
+            if entry.retries > self.config.max_retries:
+                self._give_up(key, entry)
+                continue
+            max_retry_round = max(max_retry_round, entry.retries)
+            retry.append(entry.info)
+        if not retry or self._loop is None or self._closing:
+            return
+        exponent = min(max_retry_round - 1, self.config.bounce_backoff_max)
+        delay_s = max(
+            self.config.bounce_retry_s * (1 << exponent),
+            error.backoff_hint_ns / 1e9,
+        )
+        self.counters.incr("bounce_retries", len(retry))
+        self._loop.call_later(delay_s, self._send_tasks, error.jid, retry)
+
+    def _give_up(self, key: TaskKey, entry: _Pending) -> None:
+        del self._pending[key]
+        self._gave_up.add(key)
+        self.counters.incr("give_ups")
+        self._job_finished_one(entry.jid)
+
+    # -- loss recovery -----------------------------------------------------
+
+    async def _watch(self) -> None:
+        timeout_s = self.config.resubmit_timeout_s
+        assert timeout_s is not None
+        timeout_ns = int(timeout_s * 1e9)
+        while not self._closing:
+            await asyncio.sleep(timeout_s / 4)
+            now = self.clock.now
+            stale: Dict[int, List[TaskInfo]] = {}
+            for key, entry in list(self._pending.items()):
+                if now - entry.submitted_ns < timeout_ns * (entry.retries + 1):
+                    continue
+                entry.retries += 1
+                if entry.retries > self.config.max_retries:
+                    self._give_up(key, entry)
+                    continue
+                stale.setdefault(entry.jid, []).append(entry.info)
+            for jid, infos in stale.items():
+                self.counters.incr("resubmits", len(infos))
+                self._send_tasks(jid, infos)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def tasks_submitted(self) -> int:
+        return self.counters.get("tasks_submitted", 0)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self._done)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def gave_up_count(self) -> int:
+        return len(self._gave_up)
+
+    @property
+    def lost_count(self) -> int:
+        """Tasks neither completed nor still being retried."""
+        return len(self._gave_up) + len(self._pending)
+
+    async def drain(self, timeout_s: float) -> int:
+        """Wait for the pending set to empty; returns what is left."""
+        deadline = self.clock.now + int(timeout_s * 1e9)
+        while self._pending and self.clock.now < deadline:
+            await asyncio.sleep(0.01)
+        return len(self._pending)

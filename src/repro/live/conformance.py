@@ -1,0 +1,219 @@
+"""Sim-vs-live conformance: one workload spec, both runtimes, one verdict.
+
+    python -m repro.live.conformance --seed 42
+
+Three phases, each a :class:`~repro.live.runtime.LiveSpec`:
+
+1. **FCFS agreement** — an open-loop exponential workload runs through
+   the simulator and the live runtime from the same seed (identical
+   submit-event lists, see :meth:`LiveSpec.events`). Asserts task
+   conservation on the wire (zero lost, zero phantom), submitted/
+   completed counts matching the simulator exactly, and Little's-law
+   mean queue depth within a bounded skew of the simulator's.
+2. **Priority agreement** — the same, under :class:`PriorityPolicy`,
+   plus the switch's policy-level priority-inversion count must be 0.
+3. **Throughput** — a closed-loop no-op probe; the live SoftSwitch must
+   clear ``--min-tps`` tasks/sec end to end (default 5,000).
+
+What is *not* compared: latency distributions. Wall-clock e2e times
+include ~1 ms timer granularity and real socket hops the simulator does
+not model (DESIGN.md §9 lists the known deviations); depths and counts
+are the quantities that must transfer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import RunResult, run_workload
+from repro.live.results import LiveResult
+from repro.live.runtime import LiveSpec, run_live
+from repro.sim.core import ms
+
+#: live-vs-sim mean queue depth must satisfy
+#: ``abs(live - sim) <= max(DEPTH_SKEW_ABS, DEPTH_SKEW_REL * sim)``.
+DEPTH_SKEW_ABS = 2.0
+DEPTH_SKEW_REL = 4.0
+
+Check = Tuple[str, bool, str]
+
+
+def run_sim(spec: LiveSpec) -> RunResult:
+    """The simulator counterpart of one live spec, same events."""
+    return run_workload(
+        spec.sim_config(),
+        lambda rngs: iter(spec.events(rngs)),
+        duration_ns=int(spec.duration_s * 1e9),
+        drain_ns=ms(50),
+    )
+
+
+def sim_mean_depth(sim: RunResult, spec: LiveSpec) -> float:
+    """Little's-law mean queue depth, same formula the live side uses."""
+    horizon_ns = int(spec.duration_s * 1e9) + ms(50)
+    if horizon_ns <= 0:
+        return 0.0
+    return sum(delay for _, delay in sim.queue_delays) / horizon_ns
+
+
+def compare_phase(
+    name: str, spec: LiveSpec, live: LiveResult, sim: RunResult
+) -> List[Check]:
+    """Agreement checks for one open-loop phase."""
+    checks: List[Check] = [
+        (
+            f"{name}: conservation",
+            live.conserved,
+            f"lost={live.tasks_lost} phantom={live.phantoms}"
+            f" dup={live.duplicates}",
+        ),
+        (
+            f"{name}: submitted matches sim",
+            live.tasks_submitted == sim.tasks_submitted,
+            f"live={live.tasks_submitted} sim={sim.tasks_submitted}",
+        ),
+        (
+            f"{name}: completed matches sim",
+            live.tasks_completed == sim.tasks_completed,
+            f"live={live.tasks_completed} sim={sim.tasks_completed}",
+        ),
+    ]
+    live_depth = live.mean_queue_depth()
+    sim_depth = sim_mean_depth(sim, spec)
+    tolerance = max(DEPTH_SKEW_ABS, DEPTH_SKEW_REL * sim_depth)
+    checks.append(
+        (
+            f"{name}: queue-depth skew bounded",
+            abs(live_depth - sim_depth) <= tolerance,
+            f"live={live_depth:.3f} sim={sim_depth:.3f} tol={tolerance:.3f}",
+        )
+    )
+    return checks
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--executors", type=int, default=4)
+    parser.add_argument(
+        "--duration", type=float, default=0.4, help="per-phase seconds"
+    )
+    parser.add_argument(
+        "--rate", type=float, default=800.0, help="open-loop tasks/sec"
+    )
+    parser.add_argument("--mean-us", type=float, default=150.0)
+    parser.add_argument(
+        "--min-tps",
+        type=float,
+        default=5000.0,
+        help="throughput floor for the closed-loop no-op phase",
+    )
+    parser.add_argument("--out", default=None, help="write report JSON here")
+    args = parser.parse_args(argv)
+
+    common = dict(
+        executors=args.executors,
+        seed=args.seed,
+        rate_tps=args.rate,
+        duration_s=args.duration,
+        mean_us=args.mean_us,
+        drain_s=3.0,
+    )
+    checks: List[Check] = []
+    report: Dict[str, Any] = {"schema": "repro.liveconformance/1", "phases": {}}
+
+    print("phase 1/3: fcfs agreement (sim vs live)")
+    fcfs_spec = LiveSpec(policy="fcfs", dist="exponential", **common)
+    fcfs_live = run_live(fcfs_spec)
+    fcfs_sim = run_sim(fcfs_spec)
+    checks += compare_phase("fcfs", fcfs_spec, fcfs_live, fcfs_sim)
+    report["phases"]["fcfs"] = {
+        "live": fcfs_live.to_dict(),
+        "sim_submitted": fcfs_sim.tasks_submitted,
+        "sim_completed": fcfs_sim.tasks_completed,
+        "sim_mean_depth": sim_mean_depth(fcfs_sim, fcfs_spec),
+    }
+
+    print("phase 2/3: priority agreement (sim vs live)")
+    prio_spec = LiveSpec(policy="priority", dist="exponential", **common)
+    prio_live = run_live(prio_spec)
+    prio_sim = run_sim(prio_spec)
+    checks += compare_phase("priority", prio_spec, prio_live, prio_sim)
+    checks.append(
+        (
+            "priority: zero policy-level inversions",
+            prio_live.priority_inversions == 0,
+            f"inversions={prio_live.priority_inversions}",
+        )
+    )
+    report["phases"]["priority"] = {
+        "live": prio_live.to_dict(),
+        "sim_submitted": prio_sim.tasks_submitted,
+        "sim_completed": prio_sim.tasks_completed,
+        "sim_mean_depth": sim_mean_depth(prio_sim, prio_spec),
+    }
+
+    print("phase 3/3: live throughput (closed-loop no-op probe)")
+    tput_spec = LiveSpec(
+        executors=args.executors,
+        seed=args.seed,
+        mode="closed",
+        dist="noop",
+        duration_s=max(args.duration, 0.8),
+        tasks_per_job=32,
+        outstanding_jobs=8,
+        max_outstanding=4,
+        drain_s=3.0,
+    )
+    tput_live = run_live(tput_spec)
+    checks.append(
+        (
+            "throughput: conservation",
+            tput_live.conserved,
+            f"lost={tput_live.tasks_lost} phantom={tput_live.phantoms}",
+        )
+    )
+    checks.append(
+        (
+            f"throughput: >= {args.min_tps:.0f} tasks/sec",
+            tput_live.throughput_tps >= args.min_tps,
+            f"measured={tput_live.throughput_tps:.0f}tps",
+        )
+    )
+    report["phases"]["throughput"] = {"live": tput_live.to_dict()}
+
+    print()
+    failed = 0
+    for name, ok, detail in checks:
+        mark = "ok  " if ok else "FAIL"
+        failed += 0 if ok else 1
+        print(f"  {mark} {name:<38} {detail}")
+    print()
+    print("live latency (wall clock, fcfs phase):")
+    for row in fcfs_live.rows():
+        print(f"  {row}")
+
+    report["checks"] = [
+        {"name": name, "ok": ok, "detail": detail}
+        for name, ok, detail in checks
+    ]
+    report["passed"] = failed == 0
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=2))
+        print(f"\nwrote {path}")
+
+    if failed:
+        print(f"\nconformance FAILED ({failed}/{len(checks)} checks)")
+        return 1
+    print(f"\nconformance passed ({len(checks)} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

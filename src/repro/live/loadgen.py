@@ -1,0 +1,122 @@
+"""Load generation for the live runtime: open loop and closed loop.
+
+Open loop replays a precomputed :class:`SubmitEvent` schedule — the very
+same list :func:`repro.workloads.synthetic.open_loop` yields for the
+simulator from the same seed, which is what makes sim-vs-live runs
+comparable event-for-event. Closed loop keeps a fixed number of jobs
+outstanding (the Fig. 5b-style throughput probe: each completed job
+immediately triggers the next), so the scheduler, not the arrival
+process, is the bottleneck.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.task import FN_NOOP, SubmitEvent, TaskSpec
+from repro.live.base import Counters, WallClock
+from repro.live.client import LiveClient
+from repro.workloads.synthetic import DurationSampler
+
+#: below this much lead time, submit now instead of sleeping — asyncio
+#: timers on epoll cannot resolve finer anyway.
+MIN_SLEEP_NS = 500_000
+
+
+class OpenLoopGen:
+    """Replay a submit-event schedule against the wall clock."""
+
+    def __init__(
+        self,
+        client: LiveClient,
+        events: Sequence[SubmitEvent],
+        clock: Optional[WallClock] = None,
+    ) -> None:
+        self.client = client
+        self.events = list(events)
+        self.clock = clock or client.clock
+        self.counters = Counters()
+        self.max_lag_ns = 0
+
+    async def run(self) -> None:
+        start = self.clock.now
+        for event in self.events:
+            lag_ns = (self.clock.now - start) - event.time_ns
+            if lag_ns < -MIN_SLEEP_NS:
+                await asyncio.sleep(-lag_ns / 1e9)
+            elif lag_ns > self.max_lag_ns:
+                # Behind schedule (a slow tick, a spin burst): submit
+                # immediately and record how late the generator ran.
+                self.max_lag_ns = lag_ns
+            self.client.submit(event.tasks)
+            self.counters.incr("jobs")
+            self.counters.incr("tasks", len(event.tasks))
+
+
+class ClosedLoopGen:
+    """Keep ``outstanding`` jobs in flight until the horizon passes."""
+
+    def __init__(
+        self,
+        client: LiveClient,
+        outstanding: int = 8,
+        tasks_per_job: int = 32,
+        horizon_s: float = 1.0,
+        sampler: Optional[DurationSampler] = None,
+        rng: Optional[np.random.Generator] = None,
+        tprops_for: Optional[Callable[[np.random.Generator, int], int]] = None,
+        clock: Optional[WallClock] = None,
+    ) -> None:
+        """``sampler=None`` submits zero-duration FN_NOOP tasks (the
+        throughput probe); otherwise durations draw from ``sampler(rng)``
+        like the simulator's workload generators."""
+        self.client = client
+        self.outstanding = outstanding
+        self.tasks_per_job = tasks_per_job
+        self.horizon_s = horizon_s
+        self.sampler = sampler
+        self.rng = rng
+        self.tprops_for = tprops_for
+        self.clock = clock or client.clock
+        self.counters = Counters()
+        self._done: asyncio.Queue = asyncio.Queue()
+
+    def _job_specs(self) -> List[TaskSpec]:
+        if self.sampler is None:
+            return [
+                TaskSpec(duration_ns=0, fn_id=FN_NOOP)
+                for _ in range(self.tasks_per_job)
+            ]
+        assert self.rng is not None
+        specs = []
+        for _ in range(self.tasks_per_job):
+            duration = self.sampler(self.rng)
+            tprops = (
+                self.tprops_for(self.rng, duration) if self.tprops_for else 0
+            )
+            specs.append(TaskSpec(duration_ns=duration, tprops=tprops))
+        return specs
+
+    def _submit_one(self) -> None:
+        self.client.submit(self._job_specs())
+        self.counters.incr("jobs")
+        self.counters.incr("tasks", self.tasks_per_job)
+
+    async def run(self) -> None:
+        previous = self.client.on_job_done
+        self.client.on_job_done = self._done.put_nowait
+        try:
+            horizon = self.clock.now + int(self.horizon_s * 1e9)
+            for _ in range(self.outstanding):
+                self._submit_one()
+            while self.clock.now < horizon:
+                try:
+                    await asyncio.wait_for(self._done.get(), timeout=0.05)
+                except asyncio.TimeoutError:
+                    continue
+                self._submit_one()
+        finally:
+            self.client.on_job_done = previous

@@ -1,0 +1,130 @@
+"""Live-run results: HDR summaries, counters, JSON persistence.
+
+The artifact format follows :mod:`repro.experiments.persist` — a schema
+tag, provenance, summary statistics — so downstream analysis loads both
+kinds through the same validated path
+(``persist.load_result(path, expected_schema=results.SCHEMA)``).
+Histograms serialize as percentile summaries, not raw cells: the HDR
+structure is an implementation detail, the quartet is the interface.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Union
+
+from repro.experiments import persist
+from repro.metrics.summary import latency_row
+from repro.obs.hdr import LogHistogram
+
+SCHEMA = "repro.liveresult/1"
+
+
+def hist_summary(hist: LogHistogram) -> Dict[str, Any]:
+    """Serialize a nanosecond histogram as its microsecond quartet."""
+    if not hist.count:
+        return {"count": 0}
+    p50, p90, p99, p999 = hist.percentiles((50, 90, 99, 99.9))
+    return {
+        "count": hist.count,
+        "mean_us": hist.mean / 1e3,
+        "p50_us": p50 / 1e3,
+        "p90_us": p90 / 1e3,
+        "p99_us": p99 / 1e3,
+        "p999_us": p999 / 1e3,
+        "max_us": hist.max / 1e3,
+    }
+
+
+@dataclass
+class LiveResult:
+    """Everything one live run produced, the unit conformance compares."""
+
+    spec: Dict[str, Any]
+    wall_s: float
+    tasks_submitted: int
+    tasks_completed: int  # unique (uid, jid, tid) completions
+    tasks_lost: int  # still pending at drain end + retry-budget give-ups
+    duplicates: int
+    phantoms: int
+    throughput_tps: float
+    priority_inversions: int
+    #: submit -> completion notice, wall nanoseconds (client-side HDR)
+    e2e: LogHistogram
+    #: switch-side time-in-queue per dequeued task, wall nanoseconds
+    queue_delay: LogHistogram
+    #: executor-side wall service time, nanoseconds
+    service: LogHistogram
+    sched_stats: Dict[str, int] = field(default_factory=dict)
+    switch_counters: Dict[str, int] = field(default_factory=dict)
+    executor_counters: Dict[str, int] = field(default_factory=dict)
+    client_counters: Dict[str, int] = field(default_factory=dict)
+    max_loadgen_lag_ns: int = 0
+
+    @property
+    def conserved(self) -> bool:
+        """Zero lost, zero phantom — the conformance gate."""
+        return self.tasks_lost == 0 and self.phantoms == 0
+
+    def mean_queue_depth(self) -> float:
+        """Little's-law mean queue depth over the run.
+
+        ``sum(time-in-queue) / wall time`` needs no sampling loop and is
+        computed identically from the simulator's ``queue_delays``, which
+        is what makes the sim-vs-live skew check apples-to-apples.
+        """
+        if self.wall_s <= 0:
+            return 0.0
+        return self.queue_delay.total / (self.wall_s * 1e9)
+
+    def rows(self) -> List[str]:
+        head = latency_row(
+            self.tasks_completed, [("tput", self.throughput_tps)], unit="tps"
+        )
+        return [
+            head
+            + f"  lost={self.tasks_lost}  dup={self.duplicates}"
+            + f"  phantom={self.phantoms}"
+            + f"  inversions={self.priority_inversions}",
+            f"e2e    {self.e2e.row()}",
+            f"queue  {self.queue_delay.row()}",
+            f"svc    {self.service.row()}",
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "spec": self.spec,
+            "wall_s": self.wall_s,
+            "tasks": {
+                "submitted": self.tasks_submitted,
+                "completed": self.tasks_completed,
+                "lost": self.tasks_lost,
+                "duplicates": self.duplicates,
+                "phantoms": self.phantoms,
+            },
+            "throughput_tps": self.throughput_tps,
+            "priority_inversions": self.priority_inversions,
+            "mean_queue_depth": self.mean_queue_depth(),
+            "end_to_end": hist_summary(self.e2e),
+            "queue_delay": hist_summary(self.queue_delay),
+            "service": hist_summary(self.service),
+            "sched_stats": dict(self.sched_stats),
+            "switch_counters": dict(self.switch_counters),
+            "executor_counters": dict(self.executor_counters),
+            "client_counters": dict(self.client_counters),
+            "max_loadgen_lag_ns": self.max_loadgen_lag_ns,
+        }
+
+    def save(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+
+def load_result(path: Union[str, pathlib.Path]) -> Dict[str, Any]:
+    """Load a saved live result through the shared persist validator."""
+    return persist.load_result(path, expected_schema=SCHEMA)

@@ -1,0 +1,84 @@
+"""CLI: run one live workload on localhost and print/save the result.
+
+    python -m repro.live.run --executors 4 --rate 2000 --duration 1.0
+    python -m repro.live.run --mode closed --dist noop --out live.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.live.runtime import DISTRIBUTIONS, LiveSpec, run_live
+
+
+def build_spec(args: argparse.Namespace) -> LiveSpec:
+    return LiveSpec(
+        executors=args.executors,
+        policy=args.policy,
+        priority_levels=args.levels,
+        queue_capacity=args.queue_capacity,
+        seed=args.seed,
+        mode=args.mode,
+        rate_tps=args.rate,
+        duration_s=args.duration,
+        tasks_per_job=args.tasks_per_job,
+        outstanding_jobs=args.outstanding,
+        dist=args.dist,
+        mean_us=args.mean_us,
+        max_outstanding=args.max_outstanding,
+        drain_s=args.drain,
+    )
+
+
+def add_spec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executors", type=int, default=4)
+    parser.add_argument(
+        "--policy", choices=("fcfs", "priority"), default="fcfs"
+    )
+    parser.add_argument("--levels", type=int, default=4)
+    parser.add_argument("--queue-capacity", type=int, default=4096)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--mode", choices=("open", "closed"), default="open")
+    parser.add_argument(
+        "--rate", type=float, default=1000.0, help="open-loop tasks/sec"
+    )
+    parser.add_argument("--duration", type=float, default=1.0, help="seconds")
+    parser.add_argument("--tasks-per-job", type=int, default=2)
+    parser.add_argument(
+        "--outstanding", type=int, default=8, help="closed-loop jobs in flight"
+    )
+    parser.add_argument("--dist", choices=DISTRIBUTIONS, default="exponential")
+    parser.add_argument("--mean-us", type=float, default=250.0)
+    parser.add_argument(
+        "--max-outstanding",
+        type=int,
+        default=2,
+        help="per-executor JBSQ-style bound",
+    )
+    parser.add_argument("--drain", type=float, default=3.0, help="seconds")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_spec_args(parser)
+    parser.add_argument("--out", default=None, help="write result JSON here")
+    args = parser.parse_args(argv)
+    if args.mode == "closed" and args.dist == "exponential":
+        # The common closed-loop intent is the noop throughput probe.
+        args.tasks_per_job = max(args.tasks_per_job, 8)
+
+    result = run_live(build_spec(args))
+    for row in result.rows():
+        print(row)
+    if result.max_loadgen_lag_ns:
+        print(f"loadgen max lag {result.max_loadgen_lag_ns / 1e3:.0f}us")
+    if args.out:
+        path = result.save(args.out)
+        print(f"wrote {path}")
+    return 0 if result.conserved else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,244 @@
+"""Stand up a full live cluster in one event loop and run a workload.
+
+:class:`LiveSpec` is the single description both sides of a conformance
+comparison consume: :meth:`LiveSpec.events` materializes the workload
+through :func:`repro.workloads.synthetic.open_loop` from the spec's seed,
+and :meth:`LiveSpec.sim_config` maps the same parameters onto a
+:class:`~repro.experiments.common.ClusterConfig` — same policy object,
+same queue capacity, same arrival times, durations and priorities.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import asdict, dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.core.policies import Policy, PriorityPolicy
+from repro.errors import ConfigurationError
+from repro.experiments.common import ClusterConfig
+from repro.live.client import LiveClient
+from repro.live.executor import LiveExecutor, LiveExecutorConfig
+from repro.live.loadgen import ClosedLoopGen, OpenLoopGen
+from repro.live.results import LiveResult
+from repro.live.softswitch import SoftSwitch
+from repro.obs.hdr import LogHistogram
+from repro.sim.rng import RngStreams
+from repro.workloads import synthetic
+
+DISTRIBUTIONS = ("fixed", "bimodal", "trimodal", "exponential", "heavy", "noop")
+
+
+@dataclass
+class LiveSpec:
+    """One live-cluster configuration plus its workload."""
+
+    executors: int = 4
+    policy: str = "fcfs"  # "fcfs" | "priority"
+    priority_levels: int = 4
+    queue_capacity: int = 4096
+    seed: int = 42
+    mode: str = "open"  # "open" | "closed"
+    rate_tps: float = 1000.0
+    duration_s: float = 1.0
+    tasks_per_job: int = 2
+    outstanding_jobs: int = 8  # closed loop
+    dist: str = "exponential"
+    mean_us: float = 250.0
+    #: per-executor JBSQ-style bound (pulls + running tasks)
+    max_outstanding: int = 2
+    drain_s: float = 3.0
+    time_scale: float = 1.0
+
+    def validate(self) -> None:
+        if self.policy not in ("fcfs", "priority"):
+            raise ConfigurationError(f"unknown live policy {self.policy!r}")
+        if self.mode not in ("open", "closed"):
+            raise ConfigurationError(f"unknown live mode {self.mode!r}")
+        if self.dist not in DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"unknown distribution {self.dist!r}; one of {DISTRIBUTIONS}"
+            )
+        if self.executors < 1 or self.duration_s <= 0:
+            raise ConfigurationError("need executors >= 1 and duration > 0")
+
+    # -- shared workload description ---------------------------------------
+
+    def policy_obj(self) -> Optional[Policy]:
+        if self.policy == "priority":
+            return PriorityPolicy(self.priority_levels)
+        return None
+
+    def sampler(self) -> Optional[synthetic.DurationSampler]:
+        if self.dist == "noop":
+            return None
+        if self.dist == "fixed":
+            return synthetic.fixed(self.mean_us)
+        if self.dist == "bimodal":
+            return synthetic.bimodal()
+        if self.dist == "trimodal":
+            return synthetic.trimodal()
+        if self.dist == "heavy":
+            return synthetic.heavy_tailed(self.mean_us)
+        return synthetic.exponential(self.mean_us)
+
+    def tprops_for(
+        self,
+    ) -> Optional[Callable[[np.random.Generator, int], int]]:
+        if self.policy != "priority":
+            return None
+        levels = self.priority_levels
+
+        def draw(rng: np.random.Generator, _duration_ns: int) -> int:
+            return int(rng.integers(1, levels + 1))
+
+        return draw
+
+    def events(self, rngs: RngStreams) -> List[synthetic.SubmitEvent]:
+        """The open-loop schedule; deterministic in ``rngs``' seed.
+
+        Both the live load generator and the simulator counterpart call
+        this with ``RngStreams(spec.seed)``, so the two runs see the
+        same jobs at the same offsets with the same durations.
+        """
+        sampler = self.sampler()
+        if sampler is None:
+            raise ConfigurationError("open-loop mode needs a duration dist")
+        return list(
+            synthetic.open_loop(
+                rngs.stream("arrivals"),
+                rate_tps=self.rate_tps,
+                duration_sampler=sampler,
+                horizon_ns=int(self.duration_s * 1e9),
+                tasks_per_job=self.tasks_per_job,
+                tprops_for=self.tprops_for(),
+            )
+        )
+
+    def sim_config(self) -> ClusterConfig:
+        """The simulator configuration matching this live spec."""
+        return ClusterConfig(
+            scheduler="draconis",
+            workers=self.executors,
+            executors_per_worker=1,
+            seed=self.seed,
+            policy=self.policy_obj(),
+            queue_capacity=self.queue_capacity,
+            record_queue_delays=True,
+            queues_in_stages=True,
+            park_pulls=True,
+        )
+
+    def describe(self) -> dict:
+        return asdict(self)
+
+
+async def run_live_async(spec: LiveSpec) -> LiveResult:
+    """Run one spec end to end on localhost; everything in this loop."""
+    spec.validate()
+    switch = SoftSwitch(
+        policy=spec.policy_obj(), queue_capacity=spec.queue_capacity
+    )
+    await switch.start()
+    executors = [
+        LiveExecutor(
+            executor_id=i,
+            switch=switch.endpoint,
+            config=LiveExecutorConfig(
+                max_outstanding=spec.max_outstanding,
+                time_scale=spec.time_scale,
+            ),
+            node_id=i,
+        )
+        for i in range(spec.executors)
+    ]
+    client = LiveClient(uid=0, clock=switch.sim)
+    try:
+        for executor in executors:
+            await executor.start()
+        await asyncio.gather(
+            *(e.wait_registered(5.0) for e in executors)
+        )
+        await client.start(switch.endpoint)
+
+        start_ns = switch.sim.now
+        max_lag_ns = 0
+        if spec.mode == "open":
+            gen = OpenLoopGen(
+                client, spec.events(RngStreams(spec.seed)), clock=switch.sim
+            )
+            await gen.run()
+            max_lag_ns = gen.max_lag_ns
+        else:
+            closed = ClosedLoopGen(
+                client,
+                outstanding=spec.outstanding_jobs,
+                tasks_per_job=spec.tasks_per_job,
+                horizon_s=spec.duration_s,
+                sampler=spec.sampler(),
+                rng=RngStreams(spec.seed).stream("closed-loop"),
+                tprops_for=spec.tprops_for(),
+                clock=switch.sim,
+            )
+            await closed.run()
+        await client.drain(spec.drain_s)
+        wall_ns = switch.sim.now - start_ns
+        return _collect(spec, switch, executors, client, wall_ns, max_lag_ns)
+    finally:
+        client.close()
+        for executor in executors:
+            executor.close()
+        switch.close()
+        # Let transport close callbacks run before the loop is torn down.
+        await asyncio.sleep(0)
+
+
+def _collect(
+    spec: LiveSpec,
+    switch: SoftSwitch,
+    executors: List[LiveExecutor],
+    client: LiveClient,
+    wall_ns: int,
+    max_lag_ns: int,
+) -> LiveResult:
+    queue_delay = LogHistogram()
+    for _queue_index, delay_ns in switch.queue_delays:
+        queue_delay.record(delay_ns)
+    service = LogHistogram()
+    executor_counters: dict = {}
+    for executor in executors:
+        service.merge(executor.service_hist)
+        for name, value in executor.counters.items():
+            executor_counters[name] = executor_counters.get(name, 0) + value
+    wall_s = wall_ns / 1e9
+    completed = client.completed_count
+    return LiveResult(
+        spec=spec.describe(),
+        wall_s=wall_s,
+        tasks_submitted=client.tasks_submitted,
+        tasks_completed=completed,
+        tasks_lost=client.lost_count,
+        duplicates=client.counters.get("duplicates", 0),
+        phantoms=client.counters.get("phantoms", 0),
+        throughput_tps=completed / wall_s if wall_s > 0 else 0.0,
+        priority_inversions=switch.priority_inversions,
+        e2e=client.e2e_hist,
+        queue_delay=queue_delay,
+        service=service,
+        sched_stats=asdict_ints(switch.sched_stats),
+        switch_counters=dict(switch.counters),
+        executor_counters=executor_counters,
+        client_counters=dict(client.counters),
+        max_loadgen_lag_ns=max_lag_ns,
+    )
+
+
+def asdict_ints(stats) -> dict:
+    return {k: int(v) for k, v in asdict(stats).items()}
+
+
+def run_live(spec: LiveSpec) -> LiveResult:
+    """Synchronous wrapper: one fresh event loop per run."""
+    return asyncio.run(run_live_async(spec))

@@ -1,0 +1,336 @@
+"""The software dataplane: a DraconisProgram behind a real UDP socket.
+
+:class:`SoftSwitch` plays the role the programmable switch plays in the
+simulator, with the *same* program object — the scheduler logic, circular
+queues, policies and register-access discipline are shared code, not a
+reimplementation. The switch shim supplies the three things the program
+reads from its host (``sim.now``, ``obs``, ``recirc_backlog_fraction``)
+and maps the program's traversal actions onto datagrams:
+
+* ``Reply`` → encode and send to the destination endpoint;
+* ``Recirculate`` → re-process inline with a fresh
+  :class:`~repro.switchsim.registers.PacketContext` (a software
+  recirculation port with a bounded chain budget);
+* ``Drop`` / ``Forward`` → counted (there is no fabric behind the soft
+  switch to forward into).
+
+On top of the program, the switch owns the live-only concerns the
+simulator models implicitly: executor registration/liveness
+(:class:`~repro.protocol.messages.ExecutorRegister` → registry + epoch),
+JBSQ-style bounded dispatch (at most ``max_outstanding`` assignments in
+flight per executor), and the priority-inversion probe the conformance
+harness asserts on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.core.policies import Policy, PriorityPolicy
+from repro.core.scheduler import DraconisProgram
+from repro.ctrl.degradation import DegradationPolicy
+from repro.errors import ProtocolError
+from repro.live.base import Counters, Endpoint, WallClock, bump_socket_buffers
+from repro.net.packet import Address, Packet
+from repro.protocol import codec
+from repro.protocol.messages import (
+    Completion,
+    ExecutorRegister,
+    Heartbeat,
+    NoOpTask,
+    RegisterAck,
+    TaskAssignment,
+    TaskRequest,
+)
+from repro.switchsim.pipeline import Drop, Recirculate, Reply
+from repro.switchsim.registers import PacketContext
+
+DEFAULT_PULL_TTL_NS = 50_000_000
+"""Parked pulls expire after 50 ms of wall time — comfortably above one
+event-loop tick, comfortably below the executors' re-poll watchdog."""
+
+CREDIT_RESYNC_NS = 250_000_000
+"""A bound-saturated executor that has not been assigned anything for
+this long gets its credit reset: an assignment or completion datagram was
+lost and the in-flight count leaked (see ``_on_request_bound``)."""
+
+MAX_CHAIN = 4096
+"""Inline recirculation budget per ingress datagram (a 32-task
+submission chains 31 recirculations plus parked-pull wakes; real
+recirculation ports are similarly bounded)."""
+
+
+@dataclass
+class ExecutorRecord:
+    """Registry entry for one live executor."""
+
+    executor_id: int
+    endpoint: Endpoint
+    node_id: int
+    rack_id: int
+    max_outstanding: int
+    epoch: int = 1
+    in_flight: int = 0
+    last_seen_ns: int = 0
+    last_assign_ns: int = 0
+
+
+@dataclass
+class _SwitchProtocol(asyncio.DatagramProtocol):
+    switch: "SoftSwitch"
+    transport: Optional[asyncio.DatagramTransport] = field(default=None)
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.switch._on_datagram(data, (addr[0], addr[1]))
+
+    def error_received(self, exc) -> None:
+        self.switch.counters.incr("socket_errors")
+
+
+class SoftSwitch:
+    """UDP dataplane hosting an unmodified :class:`DraconisProgram`."""
+
+    def __init__(
+        self,
+        policy: Optional[Policy] = None,
+        queue_capacity: int = 4096,
+        park_pulls: bool = True,
+        pull_ttl_ns: int = DEFAULT_PULL_TTL_NS,
+        degradation: Optional[DegradationPolicy] = None,
+        obs=None,
+        max_chain: int = MAX_CHAIN,
+    ) -> None:
+        # The program reads its host through three attributes; this object
+        # satisfies all of them (sim/obs here, recirc_backlog_fraction
+        # below), so attach() binds the live switch like a simulated one.
+        self.sim = WallClock()
+        self.obs = obs
+        self.counters = Counters()
+        self.program = DraconisProgram(
+            policy=policy,
+            queue_capacity=queue_capacity,
+            record_queue_delays=True,
+            # One traversal walks the whole priority ladder (the Tofino 2
+            # stage layout): an assignment can never be emitted while a
+            # strictly-higher queue still holds a task, which is what
+            # makes the conformance harness's inversion count structural.
+            queues_in_stages=True,
+            park_pulls=park_pulls,
+            pull_ttl_ns=pull_ttl_ns,
+            degradation=degradation,
+        )
+        self.program.attach(self)  # type: ignore[arg-type]
+        self.max_chain = max_chain
+        self.priority_inversions = 0
+        self._inversion_probe = isinstance(policy, PriorityPolicy)
+        self.executors: Dict[int, ExecutorRecord] = {}
+        self._by_endpoint: Dict[Endpoint, ExecutorRecord] = {}
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._service_address: Optional[Address] = None
+
+    # -- switch-shim surface the program reads ----------------------------
+
+    def recirc_backlog_fraction(self) -> float:
+        """Inline recirculation has no backlog queue to fill."""
+        return 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Endpoint:
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: _SwitchProtocol(self), local_addr=(host, port)
+        )
+        bump_socket_buffers(transport)
+        self._transport = transport
+        bound = transport.get_extra_info("sockname")
+        self._service_address = Address(bound[0], bound[1])
+        return (bound[0], bound[1])
+
+    @property
+    def endpoint(self) -> Endpoint:
+        if self._service_address is None:
+            raise RuntimeError("SoftSwitch.start() has not been awaited")
+        return (self._service_address.node, self._service_address.port)
+
+    def close(self) -> None:
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+
+    # -- datagram path -----------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr: Endpoint) -> None:
+        self.counters.incr("rx")
+        try:
+            message = codec.decode(data)
+        except ProtocolError:
+            self.counters.incr("malformed")
+            return
+        cls = message.__class__
+        if cls is ExecutorRegister:
+            self._on_register(message, addr)
+            return
+        if cls is Heartbeat:
+            record = self.executors.get(message.executor_id)
+            if record is not None:
+                record.last_seen_ns = self.sim.now
+            self.counters.incr("heartbeats")
+            return
+        if cls is Completion:
+            record = self.executors.get(message.executor_id)
+            if record is not None:
+                record.last_seen_ns = self.sim.now
+                if record.in_flight > 0:
+                    record.in_flight -= 1
+        elif cls is TaskRequest and self._on_request_bound(message, addr):
+            return
+        packet = Packet(
+            src=Address(addr[0], addr[1]),
+            dst=self._service_address,
+            payload=message,
+            size=len(data),
+        )
+        self._run(packet)
+
+    def _on_register(self, msg: ExecutorRegister, addr: Endpoint) -> None:
+        record = self.executors.get(msg.executor_id)
+        if record is None:
+            record = ExecutorRecord(
+                executor_id=msg.executor_id,
+                endpoint=addr,
+                node_id=msg.node_id,
+                rack_id=msg.rack_id,
+                max_outstanding=max(1, msg.max_outstanding),
+            )
+            self.executors[msg.executor_id] = record
+        else:
+            # Re-registration = a new incarnation (restart or a lost ack
+            # retry): bump the epoch, forget stale credit, and move the
+            # endpoint in case the executor came back on a new port.
+            self._by_endpoint.pop(record.endpoint, None)
+            record.endpoint = addr
+            record.node_id = msg.node_id
+            record.rack_id = msg.rack_id
+            record.max_outstanding = max(1, msg.max_outstanding)
+            record.epoch += 1
+            record.in_flight = 0
+        record.last_seen_ns = self.sim.now
+        self._by_endpoint[addr] = record
+        self.counters.incr("registrations")
+        self._send(
+            addr,
+            RegisterAck(
+                executor_id=msg.executor_id, epoch=record.epoch, accepted=True
+            ),
+        )
+
+    def _on_request_bound(self, request: TaskRequest, addr: Endpoint) -> bool:
+        """JBSQ-style dispatch bound; True when the pull was absorbed.
+
+        A registered executor with ``max_outstanding`` assignments already
+        in flight gets a no-op instead of a queue access. Credit leaks
+        (an assignment or completion datagram lost on the floor) self-heal
+        after :data:`CREDIT_RESYNC_NS` without traffic.
+        """
+        record = self.executors.get(request.executor_id)
+        if record is None:
+            self.counters.incr("unregistered_pulls")
+            return False
+        now = self.sim.now
+        record.last_seen_ns = now
+        if record.in_flight < record.max_outstanding:
+            return False
+        if now - record.last_assign_ns > CREDIT_RESYNC_NS:
+            record.in_flight = 0
+            self.counters.incr("credit_resyncs")
+            return False
+        self.counters.incr("bounded_rejects")
+        self._send(addr, NoOpTask())
+        return True
+
+    def _run(self, packet: Packet) -> None:
+        """One ingress datagram = one traversal chain.
+
+        Recirculations re-enter through a bounded deque with a fresh
+        :class:`PacketContext` each, exactly like the simulator's
+        recirculation port — the one-access-per-register-array constraint
+        is enforced here too, on real traffic.
+        """
+        program = self.program
+        counters = self.counters
+        chain: Deque[Packet] = deque((packet,))
+        budget = self.max_chain
+        while chain:
+            if budget <= 0:
+                counters.incr("chain_overflows", len(chain))
+                break
+            budget -= 1
+            pkt = chain.popleft()
+            ctx = PacketContext(pkt)
+            for action in program.process(ctx, pkt):
+                acls = action.__class__
+                if acls is Reply:
+                    self._emit(action.dst, action.payload)
+                elif acls is Recirculate:
+                    counters.incr("recirculations")
+                    chain.append(action.packet)
+                elif acls is Drop:
+                    counters.incr("program_drops")
+                else:  # Forward: nothing routable behind the soft switch
+                    counters.incr("forwards_dropped")
+
+    def _emit(self, dst: Address, payload) -> None:
+        if payload.__class__ is TaskAssignment:
+            record = self._by_endpoint.get((dst.node, dst.port))
+            if record is not None:
+                record.in_flight += 1
+                record.last_assign_ns = self.sim.now
+            self.counters.incr("assignments")
+            if self._inversion_probe:
+                self._check_inversion(payload)
+        self._send((dst.node, dst.port), payload)
+
+    def _check_inversion(self, assignment: TaskAssignment) -> None:
+        """Priority-ordering probe, run on every assignment.
+
+        Under :class:`PriorityPolicy` the task's tprops word *is* its
+        level (1 = highest). The handler chain is serial, so occupancy
+        observed here is exactly what the traversal that produced the
+        assignment saw: any task still queued strictly above the
+        assigned level is a policy-level inversion.
+        """
+        level = assignment.task.tprops
+        if level <= 1:
+            return
+        queues = self.program.queues
+        for queue in queues[: min(level - 1, len(queues))]:
+            if queue.approx_occupancy() > 0:
+                self.priority_inversions += 1
+                self.counters.incr("priority_inversions")
+                return
+
+    def _send(self, addr: Endpoint, payload) -> None:
+        if self._transport is None:
+            return
+        self._transport.sendto(codec.encode(payload), addr)
+        self.counters.incr("tx")
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def sched_stats(self):
+        return self.program.sched_stats
+
+    @property
+    def queue_delays(self):
+        return self.program.queue_delays
+
+    def total_queued(self) -> int:
+        return self.program.total_queued()

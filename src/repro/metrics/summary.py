@@ -8,6 +8,26 @@ from typing import Iterable, List, Sequence, Tuple
 import numpy as np
 
 
+def latency_row(
+    count: "int | None",
+    fields: Sequence[Tuple[str, float]],
+    unit: str = "us",
+    value_width: int = 10,
+) -> str:
+    """The one ``n=…  p50=…us  p99=…us`` formatter.
+
+    Every latency/percentile summary in the repo — figure scripts,
+    ``obs.report`` breakdowns, seed sweeps, HDR histogram rows, live
+    wall-clock results — renders through this helper so the columns line
+    up across subsystems and the format is defined exactly once.
+    ``count=None`` omits the leading ``n=`` column.
+    """
+    parts = [] if count is None else [f"n={count:>8}"]
+    for label, value in fields:
+        parts.append(f"{label}={value:>{value_width}.2f}{unit}")
+    return "  ".join(parts)
+
+
 def percentile(samples: Sequence[int], q: float) -> float:
     """Percentile ``q`` in [0, 100] of integer nanosecond samples."""
     if not len(samples):
@@ -71,10 +91,14 @@ class PercentileSummary:
         }
 
     def row(self) -> str:
-        return (
-            f"n={self.count:>8}  p50={self.p50_us:>10.2f}us  "
-            f"p90={self.p90_us:>10.2f}us  p99={self.p99_us:>10.2f}us  "
-            f"p999={self.p999_us:>10.2f}us"
+        return latency_row(
+            self.count,
+            [
+                ("p50", self.p50_us),
+                ("p90", self.p90_us),
+                ("p99", self.p99_us),
+                ("p999", self.p999_us),
+            ],
         )
 
 
@@ -91,11 +115,16 @@ class LatencySummary:
     max_us: float
 
     def row(self) -> str:
-        return (
-            f"n={self.count:>8}  mean={self.mean_us:>10.2f}us  "
-            f"p50={self.p50_us:>10.2f}us  p90={self.p90_us:>10.2f}us  "
-            f"p95={self.p95_us:>10.2f}us  p99={self.p99_us:>10.2f}us  "
-            f"max={self.max_us:>10.2f}us"
+        return latency_row(
+            self.count,
+            [
+                ("mean", self.mean_us),
+                ("p50", self.p50_us),
+                ("p90", self.p90_us),
+                ("p95", self.p95_us),
+                ("p99", self.p99_us),
+                ("max", self.max_us),
+            ],
         )
 
 

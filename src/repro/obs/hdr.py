@@ -102,9 +102,17 @@ class LogHistogram:
         """One-line summary, nanosecond samples rendered in ``unit``."""
         if not self.count:
             return "n=0"
+        from repro.metrics.summary import latency_row
+
         p50, p99, p999 = self.percentiles((50, 99, 99.9))
-        return (
-            f"n={self.count:<8} mean={self.mean / unit_div:>9.2f}{unit} "
-            f"p50={p50 / unit_div:>9.2f}{unit} p99={p99 / unit_div:>9.2f}{unit} "
-            f"p999={p999 / unit_div:>9.2f}{unit} max={self.max / unit_div:>9.2f}{unit}"
+        return latency_row(
+            self.count,
+            [
+                ("mean", self.mean / unit_div),
+                ("p50", p50 / unit_div),
+                ("p99", p99 / unit_div),
+                ("p999", p999 / unit_div),
+                ("max", self.max / unit_div),
+            ],
+            unit=unit,
         )

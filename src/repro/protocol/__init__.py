@@ -10,9 +10,11 @@ from repro.protocol.opcodes import OpCode
 from repro.protocol.messages import (
     Completion,
     ErrorPacket,
+    ExecutorRegister,
     Heartbeat,
     JobSubmission,
     NoOpTask,
+    RegisterAck,
     RepairPacket,
     SubmissionAck,
     SwapTaskPacket,
@@ -25,10 +27,12 @@ from repro.protocol.codec import decode, encode, wire_size
 __all__ = [
     "Completion",
     "ErrorPacket",
+    "ExecutorRegister",
     "Heartbeat",
     "JobSubmission",
     "NoOpTask",
     "OpCode",
+    "RegisterAck",
     "RepairPacket",
     "SubmissionAck",
     "SwapTaskPacket",

@@ -31,9 +31,11 @@ from repro.net.packet import Address
 from repro.protocol.messages import (
     Completion,
     ErrorPacket,
+    ExecutorRegister,
     Heartbeat,
     JobSubmission,
     NoOpTask,
+    RegisterAck,
     RepairPacket,
     SubmissionAck,
     SwapTaskPacket,
@@ -59,6 +61,8 @@ _COMPLETION_HEAD = struct.Struct(">BIIIIB")  # op uid jid tid exec success
 _SWAP_MID = struct.Struct(">IQHHI")  # swap_indx exec_props node rack rtr_ptr
 _SWAP_TAIL = struct.Struct(">IHHBB")  # exec_id swaps skip insert qindex
 _HEARTBEAT_WIRE = struct.Struct(">BIH")  # whole message, 7 bytes
+_REGISTER_WIRE = struct.Struct(">BIHHQB")  # whole message, 18 bytes
+_REGISTER_ACK_WIRE = struct.Struct(">BIIB")  # whole message, 10 bytes
 
 _OP_JOB = int(OpCode.JOB_SUBMISSION)
 _OP_REQUEST = int(OpCode.TASK_REQUEST)
@@ -70,6 +74,8 @@ _OP_SWAP = int(OpCode.SWAP_TASK)
 _OP_REPAIR = int(OpCode.REPAIR)
 _NOOP_BYTES = bytes([int(OpCode.NO_OP)])
 _HEARTBEAT_OP = int(OpCode.HEARTBEAT)
+_OP_REGISTER = int(OpCode.EXECUTOR_REGISTER)
+_OP_REGISTER_ACK = int(OpCode.REGISTER_ACK)
 
 MAX_FN_PAR_BYTES = 64
 """Fixed FN_PAR field capacity; larger parameters use indirection (§4.4)."""
@@ -227,6 +233,23 @@ def _enc_heartbeat(out: bytearray, m: Heartbeat) -> None:
     out += _HEARTBEAT_WIRE.pack(_HEARTBEAT_OP, m.executor_id, m.node_id)
 
 
+def _enc_register(out: bytearray, m: ExecutorRegister) -> None:
+    out += _REGISTER_WIRE.pack(
+        _OP_REGISTER,
+        m.executor_id,
+        m.node_id,
+        m.rack_id,
+        m.exec_rsrc & 0xFFFFFFFFFFFFFFFF,
+        m.max_outstanding,
+    )
+
+
+def _enc_register_ack(out: bytearray, m: RegisterAck) -> None:
+    out += _REGISTER_ACK_WIRE.pack(
+        _OP_REGISTER_ACK, m.executor_id, m.epoch, 1 if m.accepted else 0
+    )
+
+
 def _enc_repair(out: bytearray, m: RepairPacket) -> None:
     target = m.target.encode("ascii")
     out.append(_OP_REPAIR)
@@ -246,6 +269,8 @@ _ENCODERS: Dict[type, Callable] = {
     Completion: _enc_completion,
     SwapTaskPacket: _enc_swap,
     Heartbeat: _enc_heartbeat,
+    ExecutorRegister: _enc_register,
+    RegisterAck: _enc_register_ack,
     RepairPacket: _enc_repair,
 }
 
@@ -382,6 +407,26 @@ def _dec_heartbeat(data):
     return Heartbeat(executor_id=executor_id, node_id=node_id)
 
 
+def _dec_register(data):
+    _, executor_id, node_id, rack_id, exec_rsrc, max_outstanding = (
+        _REGISTER_WIRE.unpack_from(data, 0)
+    )
+    return ExecutorRegister(
+        executor_id=executor_id,
+        node_id=node_id,
+        rack_id=rack_id,
+        exec_rsrc=exec_rsrc,
+        max_outstanding=max_outstanding,
+    )
+
+
+def _dec_register_ack(data):
+    _, executor_id, epoch, accepted = _REGISTER_ACK_WIRE.unpack_from(data, 0)
+    return RegisterAck(
+        executor_id=executor_id, epoch=epoch, accepted=bool(accepted)
+    )
+
+
 def _dec_repair(data):
     length = data[1]
     target = bytes(data[2 : 2 + length]).decode("ascii")
@@ -400,6 +445,8 @@ _DECODERS: Dict[int, Callable] = {
     int(OpCode.COMPLETION): _dec_completion,
     int(OpCode.SWAP_TASK): _dec_swap,
     int(OpCode.HEARTBEAT): _dec_heartbeat,
+    int(OpCode.EXECUTOR_REGISTER): _dec_register,
+    int(OpCode.REGISTER_ACK): _dec_register_ack,
     int(OpCode.REPAIR): _dec_repair,
 }
 
@@ -478,6 +525,8 @@ _SIZERS: Dict[type, Callable] = {
     Completion: _size_completion,
     SwapTaskPacket: _size_swap,
     Heartbeat: lambda m: 7,
+    ExecutorRegister: lambda m: 18,
+    RegisterAck: lambda m: 10,
     RepairPacket: _size_repair,
 }
 

@@ -203,6 +203,44 @@ class Heartbeat:
 
 
 @dataclass
+class ExecutorRegister:
+    """Live-runtime handshake: an executor announcing itself (repro.live).
+
+    The simulator never needs this — executor membership is implicit in
+    the topology — but over a real network the scheduling dataplane must
+    learn each executor's datagram endpoint and scheduling properties
+    before the first pull. The endpoint itself comes from the datagram
+    source address; the body carries the identity and policy inputs.
+
+    ``max_outstanding`` is the executor's JBSQ-style bound on
+    concurrently outstanding pulls + running tasks, which the SoftSwitch
+    enforces defensively on top of the executor's own self-limiting.
+    """
+
+    op: OpCode = field(default=OpCode.EXECUTOR_REGISTER, init=False)
+    executor_id: int = 0
+    node_id: int = 0
+    rack_id: int = 0
+    exec_rsrc: int = 0
+    max_outstanding: int = 1
+
+
+@dataclass
+class RegisterAck:
+    """Scheduler -> executor registration acknowledgment (repro.live).
+
+    ``epoch`` increments on every re-registration of the same
+    ``executor_id`` so a restarted executor can tell stale assignments
+    (addressed to a previous incarnation) from fresh ones.
+    """
+
+    op: OpCode = field(default=OpCode.REGISTER_ACK, init=False)
+    executor_id: int = 0
+    epoch: int = 0
+    accepted: bool = True
+
+
+@dataclass
 class RepairPacket:
     """Switch-internal pointer-repair packet (§4.5).
 

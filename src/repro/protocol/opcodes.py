@@ -30,3 +30,9 @@ class OpCode(enum.IntEnum):
     # Control-plane membership (repro.ctrl): executor -> controller
     # liveness beacons backing the lease-based reclaim protocol.
     HEARTBEAT = 10
+    # Live-runtime handshake (repro.live): over a real network the
+    # scheduler must learn each executor's datagram endpoint and
+    # scheduling properties before the first pull; in the simulator this
+    # membership is implicit in the topology.
+    EXECUTOR_REGISTER = 11
+    REGISTER_ACK = 12

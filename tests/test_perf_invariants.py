@@ -35,9 +35,11 @@ from repro.protocol import codec
 from repro.protocol.messages import (
     Completion,
     ErrorPacket,
+    ExecutorRegister,
     Heartbeat,
     JobSubmission,
     NoOpTask,
+    RegisterAck,
     RepairPacket,
     SubmissionAck,
     SwapTaskPacket,
@@ -211,6 +213,20 @@ def _golden_messages():
         (
             "repair",
             RepairPacket(target="retrieve_ptr", value=77, queue_index=1),
+        ),
+        (
+            "executor_register",
+            ExecutorRegister(
+                executor_id=11,
+                node_id=2,
+                rack_id=1,
+                exec_rsrc=0b1011,
+                max_outstanding=3,
+            ),
+        ),
+        (
+            "register_ack",
+            RegisterAck(executor_id=11, epoch=2, accepted=True),
         ),
     ]
 

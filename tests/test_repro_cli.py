@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` dispatcher."""
+
+import importlib
+import sys
+
+import pytest
+
+cli = importlib.import_module("repro.__main__")
+
+
+@pytest.fixture(autouse=True)
+def restore_argv():
+    saved = list(sys.argv)
+    yield
+    sys.argv = saved
+
+
+def test_no_args_lists_commands(capsys):
+    assert cli.main([]) == 0
+    out = capsys.readouterr().out
+    assert "live-conformance" in out
+    assert "fig5b" in out
+    for name in cli.COMMANDS:
+        assert name in out
+
+
+def test_list_and_help_aliases(capsys):
+    assert cli.main(["list"]) == 0
+    assert cli.main(["--help"]) == 0
+
+
+def test_unknown_command_exits_2(capsys):
+    assert cli.main(["no-such-command"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown command" in err
+
+
+def test_every_command_module_imports():
+    """Dispatch targets must at least be importable modules; a typo in
+    the table should fail here, not at the user's terminal."""
+    for name, (module, _description) in cli.COMMANDS.items():
+        assert importlib.util.find_spec(module) is not None, (
+            f"{name}: module {module} not found"
+        )
+
+
+def test_dispatch_passes_args_through(capsys):
+    """--help must reach the target module's argparse (exit code 0)."""
+    assert cli.main(["live", "--help"]) == 0
+    out = capsys.readouterr().out
+    assert "--executors" in out

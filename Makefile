@@ -5,7 +5,7 @@ PY ?= python
 # needed. (Targets previously assumed `make install` had been run.)
 export PYTHONPATH := src
 
-.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos fuzz recovery live live-smoke examples clean
+.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos fuzz recovery live live-smoke live-chaos examples clean
 
 install:
 	$(PY) setup.py develop
@@ -52,6 +52,9 @@ live:
 
 live-smoke:
 	$(PY) -m repro.live.conformance --seed 42 --duration 0.25 --out live-conformance.json
+
+live-chaos:
+	$(PY) -m repro.live.fuzz --seed 42 --runs 10 --artifact-dir live-chaos-artifacts --out live-chaos-summary.json
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PY) $$f || exit 1; done

@@ -54,6 +54,10 @@ COMMANDS = {
         "repro.live.conformance",
         "sim-vs-live conformance harness",
     ),
+    "live-fuzz": (
+        "repro.live.fuzz",
+        "live chaos fuzzing on real sockets",
+    ),
 }
 
 

@@ -46,5 +46,14 @@ class ConfigurationError(ReproError):
     """Raised when an experiment or cluster configuration is inconsistent."""
 
 
+class LiveTimeoutError(ReproError):
+    """A live (wall-clock) run exceeded its hard ``--timeout-s`` cap.
+
+    Raised by :func:`repro.live.runtime.run_live` and the live chaos
+    runner after dumping component diagnostics, so a hung run fails fast
+    with evidence instead of eating a CI job timeout.
+    """
+
+
 class PolicyError(ReproError):
     """Raised when a scheduling policy is configured or used incorrectly."""

@@ -24,6 +24,16 @@ granularity, socket buffers, real packet loss).
 """
 
 from repro.live.base import WallClock
+from repro.live.chaos import (
+    ChaosNet,
+    ChaosRunResult,
+    ChaosScenario,
+    ChaosTransport,
+    LiveFaultInjector,
+    run_live_chaos,
+    sample_live_plan,
+    sample_scenario,
+)
 from repro.live.client import LiveClient, LiveClientConfig
 from repro.live.executor import LiveExecutor, LiveExecutorConfig
 from repro.live.loadgen import ClosedLoopGen, OpenLoopGen
@@ -32,15 +42,23 @@ from repro.live.runtime import LiveSpec, run_live
 from repro.live.softswitch import SoftSwitch
 
 __all__ = [
+    "ChaosNet",
+    "ChaosRunResult",
+    "ChaosScenario",
+    "ChaosTransport",
     "ClosedLoopGen",
     "LiveClient",
     "LiveClientConfig",
     "LiveExecutor",
     "LiveExecutorConfig",
+    "LiveFaultInjector",
     "LiveResult",
     "LiveSpec",
     "OpenLoopGen",
     "SoftSwitch",
     "WallClock",
     "run_live",
+    "run_live_chaos",
+    "sample_live_plan",
+    "sample_scenario",
 ]

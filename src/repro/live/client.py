@@ -7,14 +7,19 @@ with capped-exponential backoff (honouring the switch's
 loss — UDP on loopback drops silently when a socket buffer overflows, so
 the client is the conservation backstop. Task accounting is by unique
 ``(uid, jid, tid)`` key: resubmit races produce *duplicate* completions
-(counted, harmless), never phantoms or losses.
+(counted, harmless), never phantoms or losses. Backoff jitter draws from
+a seeded RNG stream, never wall-clock entropy, so two runs of the same
+seed retry on the same schedule (modulo event-loop timing).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.cluster.task import FN_SPIN, TaskSpec, encode_duration
 from repro.errors import ProtocolError
@@ -40,6 +45,9 @@ class LiveClientConfig:
     bounce_retry_s: float = 0.001
     #: cap on the exponential (2**n doublings of bounce_retry_s).
     bounce_backoff_max: int = 6
+    #: ± fraction of jitter on each bounce wait (seeded RNG, not wall
+    #: clock), desynchronizing clients that bounced together.
+    bounce_jitter: float = 0.2
     #: shared retry budget per task (bounces + loss resubmits).
     max_retries: int = 12
     #: tasks pending longer than this are resubmitted (loss recovery);
@@ -66,11 +74,15 @@ class LiveClient(asyncio.DatagramProtocol):
         config: Optional[LiveClientConfig] = None,
         clock: Optional[WallClock] = None,
         on_job_done: Optional[Callable[[int], None]] = None,
+        rng: Optional[np.random.Generator] = None,
+        transport_wrap: Optional[Callable] = None,
     ) -> None:
         self.uid = uid
         self.config = config or LiveClientConfig()
         self.clock = clock or WallClock()
         self.on_job_done = on_job_done
+        self.rng = rng
+        self.transport_wrap = transport_wrap
         self.counters = Counters()
         #: end-to-end latency (submit -> completion notice), nanoseconds
         self.e2e_hist = LogHistogram()
@@ -82,6 +94,7 @@ class LiveClient(asyncio.DatagramProtocol):
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._watchdog: Optional[asyncio.Task] = None
+        self._timers: Set[asyncio.TimerHandle] = set()
         self._closing = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -96,6 +109,9 @@ class LiveClient(asyncio.DatagramProtocol):
 
     def close(self) -> None:
         self._closing = True
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
         if self._watchdog is not None:
             self._watchdog.cancel()
             self._watchdog = None
@@ -103,9 +119,38 @@ class LiveClient(asyncio.DatagramProtocol):
             self._transport.close()
             self._transport = None
 
+    async def aclose(self) -> None:
+        """Close and *await* the watchdog so no task outlives the client.
+
+        Teardown under chaos must not leave cancelled-but-unawaited tasks
+        behind — they surface as "Task was destroyed but it is pending"
+        warnings when the loop shuts down.
+        """
+        watchdog = self._watchdog
+        self.close()
+        if watchdog is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await watchdog
+
     def connection_made(self, transport) -> None:
-        self._transport = transport
         bump_socket_buffers(transport)
+        if self.transport_wrap is not None:
+            transport = self.transport_wrap(transport)
+        self._transport = transport
+
+    def _call_later(self, delay_s: float, fn, *args) -> None:
+        """``loop.call_later`` with the handle tracked for teardown."""
+        if self._loop is None or self._closing:
+            return
+        handle: Optional[asyncio.TimerHandle] = None
+
+        def fire() -> None:
+            if handle is not None:
+                self._timers.discard(handle)
+            fn(*args)
+
+        handle = self._loop.call_later(delay_s, fire)
+        self._timers.add(handle)
 
     # -- submission --------------------------------------------------------
 
@@ -175,6 +220,15 @@ class LiveClient(asyncio.DatagramProtocol):
                 # A resubmitted task finished twice; by-key accounting
                 # keeps conservation exact.
                 self.counters.incr("duplicates")
+            elif key in self._gave_up:
+                # The retry budget ran out, but a copy was already queued
+                # and finished anyway (e.g. behind a fault window). The
+                # task *did* complete — move it back to done so the loss
+                # accounting stays truthful. No latency sample: the
+                # give-up discarded its submit timestamp.
+                self._gave_up.discard(key)
+                self._done.add(key)
+                self.counters.incr("late_completions")
             else:
                 self.counters.incr("phantoms")
             return
@@ -206,24 +260,26 @@ class LiveClient(asyncio.DatagramProtocol):
                 continue  # completed (or given up) while the bounce flew
             entry.retries += 1
             if entry.retries > self.config.max_retries:
-                self._give_up(key, entry)
+                self._give_up(key, entry, "bounce_give_ups")
                 continue
             max_retry_round = max(max_retry_round, entry.retries)
             retry.append(entry.info)
         if not retry or self._loop is None or self._closing:
             return
         exponent = min(max_retry_round - 1, self.config.bounce_backoff_max)
-        delay_s = max(
-            self.config.bounce_retry_s * (1 << exponent),
-            error.backoff_hint_ns / 1e9,
-        )
+        delay_s = self.config.bounce_retry_s * (1 << exponent)
+        if self.rng is not None and self.config.bounce_jitter > 0:
+            jitter = self.config.bounce_jitter
+            delay_s *= 1.0 + float(self.rng.uniform(-jitter, jitter))
+        delay_s = max(delay_s, error.backoff_hint_ns / 1e9)
         self.counters.incr("bounce_retries", len(retry))
-        self._loop.call_later(delay_s, self._send_tasks, error.jid, retry)
+        self._call_later(delay_s, self._send_tasks, error.jid, retry)
 
-    def _give_up(self, key: TaskKey, entry: _Pending) -> None:
+    def _give_up(self, key: TaskKey, entry: _Pending, reason: str) -> None:
         del self._pending[key]
         self._gave_up.add(key)
         self.counters.incr("give_ups")
+        self.counters.incr(reason)
         self._job_finished_one(entry.jid)
 
     # -- loss recovery -----------------------------------------------------
@@ -241,7 +297,7 @@ class LiveClient(asyncio.DatagramProtocol):
                     continue
                 entry.retries += 1
                 if entry.retries > self.config.max_retries:
-                    self._give_up(key, entry)
+                    self._give_up(key, entry, "timeout_give_ups")
                     continue
                 stale.setdefault(entry.jid, []).append(entry.info)
             for jid, infos in stale.items():
@@ -270,6 +326,12 @@ class LiveClient(asyncio.DatagramProtocol):
     def lost_count(self) -> int:
         """Tasks neither completed nor still being retried."""
         return len(self._gave_up) + len(self._pending)
+
+    def pending_keys(self) -> Set[TaskKey]:
+        return set(self._pending)
+
+    def gave_up_keys(self) -> Set[TaskKey]:
+        return set(self._gave_up)
 
     async def drain(self, timeout_s: float) -> int:
         """Wait for the pending set to empty; returns what is left."""

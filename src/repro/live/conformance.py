@@ -29,6 +29,7 @@ import pathlib
 import sys
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import LiveTimeoutError
 from repro.experiments.common import RunResult, run_workload
 from repro.live.results import LiveResult
 from repro.live.runtime import LiveSpec, run_live
@@ -95,6 +96,20 @@ def compare_phase(
     return checks
 
 
+def timed_run(spec: LiveSpec, timeout_s: Optional[float]) -> LiveResult:
+    """One live phase under the hard wall-clock cap.
+
+    A hung phase exits 2 immediately — the :class:`LiveTimeoutError`
+    message carries the component diagnostic dump, which is the evidence
+    a CI job timeout would have eaten.
+    """
+    try:
+        return run_live(spec, timeout_s=timeout_s)
+    except LiveTimeoutError as exc:
+        print(f"\nlive phase TIMED OUT:\n{exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--seed", type=int, default=42)
@@ -112,9 +127,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=5000.0,
         help="throughput floor for the closed-loop no-op phase",
     )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=120.0,
+        help="hard wall-clock cap per phase; a hung run fails fast with "
+        "a diagnostic dump (0 disables)",
+    )
     parser.add_argument("--out", default=None, help="write report JSON here")
     args = parser.parse_args(argv)
 
+    timeout_s = args.timeout_s if args.timeout_s > 0 else None
     common = dict(
         executors=args.executors,
         seed=args.seed,
@@ -128,7 +151,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print("phase 1/3: fcfs agreement (sim vs live)")
     fcfs_spec = LiveSpec(policy="fcfs", dist="exponential", **common)
-    fcfs_live = run_live(fcfs_spec)
+    fcfs_live = timed_run(fcfs_spec, timeout_s)
     fcfs_sim = run_sim(fcfs_spec)
     checks += compare_phase("fcfs", fcfs_spec, fcfs_live, fcfs_sim)
     report["phases"]["fcfs"] = {
@@ -140,7 +163,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print("phase 2/3: priority agreement (sim vs live)")
     prio_spec = LiveSpec(policy="priority", dist="exponential", **common)
-    prio_live = run_live(prio_spec)
+    prio_live = timed_run(prio_spec, timeout_s)
     prio_sim = run_sim(prio_spec)
     checks += compare_phase("priority", prio_spec, prio_live, prio_sim)
     checks.append(
@@ -169,7 +192,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_outstanding=4,
         drain_s=3.0,
     )
-    tput_live = run_live(tput_spec)
+    tput_live = timed_run(tput_spec, timeout_s)
     checks.append(
         (
             "throughput: conservation",

@@ -23,9 +23,10 @@ pull credit that a dropped datagram left dangling.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Set
 
 from repro.cluster.task import FN_NOOP, decode_duration
 from repro.errors import ProtocolError
@@ -54,7 +55,8 @@ class LiveExecutorConfig:
     poll_backoff_max: int = 5
     #: durations at or below this busy-spin; above, an asyncio timer.
     spin_under_ns: int = 1_000_000
-    #: multiply every task duration (slow-motion runs / unit tests).
+    #: multiply every task duration (slow-motion runs / unit tests /
+    #: the live WorkerSlowdown fault, which scales and later restores it).
     time_scale: float = 1.0
     #: registration retry + lost-pull recovery period.
     watchdog_s: float = 0.25
@@ -71,6 +73,7 @@ class LiveExecutor(asyncio.DatagramProtocol):
         node_id: int = 0,
         rack_id: int = 0,
         exec_rsrc: int = 0,
+        transport_wrap: Optional[Callable] = None,
     ) -> None:
         self.executor_id = executor_id
         self.switch = switch
@@ -78,6 +81,7 @@ class LiveExecutor(asyncio.DatagramProtocol):
         self.node_id = node_id
         self.rack_id = rack_id
         self.exec_rsrc = exec_rsrc
+        self.transport_wrap = transport_wrap
         self.counters = Counters()
         #: wall-clock service time per executed task, nanoseconds
         self.service_hist = LogHistogram()
@@ -86,6 +90,7 @@ class LiveExecutor(asyncio.DatagramProtocol):
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._watchdog: Optional[asyncio.Task] = None
+        self._timers: Set[asyncio.TimerHandle] = set()
         self._idle_pulls = 0
         self._running = 0
         self._scheduled_pulls = 0
@@ -113,6 +118,9 @@ class LiveExecutor(asyncio.DatagramProtocol):
 
     def close(self) -> None:
         self._closing = True
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
         if self._watchdog is not None:
             self._watchdog.cancel()
             self._watchdog = None
@@ -120,11 +128,36 @@ class LiveExecutor(asyncio.DatagramProtocol):
             self._transport.close()
             self._transport = None
 
+    async def aclose(self) -> None:
+        """Close and await the watchdog (no leaked tasks on teardown)."""
+        watchdog = self._watchdog
+        self.close()
+        if watchdog is not None:
+            with contextlib.suppress(asyncio.CancelledError):
+                await watchdog
+
+    def kill(self) -> None:
+        """Fail-stop this executor (the live WorkerCrash fault).
+
+        Identical to :meth:`close` — a crashed process sends nothing, not
+        even in-flight completions — but named for the injector so crash
+        sites are greppable. Tasks it held die with it; the client's
+        resubmit watchdog recovers them through other executors.
+        """
+        self.counters.incr("killed")
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closing
+
     # -- protocol ----------------------------------------------------------
 
     def connection_made(self, transport) -> None:
-        self._transport = transport
         bump_socket_buffers(transport)
+        if self.transport_wrap is not None:
+            transport = self.transport_wrap(transport)
+        self._transport = transport
         self._register()
 
     def datagram_received(self, data: bytes, addr) -> None:
@@ -192,13 +225,27 @@ class LiveExecutor(asyncio.DatagramProtocol):
             self.counters.incr("pulls")
             self._transport.sendto(self._request_bytes)
 
+    def _call_later(self, delay_s: float, fn, *args) -> None:
+        """``loop.call_later`` with the handle tracked for teardown."""
+        if self._closing or self._loop is None:
+            return
+        handle: Optional[asyncio.TimerHandle] = None
+
+        def fire() -> None:
+            if handle is not None:
+                self._timers.discard(handle)
+            fn(*args)
+
+        handle = self._loop.call_later(delay_s, fire)
+        self._timers.add(handle)
+
     def _schedule_pull(self, delay_s: float) -> None:
         if self._closing or self._loop is None:
             return
         if self._outstanding() >= self.config.max_outstanding:
             return
         self._scheduled_pulls += 1
-        self._loop.call_later(delay_s, self._fire_scheduled_pull)
+        self._call_later(delay_s, self._fire_scheduled_pull)
 
     def _fire_scheduled_pull(self) -> None:
         self._scheduled_pulls -= 1
@@ -253,8 +300,7 @@ class LiveExecutor(asyncio.DatagramProtocol):
             self.counters.incr("timers")
             self._running += 1
             started = time.monotonic_ns()
-            assert self._loop is not None
-            self._loop.call_later(
+            self._call_later(
                 duration_ns / 1e9, self._finish_timer, assignment, started
             )
 

@@ -1,0 +1,154 @@
+"""Live chaos fuzzing: seeded fault scenarios against real sockets.
+
+    python -m repro.live.fuzz --seed 42 --runs 10
+
+Each run derives one :class:`~repro.live.chaos.ChaosScenario` from
+``base seed + run index`` — a workload, a fault plan from the live chaos
+grammar (loss, duplication, reorder jitter, corruption, blackouts,
+executor kill/restart, switch failover), and the knobs that make the
+scenario recoverable — executes it on loopback UDP, and judges the run
+with the :class:`~repro.verify.live_oracle.LiveInvariantOracle`. A
+failing run is saved as a versioned JSON artifact
+(:func:`repro.verify.artifact.save_live_artifact`) for diagnosis.
+
+Unlike the simulator fuzzer, a live failure replays the *decisions*
+deterministically (same plan, same RNG draws) but not the wall-clock
+interleaving, so artifacts pin the scenario and record the observed
+evidence rather than promising bit-identical reproduction (DESIGN.md
+§9.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.errors import LiveTimeoutError
+from repro.live.chaos import run_live_chaos, sample_scenario
+from repro.verify.artifact import save_live_artifact
+
+DEFAULT_TIMEOUT_S = 60.0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42, help="base seed")
+    parser.add_argument("--runs", type=int, default=10)
+    parser.add_argument(
+        "--max-events", type=int, default=5, help="fault events per plan"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=0.3, help="workload seconds per run"
+    )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=DEFAULT_TIMEOUT_S,
+        help="hard wall-clock cap per run (0 disables)",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="write failing runs here as replay artifacts",
+    )
+    parser.add_argument("--out", default=None, help="write summary JSON here")
+    args = parser.parse_args(argv)
+
+    timeout_s = args.timeout_s if args.timeout_s > 0 else None
+    artifact_dir = (
+        pathlib.Path(args.artifact_dir) if args.artifact_dir else None
+    )
+    if artifact_dir is not None:
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+
+    print(
+        f"live chaos fuzz: {args.runs} run(s), base seed {args.seed}, "
+        f"<= {args.max_events} fault events each"
+    )
+    started = time.monotonic()
+    failures = 0
+    summary = []
+    for index in range(args.runs):
+        seed = args.seed + index
+        scenario = sample_scenario(
+            seed, max_events=args.max_events, duration_s=args.duration
+        )
+        try:
+            run = run_live_chaos(scenario, timeout_s=timeout_s)
+        except LiveTimeoutError as exc:
+            failures += 1
+            print(f"seed={seed:<6d} TIMEOUT")
+            print(f"  {exc}")
+            summary.append(
+                {"seed": seed, "ok": False, "timeout": True}
+            )
+            continue
+        print(run.row())
+        if not run.ok:
+            failures += 1
+            for violation in run.violations:
+                print(f"  ! {violation}")
+            print(f"  plan: {scenario.plan().describe()}")
+            if artifact_dir is not None:
+                path = artifact_dir / f"live_chaos_seed{seed}.json"
+                save_live_artifact(run, str(path))
+                print(f"  artifact: {path}")
+        summary.append(
+            {
+                "seed": seed,
+                "ok": run.ok,
+                "violations": [
+                    {"invariant": v.invariant, "detail": v.detail}
+                    for v in run.violations
+                ],
+                "kinds": list(run.kinds()),
+                "tasks_submitted": run.result.tasks_submitted,
+                "tasks_completed": run.result.tasks_completed,
+                "tasks_lost": run.result.tasks_lost,
+                "duplicates": run.result.duplicates,
+                "resubmits": run.result.resubmits,
+                "reregistrations": run.reregistrations,
+                "injected": run.injected,
+                "checks": run.checks,
+                "wall_s": run.wall_s,
+            }
+        )
+
+    elapsed = time.monotonic() - started
+    print()
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.livefuzz/1",
+                    "base_seed": args.seed,
+                    "runs": args.runs,
+                    "failures": failures,
+                    "elapsed_s": elapsed,
+                    "results": summary,
+                },
+                indent=2,
+            )
+        )
+        print(f"wrote {path}")
+    if failures:
+        print(
+            f"live chaos fuzz FAILED: {failures}/{args.runs} run(s) "
+            f"violated invariants ({elapsed:.1f}s)"
+        )
+        return 1
+    print(
+        f"live chaos fuzz passed: {args.runs}/{args.runs} run(s) clean "
+        f"({elapsed:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,9 @@ class LiveResult:
     tasks_lost: int  # still pending at drain end + retry-budget give-ups
     duplicates: int
     phantoms: int
+    resubmits: int
+    bounce_give_ups: int
+    timeout_give_ups: int
     throughput_tps: float
     priority_inversions: int
     #: submit -> completion notice, wall nanoseconds (client-side HDR)
@@ -87,6 +90,8 @@ class LiveResult:
             head
             + f"  lost={self.tasks_lost}  dup={self.duplicates}"
             + f"  phantom={self.phantoms}"
+            + f"  resubmit={self.resubmits}"
+            + f"  gaveup={self.bounce_give_ups + self.timeout_give_ups}"
             + f"  inversions={self.priority_inversions}",
             f"e2e    {self.e2e.row()}",
             f"queue  {self.queue_delay.row()}",
@@ -104,6 +109,9 @@ class LiveResult:
                 "lost": self.tasks_lost,
                 "duplicates": self.duplicates,
                 "phantoms": self.phantoms,
+                "resubmits": self.resubmits,
+                "bounce_give_ups": self.bounce_give_ups,
+                "timeout_give_ups": self.timeout_give_ups,
             },
             "throughput_tps": self.throughput_tps,
             "priority_inversions": self.priority_inversions,

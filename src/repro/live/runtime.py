@@ -17,7 +17,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.core.policies import Policy, PriorityPolicy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, LiveTimeoutError
 from repro.experiments.common import ClusterConfig
 from repro.live.client import LiveClient
 from repro.live.executor import LiveExecutor, LiveExecutorConfig
@@ -135,9 +135,18 @@ class LiveSpec:
         return asdict(self)
 
 
-async def run_live_async(spec: LiveSpec) -> LiveResult:
-    """Run one spec end to end on localhost; everything in this loop."""
+async def run_live_async(
+    spec: LiveSpec, timeout_s: Optional[float] = None
+) -> LiveResult:
+    """Run one spec end to end on localhost; everything in this loop.
+
+    ``timeout_s`` is a *hard* wall-clock cap on the whole run. A live run
+    that hangs — a drain that never quiesces, an executor wedged on a
+    dead socket — raises :class:`LiveTimeoutError` carrying a component
+    diagnostic dump, instead of eating the CI job timeout.
+    """
     spec.validate()
+    rngs = RngStreams(spec.seed)
     switch = SoftSwitch(
         policy=spec.policy_obj(), queue_capacity=spec.queue_capacity
     )
@@ -154,8 +163,11 @@ async def run_live_async(spec: LiveSpec) -> LiveResult:
         )
         for i in range(spec.executors)
     ]
-    client = LiveClient(uid=0, clock=switch.sim)
-    try:
+    client = LiveClient(
+        uid=0, clock=switch.sim, rng=rngs.stream("live-client")
+    )
+
+    async def drive() -> LiveResult:
         for executor in executors:
             await executor.start()
         await asyncio.gather(
@@ -166,9 +178,7 @@ async def run_live_async(spec: LiveSpec) -> LiveResult:
         start_ns = switch.sim.now
         max_lag_ns = 0
         if spec.mode == "open":
-            gen = OpenLoopGen(
-                client, spec.events(RngStreams(spec.seed)), clock=switch.sim
-            )
+            gen = OpenLoopGen(client, spec.events(rngs), clock=switch.sim)
             await gen.run()
             max_lag_ns = gen.max_lag_ns
         else:
@@ -178,7 +188,7 @@ async def run_live_async(spec: LiveSpec) -> LiveResult:
                 tasks_per_job=spec.tasks_per_job,
                 horizon_s=spec.duration_s,
                 sampler=spec.sampler(),
-                rng=RngStreams(spec.seed).stream("closed-loop"),
+                rng=rngs.stream("closed-loop"),
                 tprops_for=spec.tprops_for(),
                 clock=switch.sim,
             )
@@ -186,13 +196,53 @@ async def run_live_async(spec: LiveSpec) -> LiveResult:
         await client.drain(spec.drain_s)
         wall_ns = switch.sim.now - start_ns
         return _collect(spec, switch, executors, client, wall_ns, max_lag_ns)
+
+    try:
+        if timeout_s is None:
+            return await drive()
+        try:
+            return await asyncio.wait_for(drive(), timeout_s)
+        except asyncio.TimeoutError:
+            raise LiveTimeoutError(
+                f"live run exceeded the {timeout_s}s hard cap\n"
+                + diagnostic_dump(switch, executors, client)
+            ) from None
     finally:
-        client.close()
+        await client.aclose()
         for executor in executors:
-            executor.close()
+            await executor.aclose()
         switch.close()
         # Let transport close callbacks run before the loop is torn down.
         await asyncio.sleep(0)
+
+
+def diagnostic_dump(
+    switch: SoftSwitch,
+    executors: List[LiveExecutor],
+    client: LiveClient,
+) -> str:
+    """Where a hung run was stuck, one component per line."""
+    lines = [
+        "switch: queued="
+        + str(switch.total_queued())
+        + f" executors={len(switch.executors)} {dict(switch.counters)}",
+    ]
+    for record in switch.executors.values():
+        lines.append(
+            f"  exec{record.executor_id}: epoch={record.epoch}"
+            f" in_flight={record.in_flight}/{record.max_outstanding}"
+        )
+    for executor in executors:
+        lines.append(
+            f"executor {executor.executor_id}: closed={executor.closed}"
+            f" {dict(executor.counters)}"
+        )
+    lines.append(
+        f"client: pending={client.pending_count}"
+        f" done={client.completed_count} gave_up={client.gave_up_count}"
+        f" {dict(client.counters)}"
+    )
+    return "\n".join(lines)
 
 
 def _collect(
@@ -222,6 +272,9 @@ def _collect(
         tasks_lost=client.lost_count,
         duplicates=client.counters.get("duplicates", 0),
         phantoms=client.counters.get("phantoms", 0),
+        resubmits=client.counters.get("resubmits", 0),
+        bounce_give_ups=client.counters.get("bounce_give_ups", 0),
+        timeout_give_ups=client.counters.get("timeout_give_ups", 0),
         throughput_tps=completed / wall_s if wall_s > 0 else 0.0,
         priority_inversions=switch.priority_inversions,
         e2e=client.e2e_hist,
@@ -239,6 +292,6 @@ def asdict_ints(stats) -> dict:
     return {k: int(v) for k, v in asdict(stats).items()}
 
 
-def run_live(spec: LiveSpec) -> LiveResult:
+def run_live(spec: LiveSpec, timeout_s: Optional[float] = None) -> LiveResult:
     """Synchronous wrapper: one fresh event loop per run."""
-    return asyncio.run(run_live_async(spec))
+    return asyncio.run(run_live_async(spec, timeout_s=timeout_s))

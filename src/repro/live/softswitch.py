@@ -27,7 +27,7 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional
 
 from repro.core.policies import Policy, PriorityPolicy
 from repro.core.scheduler import DraconisProgram
@@ -105,6 +105,7 @@ class SoftSwitch:
         degradation: Optional[DegradationPolicy] = None,
         obs=None,
         max_chain: int = MAX_CHAIN,
+        transport_wrap: Optional[Callable] = None,
     ) -> None:
         # The program reads its host through three attributes; this object
         # satisfies all of them (sim/obs here, recirc_backlog_fraction
@@ -112,7 +113,9 @@ class SoftSwitch:
         self.sim = WallClock()
         self.obs = obs
         self.counters = Counters()
-        self.program = DraconisProgram(
+        # Kept so standby_program() can build an identically-configured
+        # replacement for checkpoint failover.
+        self._program_kwargs = dict(
             policy=policy,
             queue_capacity=queue_capacity,
             record_queue_delays=True,
@@ -125,12 +128,18 @@ class SoftSwitch:
             pull_ttl_ns=pull_ttl_ns,
             degradation=degradation,
         )
+        self.program = DraconisProgram(**self._program_kwargs)
         self.program.attach(self)  # type: ignore[arg-type]
         self.max_chain = max_chain
+        self.transport_wrap = transport_wrap
         self.priority_inversions = 0
         self._inversion_probe = isinstance(policy, PriorityPolicy)
         self.executors: Dict[int, ExecutorRecord] = {}
+        #: every epoch ever acked, per executor id, in ack order — the
+        #: live oracle asserts each sequence is strictly increasing.
+        self.epoch_history: Dict[int, List[int]] = {}
         self._by_endpoint: Dict[Endpoint, ExecutorRecord] = {}
+        self._install_hooks: List[Callable] = []
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._service_address: Optional[Address] = None
 
@@ -148,8 +157,10 @@ class SoftSwitch:
             lambda: _SwitchProtocol(self), local_addr=(host, port)
         )
         bump_socket_buffers(transport)
-        self._transport = transport
         bound = transport.get_extra_info("sockname")
+        if self.transport_wrap is not None:
+            transport = self.transport_wrap(transport)
+        self._transport = transport
         self._service_address = Address(bound[0], bound[1])
         return (bound[0], bound[1])
 
@@ -163,6 +174,42 @@ class SoftSwitch:
         if self._transport is not None:
             self._transport.close()
             self._transport = None
+
+    # -- failover ----------------------------------------------------------
+
+    def standby_program(self) -> DraconisProgram:
+        """A cold standby configured identically to the active program.
+
+        The standby is *empty*; :class:`~repro.ctrl.checkpoint.
+        CheckpointManager` install hooks replay checkpoint + journal into
+        it during :meth:`install_program`, which is what makes a live
+        SwitchFailover lose zero queued tasks.
+        """
+        return DraconisProgram(**self._program_kwargs)
+
+    def add_install_hook(self, hook: Callable) -> None:
+        """Register ``hook(new_program, old_program)`` run on failover.
+
+        Mirrors :meth:`repro.switchsim.pipeline.ProgrammableSwitch.
+        add_install_hook` so ``ctrl.CheckpointManager`` binds to the live
+        switch unmodified.
+        """
+        self._install_hooks.append(hook)
+
+    def install_program(self, program: DraconisProgram) -> DraconisProgram:
+        """Swap the scheduler program in place (live SwitchFailover).
+
+        The datagram handler chain is serial, so from the dataplane's
+        perspective the swap is atomic: every traversal runs entirely
+        against one program. Returns the displaced program.
+        """
+        old = self.program
+        program.attach(self)  # type: ignore[arg-type]
+        self.program = program
+        self.counters.incr("failovers")
+        for hook in self._install_hooks:
+            hook(program, old)
+        return old
 
     # -- datagram path -----------------------------------------------------
 
@@ -223,6 +270,7 @@ class SoftSwitch:
             record.in_flight = 0
         record.last_seen_ns = self.sim.now
         self._by_endpoint[addr] = record
+        self.epoch_history.setdefault(msg.executor_id, []).append(record.epoch)
         self.counters.incr("registrations")
         self._send(
             addr,

@@ -25,8 +25,11 @@ event count, task trace fingerprint, and oracle verdict on every run.
 
 from repro.verify.artifact import (
     ARTIFACT_VERSION,
+    LIVE_ARTIFACT_VERSION,
     load_artifact,
+    load_live_artifact,
     save_artifact,
+    save_live_artifact,
 )
 from repro.verify.fuzzer import (
     FaultFuzzer,
@@ -35,20 +38,25 @@ from repro.verify.fuzzer import (
     run_scenario,
     sample_scenario,
 )
+from repro.verify.live_oracle import LiveInvariantOracle
 from repro.verify.oracle import InvariantOracle, OracleReport, Violation
 from repro.verify.shrink import shrink_plan
 
 __all__ = [
     "ARTIFACT_VERSION",
+    "LIVE_ARTIFACT_VERSION",
     "FaultFuzzer",
     "FuzzResult",
     "FuzzScenario",
     "InvariantOracle",
+    "LiveInvariantOracle",
     "OracleReport",
     "Violation",
     "load_artifact",
+    "load_live_artifact",
     "run_scenario",
     "sample_scenario",
     "save_artifact",
+    "save_live_artifact",
     "shrink_plan",
 ]

@@ -53,6 +53,99 @@ def save_artifact(result: FuzzResult, path: str) -> None:
         fh.write("\n")
 
 
+LIVE_ARTIFACT_VERSION = 1
+
+
+def live_artifact_dict(run: Any) -> Dict[str, Any]:
+    """Artifact payload for one live chaos run.
+
+    Duck-typed on :class:`repro.live.chaos.ChaosRunResult` — this module
+    must not import ``repro.live`` (``repro.live.chaos`` imports the
+    live oracle from here-adjacent modules). Live runs are wall-clock:
+    the ``expected`` block pins only what a replay *must* reproduce
+    (verdict, conservation totals), while ``observed`` records the
+    timing-dependent evidence for diagnosis.
+    """
+    scenario = run.scenario.to_dict()
+    # store the plan as a nested object, not an escaped string
+    scenario["plan"] = json.loads(scenario.pop("plan_json"))
+    return {
+        "version": LIVE_ARTIFACT_VERSION,
+        "kind": "live-chaos",
+        "scenario": scenario,
+        "expected": {
+            "ok": run.ok,
+            "violations": [
+                {"invariant": v.invariant, "detail": v.detail}
+                for v in run.violations
+            ],
+            "tasks_submitted": run.result.tasks_submitted,
+            "tasks_completed": run.result.tasks_completed,
+            "tasks_lost": run.result.tasks_lost,
+        },
+        "observed": {
+            "injected": dict(run.injected),
+            "reregistrations": run.reregistrations,
+            "epoch_history": {
+                str(k): list(v) for k, v in run.epoch_history.items()
+            },
+            "duplicates": run.result.duplicates,
+            "resubmits": run.result.resubmits,
+            "wall_s": run.wall_s,
+        },
+    }
+
+
+def save_live_artifact(run: Any, path: str) -> None:
+    """Write one live chaos run as a versioned JSON artifact."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(live_artifact_dict(run), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_live_artifact(path: str) -> Dict[str, Any]:
+    """Load and structurally validate a live chaos artifact.
+
+    Returns the raw dict with the scenario's plan canonicalized back
+    into ``plan_json`` (validating every event). The scenario stays a
+    plain dict — hydrate it with
+    ``repro.live.chaos.ChaosScenario.from_dict`` at the call site; this
+    module stays import-free of ``repro.live``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"artifact {path} is not valid JSON: {exc}"
+            ) from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"artifact {path} must be a JSON object")
+    version = payload.get("version")
+    if version != LIVE_ARTIFACT_VERSION:
+        raise ConfigurationError(
+            f"artifact {path} has version {version!r}, this build reads "
+            f"live version {LIVE_ARTIFACT_VERSION}"
+        )
+    if payload.get("kind") != "live-chaos":
+        raise ConfigurationError(
+            f"artifact {path} is not a live-chaos artifact "
+            f"(kind={payload.get('kind')!r})"
+        )
+    for section in ("scenario", "expected"):
+        if section not in payload:
+            raise ConfigurationError(
+                f"artifact {path} is missing its {section!r} section"
+            )
+    scenario = dict(payload["scenario"])
+    plan = scenario.pop("plan", None)
+    if plan is None:
+        raise ConfigurationError(f"artifact {path} scenario has no plan")
+    scenario["plan_json"] = FaultPlan.from_json(json.dumps(plan)).to_json()
+    payload["scenario"] = scenario
+    return payload
+
+
 def load_artifact(path: str) -> Dict[str, Any]:
     """Load and structurally validate an artifact file.
 

@@ -14,12 +14,15 @@ Two layers, matching how the subsystem can fail:
 
 import asyncio
 
+import numpy as np
 import pytest
 
+from repro.cluster.task import TaskSpec
 from repro.errors import ConfigurationError
 from repro.experiments import persist
 from repro.live import results as live_results
 from repro.live.base import Counters, WallClock
+from repro.live.client import LiveClient, LiveClientConfig
 from repro.live.results import LiveResult
 from repro.live.runtime import LiveSpec, run_live
 from repro.live.softswitch import CREDIT_RESYNC_NS, SoftSwitch
@@ -160,6 +163,65 @@ class TestDispatchBound:
         assert switch.executors[1].in_flight == 1
 
 
+class FakeClock:
+    """Settable stand-in for WallClock; everything reads it lazily."""
+
+    def __init__(self, start_ns=1_000):
+        self.now = start_ns
+
+    def advance(self, delta_ns):
+        self.now += delta_ns
+
+
+class TestCreditLeakRecovery:
+    """The 250 ms credit resync, driven through the full datagram path.
+
+    Unlike ``test_stale_credit_resyncs`` (which fakes the leak by
+    rewinding ``last_assign_ns``), this drops a real completion datagram
+    on the floor and asserts the per-executor in-flight bound recovers
+    without a re-registration.
+    """
+
+    def pull(self, switch):
+        switch._on_datagram(
+            codec.encode(TaskRequest(executor_id=1)), EXEC_ADDR
+        )
+
+    def test_dropped_completion_heals_after_resync_window(self):
+        switch, transport = make_switch()
+        clock = FakeClock()
+        switch.sim = clock  # registry and program read switch.sim.now
+        register(switch, max_outstanding=1)
+        record = switch.executors[1]
+        switch._on_datagram(
+            codec.encode(
+                JobSubmission(
+                    uid=1, jid=1, tasks=[TaskInfo(tid=0), TaskInfo(tid=1)]
+                )
+            ),
+            ("127.0.0.1", 60000),
+        )
+        self.pull(switch)
+        assert len(transport.messages(TaskAssignment)) == 1
+        assert record.in_flight == 1
+
+        # The executor finished task 0, but its Completion datagram was
+        # lost: the credit leaks and the bound stays saturated.
+        clock.advance(1_000_000)
+        self.pull(switch)
+        assert switch.counters["bounded_rejects"] == 1
+        assert len(transport.messages(TaskAssignment)) == 1
+
+        # Past the resync window the stale credit is forgotten and the
+        # same pull dispatches again — the bound recovered on its own.
+        clock.advance(CREDIT_RESYNC_NS + 1)
+        self.pull(switch)
+        assert switch.counters["credit_resyncs"] == 1
+        assert len(transport.messages(TaskAssignment)) == 2
+        assert 0 <= record.in_flight <= record.max_outstanding
+        assert record.epoch == 1  # healed without re-registration
+
+
 class TestBackpressure:
     def test_full_queue_bounces_submission(self):
         switch, transport = make_switch(queue_capacity=16)
@@ -247,6 +309,51 @@ class TestLiveSpec:
             LiveSpec(mode="half-open").validate()
 
 
+class TestBounceJitter:
+    """Bounce-retry backoff jitter draws from the seeded RNG stream."""
+
+    def bounce_delays(self, seed, bounces=6):
+        client = LiveClient(
+            uid=1,
+            config=LiveClientConfig(
+                bounce_retry_s=0.001, bounce_jitter=0.2, max_retries=100
+            ),
+            rng=np.random.default_rng(seed),
+        )
+        client._loop = object()  # only None-checked on this path
+        delays = []
+        client._call_later = lambda delay_s, fn, *args: delays.append(delay_s)
+        jid = client.submit([TaskSpec(duration_ns=1_000)])
+        for _ in range(bounces):
+            client._on_bounce(
+                ErrorPacket(uid=1, jid=jid, tasks=[TaskInfo(tid=0)])
+            )
+        return delays
+
+    def test_same_seed_same_schedule(self):
+        assert self.bounce_delays(7) == self.bounce_delays(7)
+        assert self.bounce_delays(7) != self.bounce_delays(8)
+
+    def test_jitter_bounded_around_exponential(self):
+        for retries, delay in enumerate(self.bounce_delays(7), start=1):
+            base = 0.001 * (1 << (retries - 1))
+            assert base * 0.8 <= delay <= base * 1.2
+
+    def test_no_rng_means_no_jitter(self):
+        client = LiveClient(
+            uid=1, config=LiveClientConfig(bounce_retry_s=0.001)
+        )
+        client._loop = object()
+        delays = []
+        client._call_later = lambda delay_s, fn, *args: delays.append(delay_s)
+        jid = client.submit([TaskSpec(duration_ns=1_000)])
+        for _ in range(3):
+            client._on_bounce(
+                ErrorPacket(uid=1, jid=jid, tasks=[TaskInfo(tid=0)])
+            )
+        assert delays == [0.001, 0.002, 0.004]
+
+
 # -- end to end over real loopback sockets ------------------------------------
 
 
@@ -316,6 +423,9 @@ class TestResults:
             tasks_lost=0,
             duplicates=0,
             phantoms=0,
+            resubmits=0,
+            bounce_give_ups=0,
+            timeout_give_ups=0,
             throughput_tps=1.0,
             priority_inversions=0,
             e2e=e2e,
@@ -365,5 +475,34 @@ def test_executor_event_loop_integration():
             executor.close()
             switch.close()
             await asyncio.sleep(0)
+
+    asyncio.run(scenario())
+
+
+def test_teardown_leaves_no_pending_tasks():
+    """aclose() cancels retry timers and awaits watchdogs: nothing may
+    outlive the runtime (no "Task was destroyed but it is pending")."""
+
+    async def scenario():
+        from repro.live.executor import LiveExecutor
+
+        switch = SoftSwitch()
+        endpoint = await switch.start()
+        executor = LiveExecutor(executor_id=1, switch=endpoint)
+        client = LiveClient(
+            uid=0, config=LiveClientConfig(resubmit_timeout_s=0.05)
+        )
+        await executor.start()
+        await executor.wait_registered(2.0)
+        await client.start(endpoint)
+        client.submit([TaskSpec(duration_ns=50_000) for _ in range(4)])
+        await client.drain(2.0)
+        await client.aclose()
+        await executor.aclose()
+        switch.close()
+        await asyncio.sleep(0)
+        assert not client._timers and not executor._timers
+        leftovers = asyncio.all_tasks() - {asyncio.current_task()}
+        assert not leftovers, f"leaked tasks: {leftovers}"
 
     asyncio.run(scenario())

@@ -5,7 +5,7 @@ PY ?= python
 # needed. (Targets previously assumed `make install` had been run.)
 export PYTHONPATH := src
 
-.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos fuzz recovery live live-smoke live-chaos examples clean
+.PHONY: install test lint coverage bench obs-bench determinism obs-report experiments smoke chaos fuzz recovery ha live live-smoke live-chaos examples clean
 
 install:
 	$(PY) setup.py develop
@@ -46,6 +46,9 @@ fuzz:
 
 recovery:
 	$(PY) -m repro.experiments.recovery --seeds 3 --out recovery-summary.json
+
+ha:
+	$(PY) -m repro.experiments.controller_ha --seeds 3 --replicas 1 3 --out ha-summary.json
 
 live:
 	$(PY) -m repro.live.conformance --seed 42 --out live-conformance.json

@@ -46,6 +46,10 @@ COMMANDS = {
         "fault injection / chaos runs",
     ),
     "recovery": ("repro.experiments.recovery", "failover recovery experiment"),
+    "ha": (
+        "repro.experiments.controller_ha",
+        "replicated controller vs single-controller crash sweep",
+    ),
     "replay": ("repro.verify.replay", "deterministic replay of a fuzz case"),
     "bench": ("repro.obs.bench", "observability micro-benchmarks"),
     "report": ("repro.obs.report", "render saved observability artifacts"),

@@ -14,7 +14,7 @@ efficiency trade-off that eliminates node-level blocking (§3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -122,7 +122,7 @@ class Executor:
         config: Optional[ExecutorConfig] = None,
         local_port: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
-        controller: Optional[Address] = None,
+        controller: Union[Address, Sequence[Address], None] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -146,9 +146,18 @@ class Executor:
         #: execution-time multiplier (fault injection: >1 models a
         #: thermally-throttled or contended node)
         self.speed_factor: float = 1.0
-        #: control-plane endpoint for liveness heartbeats (repro.ctrl);
-        #: None means no membership protocol (the paper's baseline)
+        #: control-plane endpoint(s) for liveness heartbeats (repro.ctrl);
+        #: None means no membership protocol (the paper's baseline). A
+        #: sequence of addresses broadcasts each beat to every replica of
+        #: a replicated controller (repro.ctrl.replication) so followers
+        #: keep warm lease tables without leader-mediated sync.
         self.controller = controller
+        if controller is None:
+            self._controller_addrs = []
+        elif isinstance(controller, Address):
+            self._controller_addrs = [controller]
+        else:
+            self._controller_addrs = list(controller)
         self._hb_process = None
         # The pull request never varies, so build it (and its wire size)
         # once. Consumers never mutate payloads in place — the scheduler's
@@ -290,7 +299,11 @@ class Executor:
         try:
             yield self.sim.timeout(int(self._rng.uniform(0, interval)))
             while not self._stopped:
-                self.socket.send(self.controller, beat, size)
+                # One jitter draw per beat regardless of replica count:
+                # the RNG stream stays bit-identical when a cluster is
+                # reconfigured from one controller to a replica group.
+                for addr in self._controller_addrs:
+                    self.socket.send(addr, beat, size)
                 jitter = 1.0 + float(self._rng.uniform(-0.1, 0.1))
                 yield self.sim.timeout(max(1, int(interval * jitter)))
         except Interrupted:

@@ -9,7 +9,7 @@ node's executors — resources such as GPUs belong to nodes, not cores
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class Worker:
         config: Optional[ExecutorConfig] = None,
         executor_id_base: int = 0,
         rng: Optional[np.random.Generator] = None,
-        controller: Optional[Address] = None,
+        controller: Union[Address, Sequence[Address], None] = None,
     ) -> None:
         self.sim = sim
         self.spec = spec

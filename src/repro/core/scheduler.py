@@ -31,6 +31,7 @@ from repro.net.packet import Address, Packet
 from repro.protocol import codec
 from repro.protocol.messages import (
     Completion,
+    ElectionRequest,
     ErrorPacket,
     JobSubmission,
     NoOpTask,
@@ -76,6 +77,7 @@ class SchedulerStats:
     tasks_reclaimed: int = 0
     entries_restored: int = 0
     parked_restored: int = 0
+    fencing_rejections: int = 0
 
 
 @dataclass(frozen=True)
@@ -194,6 +196,7 @@ class DraconisProgram(P4Program):
             SwapTaskPacket: self._on_swap,
             RepairPacket: self._on_repair,
             Completion: self._on_completion,
+            ElectionRequest: self._on_election,
         }
         self._conditional_retrieve = retrieve_mode == "conditional"
         self._always_assign = bool(
@@ -370,13 +373,39 @@ class DraconisProgram(P4Program):
             )
         ]
 
-    def expire_parked_for(self, executor_ids) -> int:
+    def _fenced(self, term: Optional[int]) -> bool:
+        """Reject a control-plane action stamped with a stale term.
+
+        ``term`` is the issuing controller's fencing token; when the
+        switch's election register has moved past it the issuer was
+        deposed and its action must not land (the new leader re-issues it
+        from replicated state). ``None`` is the unreplicated legacy path:
+        no fence, no election bookkeeping.
+        """
+        if term is None:
+            return False
+        election = getattr(self.switch, "election", None)
+        if election is None:
+            return False
+        if election.term > term:
+            self.sched_stats.fencing_rejections += 1
+            obs = self._obs()
+            if obs is not None:
+                obs.incr("sched.fencing_rejections")
+            return True
+        election.note_action(term)
+        return False
+
+    def expire_parked_for(self, executor_ids, term: Optional[int] = None) -> int:
         """Drop parked pulls belonging to ``executor_ids`` (lease expiry).
 
         Called by the :class:`~repro.ctrl.controller.Controller` when an
         executor's lease lapses, so the next submission cannot wake a
         pull whose executor is dead. Returns how many were dropped.
+        ``term`` fences the action against a deposed replicated leader.
         """
+        if self._fenced(term):
+            return 0
         if not self._parked_pulls:
             return 0
         kept: Deque[ParkedPull] = deque()
@@ -390,13 +419,18 @@ class DraconisProgram(P4Program):
         self.sched_stats.pulls_expired += expired
         return expired
 
-    def reinject(self, entry: QueueEntry) -> bool:
+    def reinject(self, entry: QueueEntry, term: Optional[int] = None) -> bool:
         """Put a reclaimed in-flight task back at the tail (lease expiry).
 
         Control-plane insert — no packet traversal, no register budget.
         Refused (returns False) while the target queue is full or holds a
         pending repair; the controller retries on its next sweep.
+        ``term`` fences the insert against a deposed replicated leader —
+        a stale leader's reinject would double-queue a task the new
+        leader already reclaimed.
         """
+        if self._fenced(term):
+            return False
         queue_index = self.policy.submit_queue(entry.task)
         queue = self._queue(queue_index)
         fresh = replace(entry, enqueued_at=self._now())
@@ -407,6 +441,26 @@ class DraconisProgram(P4Program):
         self._task_hop(entry.uid, entry.jid, entry.task.tid, "reclaim_hop",
                        f"queue={queue_index}")
         return True
+
+    def _on_election(
+        self, ctx: PacketContext, packet: Packet, req: ElectionRequest
+    ) -> Sequence[Action]:
+        """Arbitrate a controller leadership lease (repro.ctrl.replication).
+
+        The election register lives on the *switch*, not the program, so
+        a standby program installed mid-failover keeps arbitrating the
+        same term sequence — leadership cannot fork across an
+        install_program.
+        """
+        election = getattr(self.switch, "election", None)
+        if election is None:
+            # No replication deployed on this switch; treat the packet
+            # like any other non-scheduler traffic.
+            return [Forward(packet)]
+        ack = election.request(
+            req.candidate_id, req.term, self._now(), req.lease_ns
+        )
+        return [self._reply(packet.src, ack)]
 
     def snapshot(self):
         """Control-plane checkpoint of queues + parked pulls.

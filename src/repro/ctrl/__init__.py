@@ -12,7 +12,11 @@ register budget is spent):
   ``install_program`` so queued tasks survive a switch failover;
 * :class:`DegradationPolicy` — graceful degradation under overload:
   priority-aware load shedding and ``backoff_hint_ns`` backpressure in
-  bounce errors once occupancy/recirculation thresholds are crossed.
+  bounce errors once occupancy/recirculation thresholds are crossed;
+* :class:`ReplicaController` / :class:`ControllerGroup` — replicated
+  control plane: switch-arbitrated leader election with term fencing,
+  leader->follower state sync, and lossless follower takeover when the
+  leader itself dies (``repro.ctrl.replication``).
 """
 
 from repro.ctrl.checkpoint import (
@@ -33,9 +37,17 @@ from repro.ctrl.controller import (
     Lease,
 )
 from repro.ctrl.degradation import DegradationPolicy
+from repro.ctrl.replication import (
+    DEFAULT_CTRL_LEASE_NS,
+    ControllerGroup,
+    CtrlJournal,
+    CtrlOpKind,
+    ReplicaController,
+)
 
 __all__ = [
     "CTRL_PORT",
+    "DEFAULT_CTRL_LEASE_NS",
     "DEFAULT_CHECKPOINT_INTERVAL_NS",
     "DEFAULT_JOURNAL_CAPACITY",
     "DEFAULT_LEASE_NS",
@@ -43,10 +55,14 @@ __all__ = [
     "CheckpointManager",
     "CheckpointStats",
     "Controller",
+    "ControllerGroup",
     "ControllerStats",
+    "CtrlJournal",
+    "CtrlOpKind",
     "DegradationPolicy",
     "DeltaJournal",
     "Lease",
+    "ReplicaController",
     "RecoveryReport",
     "SwitchSnapshot",
 ]

@@ -33,7 +33,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.protocol.messages import Heartbeat
-from repro.sim.core import Simulator, us
+from repro.sim.core import Interrupted, Simulator, us
 
 #: well-known controller service port (clients 6000, executors 7000+,
 #: scheduler dataplane 9000)
@@ -98,6 +98,8 @@ class Controller:
         #: entries whose reinjection bounced (queue full / repair pending);
         #: retried every sweep so a reclaim is deferred, never dropped
         self._reclaim_backlog: List[Any] = []
+        self.name = name
+        self.crashed = False
         if program is not None:
             self.bind_program(program)
         if switch is not None:
@@ -107,6 +109,67 @@ class Controller:
         self._sweep_process = sim.spawn(
             self._sweep_loop(), name=f"{name}-sweep"
         )
+
+    # -- fail-stop ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop the controller process. Idempotent.
+
+        All in-memory state — leases, the assignment mirror, the reclaim
+        backlog — is lost, exactly like a real control-plane process
+        dying. Heartbeats keep arriving but nobody reads them.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.socket.drain()
+        if not self._recv_process.triggered:
+            self._recv_process.interrupt("controller crash")
+        if not self._sweep_process.triggered:
+            self._sweep_process.interrupt("controller crash")
+        self._leases.clear()
+        self._inflight.clear()
+        self._reclaim_backlog.clear()
+
+    def restart(self) -> None:
+        """Boot a fresh controller after a crash. Idempotent.
+
+        The new incarnation starts with an empty lease table and no
+        assignment mirror; live executors re-earn leases within one
+        heartbeat interval. After one full lease window of grace a
+        reconcile pass expires parked pulls belonging to executors that
+        never came back — the best a memory-less restart can do (the
+        in-flight assignments of the old incarnation are unrecoverable
+        without replication; that is the availability gap
+        ``repro.ctrl.replication`` exists to close).
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.socket.drain()
+        self._recv_process = self.sim.spawn(
+            self._recv_loop(), name=f"{self.name}-recv"
+        )
+        self._sweep_process = self.sim.spawn(
+            self._sweep_loop(), name=f"{self.name}-sweep"
+        )
+        self.sim.call_at(
+            self.sim.now + self.lease_ns + self.sweep_ns,
+            self._post_restart_reconcile,
+        )
+
+    def _post_restart_reconcile(self) -> None:
+        if self.crashed:
+            return
+        program = self.program
+        if program is None or not hasattr(program, "parked_executor_ids"):
+            return
+        dead = program.parked_executor_ids() - self.live_executors()
+        if dead:
+            reclaimed = self._expire_parked(dead)
+            self.stats.pulls_reclaimed += reclaimed
+            if self.obs is not None and reclaimed:
+                self.obs.incr("ctrl.pulls_reclaimed", reclaimed)
 
     # -- program binding ---------------------------------------------------
 
@@ -162,26 +225,38 @@ class Controller:
             self.stats.leases_renewed += 1
 
     def _recv_loop(self):
-        while True:
-            packet = yield self.socket.recv()
-            payload = packet.payload
-            if isinstance(payload, Heartbeat):
-                self._on_heartbeat(payload)
-            # anything else is stray traffic; a real controller would log it
+        try:
+            while True:
+                packet = yield self.socket.recv()
+                self._on_packet(packet)
+        except Interrupted:
+            return  # crash: datagrams rot in the socket until restart
+
+    def _on_packet(self, packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, Heartbeat):
+            self._on_heartbeat(payload)
+        # anything else is stray traffic; a real controller would log it
 
     # -- lease expiry + reclaim ---------------------------------------------
 
     def _sweep_loop(self):
-        while True:
-            yield self.sim.timeout(self.sweep_ns)
-            self._sweep()
+        try:
+            while True:
+                yield self.sim.timeout(self.sweep_ns)
+                self._sweep()
+        except Interrupted:
+            return
 
     def _sweep(self) -> None:
         now = self.sim.now
+        # Strict comparison: a lease is live *through* its expiry instant,
+        # so a heartbeat landing exactly at expires_at_ns renews it rather
+        # than racing the sweep. audit() uses the same convention.
         expired = [
             eid
             for eid, lease in self._leases.items()
-            if lease.expires_at_ns <= now
+            if lease.expires_at_ns < now
         ]
         for eid in expired:
             del self._leases[eid]
@@ -195,11 +270,28 @@ class Controller:
             self._reclaim(set(expired))
         self._drain_backlog()
 
+    def _term(self) -> Optional[int]:
+        """Fencing token stamped into control-plane actions.
+
+        The unreplicated controller is unfenced (``None`` keeps the
+        legacy switch path); :class:`~repro.ctrl.replication.\
+ReplicaController` overrides this with its election term.
+        """
+        return None
+
+    def _expire_parked(self, executor_ids: Set[int]) -> int:
+        program = self.program
+        if program is None:
+            return 0
+        term = self._term()
+        if term is None:
+            return program.expire_parked_for(executor_ids)
+        return program.expire_parked_for(executor_ids, term=term)
+
     def _reclaim(self, executor_ids: Set[int]) -> None:
         """Pull a dead executor's parked pull and in-flight tasks back."""
-        program = self.program
-        if program is not None:
-            reclaimed_pulls = program.expire_parked_for(executor_ids)
+        if self.program is not None:
+            reclaimed_pulls = self._expire_parked(executor_ids)
             self.stats.pulls_reclaimed += reclaimed_pulls
             if self.obs is not None and reclaimed_pulls:
                 self.obs.incr("ctrl.pulls_reclaimed", reclaimed_pulls)
@@ -214,13 +306,22 @@ class Controller:
 
     def _reinject(self, entry: Any) -> None:
         program = self.program
-        if program is not None and program.reinject(entry):
-            self.stats.tasks_reclaimed += 1
-            if self.obs is not None:
-                self.obs.incr("ctrl.tasks_reclaimed")
-        else:
-            self._reclaim_backlog.append(entry)
-            self.stats.reclaims_deferred += 1
+        term = self._term()
+        if program is not None:
+            accepted = (
+                program.reinject(entry)
+                if term is None
+                else program.reinject(entry, term=term)
+            )
+            if accepted:
+                self.stats.tasks_reclaimed += 1
+                if self.obs is not None:
+                    self.obs.incr("ctrl.tasks_reclaimed")
+                return
+        self._reclaim_backlog.append(entry)
+        self.stats.reclaims_deferred += 1
+        if self.obs is not None:
+            self.obs.gauge("ctrl.reclaim_backlog", len(self._reclaim_backlog))
 
     def _drain_backlog(self) -> None:
         if not self._reclaim_backlog:
@@ -228,6 +329,8 @@ class Controller:
         pending, self._reclaim_backlog = self._reclaim_backlog, []
         for entry in pending:
             self._reinject(entry)
+        if self.obs is not None:
+            self.obs.gauge("ctrl.reclaim_backlog", len(self._reclaim_backlog))
 
     # -- verify-oracle inspection -------------------------------------------
 
@@ -244,7 +347,7 @@ class Controller:
             "stale_leases": [
                 lease
                 for lease in self._leases.values()
-                if lease.expires_at_ns <= now - self.sweep_ns
+                if lease.expires_at_ns < now - self.sweep_ns
             ],
             "inflight": len(self._inflight),
             "reclaim_backlog": len(self._reclaim_backlog),

@@ -35,6 +35,7 @@ from repro.ctrl import (
     DEFAULT_LEASE_NS,
     CheckpointManager,
     Controller,
+    ControllerGroup,
     DegradationPolicy,
 )
 from repro.errors import ConfigurationError
@@ -82,6 +83,10 @@ class ClusterConfig:
     pull_ttl_ns: int = DEFAULT_PULL_TTL_NS  # parked-pull expiry (crash GC)
     # control plane (repro.ctrl, draconis only)
     controller: bool = False  # heartbeat-lease membership + reclaim
+    #: >=2 replaces the single controller with a ControllerGroup
+    #: (repro.ctrl.replication): switch-arbitrated leader election,
+    #: term fencing, and leader->follower state sync
+    controller_replicas: int = 1
     lease_ns: int = DEFAULT_LEASE_NS
     heartbeat_interval_ns: Optional[int] = None  # None = ExecutorConfig default
     checkpoint_interval_ns: Optional[int] = None  # None = no checkpointing
@@ -153,6 +158,7 @@ class ClusterHandles:
     r2p2: Optional[R2P2Program] = None
     racksched: Optional[RackSchedProgram] = None
     controller: Optional[Controller] = None
+    ctrl_group: Optional[ControllerGroup] = None
     checkpoints: Optional[CheckpointManager] = None
 
 
@@ -246,16 +252,6 @@ def build_cluster(
         handles.switch, handles.draconis = switch, program
         handles.scheduler_address = switch.service_address
         controller_address = None
-        if config.controller:
-            handles.controller = Controller(
-                sim,
-                topology,
-                lease_ns=config.lease_ns,
-                program=program,
-                switch=switch,
-                obs=config.obs,
-            )
-            controller_address = handles.controller.address
         if config.checkpoint_interval_ns is not None:
             handles.checkpoints = CheckpointManager(
                 sim,
@@ -264,6 +260,31 @@ def build_cluster(
                 journal_capacity=config.journal_capacity,
                 obs=config.obs,
             )
+        if config.controller:
+            if config.controller_replicas >= 2:
+                handles.ctrl_group = ControllerGroup(
+                    sim,
+                    topology,
+                    switch,
+                    program=program,
+                    replicas=config.controller_replicas,
+                    lease_ns=config.lease_ns,
+                    obs=config.obs,
+                    checkpoints=handles.checkpoints,
+                )
+                # Executors broadcast heartbeats to every replica so
+                # followers keep warm lease tables for takeover.
+                controller_address = tuple(handles.ctrl_group.addresses())
+            else:
+                handles.controller = Controller(
+                    sim,
+                    topology,
+                    lease_ns=config.lease_ns,
+                    program=program,
+                    switch=switch,
+                    obs=config.obs,
+                )
+                controller_address = handles.controller.address
         _build_pull_workers(
             config, sim, topology, collector, handles,
             controller=controller_address,
@@ -455,7 +476,7 @@ def _build_pull_workers(
     topology: StarTopology,
     collector: MetricsCollector,
     handles: ClusterHandles,
-    controller: Optional[Address] = None,
+    controller: object = None,  # Address | Sequence[Address] | None
 ) -> None:
     exec_config = ExecutorConfig(
         poll_interval_ns=config.poll_interval_ns,

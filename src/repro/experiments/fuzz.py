@@ -41,6 +41,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--max-events", type=int, default=8, help="fault events per plan cap"
     )
     parser.add_argument(
+        "--controller-replicas",
+        type=int,
+        default=None,
+        help="pin the control plane size (1 = unreplicated, >= 2 "
+        "replicates); default samples the toggle per seed",
+    )
+    parser.add_argument(
         "--shrink-attempts",
         type=int,
         default=200,
@@ -60,6 +67,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_events=args.max_events,
         jobs=args.jobs,
         shrink_attempts=args.shrink_attempts,
+        controller_replicas=args.controller_replicas,
     )
     results, failures = fuzzer.run()
     for result in results:

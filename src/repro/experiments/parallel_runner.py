@@ -61,6 +61,40 @@ def resolve_jobs(jobs: Optional[int], cells: int) -> int:
     return max(1, min(jobs, cells))
 
 
+class _ByName:
+    """Pickle-by-name shim for cell functions defined in ``__main__``.
+
+    ``python -m repro <cmd>`` (runpy) executes the experiment module
+    under the name ``__main__`` while its canonical name stays in
+    ``__spec__``; pickling the cell function by reference would then
+    look it up on the dispatcher's ``__main__`` and fail. Shipping the
+    (module, qualname) pair instead lets each worker import the
+    canonical module and resolve the function locally.
+    """
+
+    def __init__(self, module: str, qualname: str) -> None:
+        self.module = module
+        self.qualname = qualname
+
+    def __call__(self, item: Any) -> Any:
+        import importlib
+
+        target: Any = importlib.import_module(self.module)
+        for part in self.qualname.split("."):
+            target = getattr(target, part)
+        return target(item)
+
+
+def _picklable(fn: Callable[[Any], Any]) -> Callable[[Any], Any]:
+    if getattr(fn, "__module__", None) != "__main__":
+        return fn
+    spec = getattr(fn, "__globals__", {}).get("__spec__")
+    name = getattr(spec, "name", None)
+    if name and name != "__main__":
+        return _ByName(name, fn.__qualname__)
+    return fn
+
+
 def _invoke(payload: Tuple[Callable[[Any], Any], Any]) -> Tuple[Any, int]:
     """Worker entry: run one cell, return (result, event delta).
 
@@ -97,6 +131,7 @@ def parallel_map(
     workers = resolve_jobs(jobs, len(cells))
     if serial or workers <= 1 or len(cells) <= 1 or not fork_available():
         return [fn(item) for item in cells]
+    fn = _picklable(fn)
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(processes=workers) as pool:
         pairs = pool.map(_invoke, [(fn, item) for item in cells])

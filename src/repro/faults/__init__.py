@@ -20,6 +20,7 @@ conservation property tests are the primary consumers.
 """
 
 from repro.faults.events import (
+    ControllerCrash,
     FaultEvent,
     LinkFault,
     PacketCorruption,
@@ -34,10 +35,11 @@ from repro.faults.events import (
     event_to_dict,
 )
 from repro.faults.links import Degradation, LinkChaos, chaos_for
-from repro.faults.plan import PLAN_KINDS, FaultPlan
+from repro.faults.plan import PLAN_KINDS, FaultPlan, sample_ctrl_faults
 from repro.faults.injector import FaultInjector, FaultInjectorStats
 
 __all__ = [
+    "ControllerCrash",
     "Degradation",
     "FaultEvent",
     "FaultInjector",
@@ -57,4 +59,5 @@ __all__ = [
     "event_from_dict",
     "event_start",
     "event_to_dict",
+    "sample_ctrl_faults",
 ]

@@ -92,6 +92,35 @@ class WorkerCrash:
 
 
 @dataclass(frozen=True)
+class ControllerCrash:
+    """Fail-stop controller replica ``replica_id``; optionally restart it.
+
+    With a single (unreplicated) controller this kills the whole control
+    plane: lease reclaim stalls until the restart (or forever), which is
+    exactly the availability gap ``repro.ctrl.replication`` closes. With
+    replicas, killing the leader forces an election and the chaos oracle
+    checks that a follower takes over within one election timeout with
+    no task loss and no deposed-leader action landing.
+    """
+
+    at_ns: int
+    replica_id: int = 0
+    restart_after_ns: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.at_ns < 0:
+            raise ConfigurationError(f"at_ns must be >= 0: {self.at_ns}")
+        if self.replica_id < 0:
+            raise ConfigurationError(
+                f"replica_id must be >= 0: {self.replica_id}"
+            )
+        if self.restart_after_ns is not None and self.restart_after_ns <= 0:
+            raise ConfigurationError(
+                f"restart_after_ns must be positive: {self.restart_after_ns}"
+            )
+
+
+@dataclass(frozen=True)
 class WorkerSlowdown:
     """Multiply execution time on worker ``node_id`` for a window."""
 
@@ -169,6 +198,7 @@ FaultEvent = (
     LinkFault,
     Partition,
     WorkerCrash,
+    ControllerCrash,
     WorkerSlowdown,
     SwitchFailover,
     RecircExhaustion,
@@ -251,7 +281,7 @@ def event_end(event) -> int:
     Point faults end when they fire — except a crash with a scheduled
     restart, whose effect persists until the worker is back.
     """
-    if isinstance(event, WorkerCrash):
+    if isinstance(event, (WorkerCrash, ControllerCrash)):
         return event.at_ns + (event.restart_after_ns or 0)
     if hasattr(event, "end_ns"):
         return event.end_ns

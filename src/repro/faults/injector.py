@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.events import (
+    ControllerCrash,
     LinkFault,
     PacketCorruption,
     Partition,
@@ -46,6 +47,8 @@ class FaultInjectorStats:
 
     worker_crashes: int = 0
     worker_restarts: int = 0
+    controller_crashes: int = 0
+    controller_restarts: int = 0
     slowdowns: int = 0
     partitions: int = 0
     link_faults: int = 0
@@ -60,6 +63,8 @@ class FaultInjectorStats:
         return (
             self.worker_crashes
             + self.worker_restarts
+            + self.controller_crashes
+            + self.controller_restarts
             + self.slowdowns
             + self.partitions
             + self.link_faults
@@ -81,6 +86,7 @@ class FaultInjector:
         switch=None,
         program_factory: Optional[Callable[[], object]] = None,
         rng: Optional[np.random.Generator] = None,
+        controllers=None,
     ) -> None:
         self.sim = sim
         self.plan = plan
@@ -90,6 +96,10 @@ class FaultInjector:
             w.spec.node_id: w for w in workers
         }
         self.program_factory = program_factory
+        #: crash target for ControllerCrash events — anything with
+        #: ``crash(replica_id)`` / ``restart(replica_id)``, i.e. a
+        #: ControllerGroup or a single-controller adapter
+        self.controllers = controllers
         self.rng = rng or np.random.default_rng(0)
         self.stats = FaultInjectorStats()
         self._armed = False
@@ -206,6 +216,29 @@ class FaultInjector:
 
                 self.sim.call_at(
                     max(now, event.at_ns) + event.restart_after_ns, restart
+                )
+        elif isinstance(event, ControllerCrash):
+            if self.controllers is None:
+                raise ConfigurationError(
+                    "plan contains ControllerCrash but no controllers given"
+                )
+            controllers = self.controllers
+            replica_id = event.replica_id
+
+            def ctrl_crash() -> None:
+                self.stats.controller_crashes += 1
+                controllers.crash(replica_id)
+
+            self.sim.call_at(max(now, event.at_ns), ctrl_crash)
+            if event.restart_after_ns is not None:
+
+                def ctrl_restart() -> None:
+                    self.stats.controller_restarts += 1
+                    controllers.restart(replica_id)
+
+                self.sim.call_at(
+                    max(now, event.at_ns) + event.restart_after_ns,
+                    ctrl_restart,
                 )
         elif isinstance(event, WorkerSlowdown):
             worker = self._worker(event.node_id)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.faults.events import (
+    ControllerCrash,
     FaultEvent,
     LinkFault,
     PacketCorruption,
@@ -368,3 +369,79 @@ class FaultPlan:
             idx = int(rng.choice(len(productions), p=weights))
             events.extend(productions[idx]())
         return FaultPlan(events[:max_events])
+
+
+def sample_ctrl_faults(
+    rng: np.random.Generator,
+    horizon_ns: int,
+    replica_ids: Sequence[int],
+    ctrl_names: Optional[Sequence[str]] = None,
+    max_events: int = 3,
+) -> List[object]:
+    """Controller-fault productions for replicated control-plane runs.
+
+    Deliberately *not* part of :meth:`FaultPlan.fuzzed`: adding a
+    production there would shift the draw sequence and break byte-stable
+    replay of every pre-replication artifact. The fuzzer draws these
+    from a dedicated RNG stream and appends them to the base plan only
+    when the scenario runs >= 2 controller replicas.
+
+    Two guardrails keep generated plans recoverable: at most
+    ``len(replica_ids) - 1`` replicas are ever crashed without a
+    scheduled restart (an election can always complete), and every
+    partition window closes inside the middle 60% of the horizon.
+    """
+    ids = list(replica_ids)
+    if len(ids) < 2:
+        raise ConfigurationError(
+            f"controller faults need >= 2 replicas, got {ids}"
+        )
+    if max_events < 1:
+        raise ConfigurationError(f"max_events must be >= 1: {max_events}")
+    names = list(
+        ctrl_names if ctrl_names is not None else [f"ctrl{i}" for i in ids]
+    )
+    lo, hi = int(horizon_ns * 0.2), int(horizon_ns * 0.8)
+    permanent_budget = len(ids) - 1
+    permanently_dead: set = set()
+    target = int(rng.integers(1, max_events + 1))
+    events: List[object] = []
+    while len(events) < target:
+        if rng.random() < 0.7:
+            rid = int(rng.choice(ids))
+            at = int(rng.integers(lo, hi))
+            permanent = (
+                rng.random() < 0.3
+                and permanent_budget > 0
+                and rid not in permanently_dead
+            )
+            if permanent:
+                events.append(
+                    ControllerCrash(
+                        at_ns=at, replica_id=rid, restart_after_ns=None
+                    )
+                )
+                permanent_budget -= 1
+                permanently_dead.add(rid)
+            else:
+                restart = int(
+                    rng.integers(horizon_ns * 0.05, horizon_ns * 0.2)
+                )
+                events.append(
+                    ControllerCrash(
+                        at_ns=at, replica_id=rid, restart_after_ns=restart
+                    )
+                )
+        else:
+            start = int(rng.integers(lo, hi))
+            length = int(
+                rng.integers(max(1, horizon_ns * 0.02), horizon_ns * 0.12)
+            )
+            events.append(
+                Partition(
+                    start_ns=start,
+                    end_ns=min(start + length, hi),
+                    nodes=(str(rng.choice(names)),),
+                )
+            )
+    return events[:max_events]

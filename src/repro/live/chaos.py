@@ -50,6 +50,7 @@ from repro.core.policies import PriorityPolicy
 from repro.ctrl.checkpoint import CheckpointManager
 from repro.errors import ConfigurationError, LiveTimeoutError, ProtocolError
 from repro.faults.events import (
+    ControllerCrash,
     LinkFault,
     PacketCorruption,
     Partition,
@@ -58,9 +59,10 @@ from repro.faults.events import (
     WorkerSlowdown,
     event_end,
 )
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import FaultPlan, sample_ctrl_faults
 from repro.live.base import Counters, Endpoint
 from repro.live.client import LiveClient, LiveClientConfig
+from repro.live.ctrlplane import LiveControllerReplica, ctrl_name
 from repro.live.executor import LiveExecutor, LiveExecutorConfig
 from repro.live.loadgen import OpenLoopGen
 from repro.live.results import LiveResult
@@ -373,15 +375,22 @@ class LiveFaultInjector:
         executors: Dict[int, LiveExecutor],
         make_executor: Callable[[int], LiveExecutor],
         base_time_scale: float = 1.0,
+        controllers: Optional[Dict[int, LiveControllerReplica]] = None,
+        make_controller: Optional[
+            Callable[[int], LiveControllerReplica]
+        ] = None,
     ) -> None:
         self.plan = plan
         self.switch = switch
         self.executors = executors
         self.make_executor = make_executor
         self.base_time_scale = base_time_scale
+        self.controllers = controllers if controllers is not None else {}
+        self.make_controller = make_controller
         self.counters = Counters()
         #: killed incarnations, kept for counter/histogram aggregation
         self.retired: List[LiveExecutor] = []
+        self.ctrl_retired: List[LiveControllerReplica] = []
         self._timers: Set[asyncio.TimerHandle] = set()
         self._tasks: List[asyncio.Task] = []
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -403,6 +412,17 @@ class LiveFaultInjector:
                 self._at(event.end_ns, self._restore_speed, event.node_id)
             elif cls is SwitchFailover:
                 self._at(event.at_ns, self._failover)
+            elif cls is ControllerCrash:
+                if self.controllers:
+                    self._at(event.at_ns, self._ctrl_crash, event)
+                    if event.restart_after_ns is not None:
+                        self._at(
+                            event.at_ns + event.restart_after_ns,
+                            self._ctrl_restart,
+                            event.replica_id,
+                        )
+                else:
+                    self.counters.incr("unsupported_events")
             elif cls in _WIRE_FAULTS:
                 pass  # window-matched per packet by ChaosNet
             else:
@@ -459,6 +479,28 @@ class LiveFaultInjector:
     def _failover(self) -> None:
         self.counters.incr("failovers")
         self.switch.install_program(self.switch.standby_program())
+
+    def _ctrl_crash(self, event: ControllerCrash) -> None:
+        replica = self.controllers.get(event.replica_id)
+        if replica is None or replica.closed:
+            self.counters.incr("ctrl_crash_skipped")
+            return
+        self.counters.incr("ctrl_crashes")
+        self.ctrl_retired.append(replica)
+        replica.kill()
+
+    def _ctrl_restart(self, replica_id: int) -> None:
+        if self.make_controller is None:
+            return
+        self.counters.incr("ctrl_restarts")
+        # Fresh socket, fresh incarnation: the replica rejoins as a
+        # follower at term 0 and relearns the current term from acks and
+        # peer sync — it must never be granted a stale term again (the
+        # register only moves forward).
+        replica = self.make_controller(replica_id)
+        self.controllers[replica_id] = replica
+        assert self._loop is not None
+        self._tasks.append(self._loop.create_task(replica.start()))
 
     def idle(self) -> bool:
         """No fault is still scheduled or mid-restart (quiescence)."""
@@ -649,6 +691,10 @@ class ChaosScenario:
     max_retries: int = 24
     checkpoint_interval_s: float = 0.05
     max_events: int = 5
+    #: 0 = no live control plane (the pre-replication default); >= 2
+    #: runs that many LiveControllerReplica endpoints electing through
+    #: the soft switch, and the plan may contain ControllerCrash events
+    controller_replicas: int = 0
     plan_json: str = ""
 
     def plan(self) -> FaultPlan:
@@ -684,10 +730,21 @@ class ChaosScenario:
 
 
 def sample_scenario(
-    seed: int, max_events: int = 5, duration_s: float = 0.3
+    seed: int,
+    max_events: int = 5,
+    duration_s: float = 0.3,
+    controller_replicas: Optional[int] = None,
 ) -> ChaosScenario:
-    """Sample one scenario; the seed fully determines workload and plan."""
-    rng = RngStreams(seed).stream("live-fuzz")
+    """Sample one scenario; the seed fully determines workload and plan.
+
+    ``controller_replicas=None`` samples the toggle (half the runs get a
+    3-replica live control plane); an explicit value pins it, which is
+    what the CI matrix uses. Replication decisions draw from their own
+    RNG streams so pre-replication seeds still produce byte-identical
+    scenarios when the toggle is pinned to 0.
+    """
+    rngs = RngStreams(seed)
+    rng = rngs.stream("live-fuzz")
     scenario = ChaosScenario(
         seed=seed,
         policy="priority" if rng.random() < 0.3 else "fcfs",
@@ -695,12 +752,32 @@ def sample_scenario(
         duration_s=duration_s,
         max_events=max_events,
     )
+    if controller_replicas is None:
+        rep_rng = rngs.stream("live-fuzz-ctrl")
+        controller_replicas = 3 if rep_rng.random() < 0.5 else 0
+    scenario.controller_replicas = int(controller_replicas)
+    horizon_ns = int(scenario.duration_s * 1e9)
     plan = sample_live_plan(
         rng,
-        horizon_ns=int(scenario.duration_s * 1e9),
+        horizon_ns=horizon_ns,
         executor_ids=list(range(scenario.executors)),
         max_events=max_events,
     )
+    events = list(plan.events)
+    if scenario.controller_replicas >= 2:
+        events.extend(
+            sample_ctrl_faults(
+                rngs.stream("live-fuzz-ctrl-plan"),
+                horizon_ns,
+                replica_ids=list(range(scenario.controller_replicas)),
+                ctrl_names=[
+                    ctrl_name(i)
+                    for i in range(scenario.controller_replicas)
+                ],
+                max_events=2,
+            )
+        )
+        plan = FaultPlan(events)
     scenario.plan_json = plan.to_json()
     return scenario
 
@@ -724,6 +801,9 @@ class ChaosRunResult:
     #: re-registrations beyond each executor's first (epoch bumps seen)
     reregistrations: int = 0
     epoch_history: Dict[int, List[int]] = field(default_factory=dict)
+    #: per-replica LiveControllerReplica.stats() + the switch's election
+    #: register audit, when the scenario ran a live control plane
+    ctrl: Dict[str, Any] = field(default_factory=dict)
     wall_s: float = 0.0
 
     def kinds(self) -> Tuple[str, ...]:
@@ -734,12 +814,20 @@ class ChaosRunResult:
         kinds = ",".join(k.replace("Worker", "").replace("Packet", "")
                          for k in self.kinds()) or "none"
         r = self.result
+        ctrl = ""
+        if self.ctrl:
+            election = self.ctrl.get("election", {})
+            ctrl = (
+                f" ctrl[n={self.scenario.controller_replicas}"
+                f" term={election.get('term', 0)}"
+                f" elections={election.get('elections_held', 0)}]"
+            )
         return (
             f"seed={self.scenario.seed:<6d} {verdict:<4s} "
             f"faults=[{kinds}] tasks={r.tasks_completed}/{r.tasks_submitted}"
             f" lost={r.tasks_lost} dup={r.duplicates}"
             f" resubmit={r.resubmits} rereg={self.reregistrations}"
-            f" wall={self.wall_s:.1f}s"
+            f"{ctrl} wall={self.wall_s:.1f}s"
         )
 
 
@@ -784,6 +872,27 @@ async def run_live_chaos_async(
     executors: Dict[int, LiveExecutor] = {
         i: make_executor(i) for i in range(scenario.executors)
     }
+
+    controllers: Dict[int, LiveControllerReplica] = {}
+
+    def make_controller(replica_id: int) -> LiveControllerReplica:
+        replica = LiveControllerReplica(
+            replica_id=replica_id,
+            switch=switch.endpoint,
+            clock=switch.sim,
+            transport_wrap=chaos.wrap(ctrl_name(replica_id)),
+        )
+        replica.peer_resolver = lambda: [
+            r.endpoint
+            for r in controllers.values()
+            if not r.closed and r._endpoint is not None
+        ]
+        return replica
+
+    if scenario.controller_replicas >= 2:
+        for i in range(scenario.controller_replicas):
+            controllers[i] = make_controller(i)
+
     client = LiveClient(
         uid=0,
         config=LiveClientConfig(
@@ -795,7 +904,12 @@ async def run_live_chaos_async(
         transport_wrap=chaos.wrap(CLIENT_NAME),
     )
     injector = LiveFaultInjector(
-        plan, switch, executors, make_executor
+        plan,
+        switch,
+        executors,
+        make_executor,
+        controllers=controllers,
+        make_controller=make_controller,
     )
     oracle = LiveInvariantOracle(
         switch=switch,
@@ -804,6 +918,7 @@ async def run_live_chaos_async(
         retired=injector.retired,
         chaos=chaos,
         injector=injector,
+        controllers=controllers,
     )
 
     async def drive() -> ChaosRunResult:
@@ -812,6 +927,8 @@ async def run_live_chaos_async(
         await asyncio.gather(
             *(e.wait_registered(5.0) for e in executors.values())
         )
+        for replica in controllers.values():
+            await replica.start()
         await client.start(switch.endpoint)
         oracle.attach()
 
@@ -827,6 +944,16 @@ async def run_live_chaos_async(
         # the scenario.
         while not chaos.windows_closed():
             await asyncio.sleep(0.01)
+        # A leader killed near the end of the horizon needs up to one
+        # lease + one poll before a successor is granted the next term;
+        # give the election that long before the oracle demands a leader.
+        if controllers:
+            ctrl_deadline = switch.sim.now + int(1.0 * 1e9)
+            while switch.sim.now < ctrl_deadline:
+                alive = [r for r in controllers.values() if not r.closed]
+                if not alive or any(r.is_leader() for r in alive):
+                    break
+                await asyncio.sleep(0.01)
         # Settle: late completions, reorder-delayed stragglers, the last
         # queued tasks behind a slow executor.
         deadline = switch.sim.now + int(2.0 * 1e9)
@@ -857,6 +984,18 @@ async def run_live_chaos_async(
             for history in switch.epoch_history.values()
             if len(history) > 1
         )
+        ctrl_stats: Dict[str, Any] = {}
+        if controllers:
+            live_replicas = list(controllers.values())
+            ctrl_stats = {
+                "election": switch.election.audit(),
+                "replicas": [r.stats() for r in live_replicas],
+                "retired": [
+                    r.stats()
+                    for r in injector.ctrl_retired
+                    if r not in live_replicas
+                ],
+            }
         return ChaosRunResult(
             scenario=scenario,
             ok=report.ok,
@@ -868,6 +1007,7 @@ async def run_live_chaos_async(
             epoch_history={
                 k: list(v) for k, v in switch.epoch_history.items()
             },
+            ctrl=ctrl_stats,
             wall_s=wall_ns / 1e9,
         )
 
@@ -894,6 +1034,10 @@ async def run_live_chaos_async(
         await injector.aclose()
         await wallsim.aclose()
         await client.aclose()
+        for replica in list(injector.ctrl_retired) + list(
+            controllers.values()
+        ):
+            await replica.aclose()
         for executor in list(injector.retired) + list(executors.values()):
             await executor.aclose()
         switch.close()

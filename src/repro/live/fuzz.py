@@ -45,6 +45,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--duration", type=float, default=0.3, help="workload seconds per run"
     )
     parser.add_argument(
+        "--controller-replicas",
+        type=int,
+        default=None,
+        help="pin the live control plane size (0 disables, >= 2 "
+        "replicates); default samples the toggle per seed",
+    )
+    parser.add_argument(
         "--timeout-s",
         type=float,
         default=DEFAULT_TIMEOUT_S,
@@ -75,7 +82,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for index in range(args.runs):
         seed = args.seed + index
         scenario = sample_scenario(
-            seed, max_events=args.max_events, duration_s=args.duration
+            seed,
+            max_events=args.max_events,
+            duration_s=args.duration,
+            controller_replicas=args.controller_replicas,
         )
         try:
             run = run_live_chaos(scenario, timeout_s=timeout_s)
@@ -112,6 +122,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "duplicates": run.result.duplicates,
                 "resubmits": run.result.resubmits,
                 "reregistrations": run.reregistrations,
+                "controller_replicas": scenario.controller_replicas,
+                "ctrl": run.ctrl,
                 "injected": run.injected,
                 "checks": run.checks,
                 "wall_s": run.wall_s,

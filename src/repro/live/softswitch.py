@@ -45,6 +45,7 @@ from repro.protocol.messages import (
     TaskAssignment,
     TaskRequest,
 )
+from repro.switchsim.election import ElectionRegister
 from repro.switchsim.pipeline import Drop, Recirculate, Reply
 from repro.switchsim.registers import PacketContext
 
@@ -134,6 +135,12 @@ class SoftSwitch:
         self.transport_wrap = transport_wrap
         self.priority_inversions = 0
         self._inversion_probe = isinstance(policy, PriorityPolicy)
+        # Leadership arbitration for replicated live controllers
+        # (repro.live.ctrlplane). Same register class as the simulated
+        # switch; ElectionRequest datagrams reach it through the program's
+        # normal traversal path, and it survives install_program because
+        # it lives on the switch object, not the program.
+        self.election = ElectionRegister()
         self.executors: Dict[int, ExecutorRecord] = {}
         #: every epoch ever acked, per executor id, in ack order — the
         #: live oracle asserts each sequence is strictly increasing.

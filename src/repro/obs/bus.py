@@ -127,6 +127,12 @@ class TelemetryBus:
             return
         self.counters[name] = self.counters.get(name, 0) + n
 
+    def gauge(self, name: str, value: int) -> None:
+        """Last-write-wins level (current term, backlog depth, ...)."""
+        if not self.enabled:
+            return
+        self.counters[name] = int(value)
+
     def observe(self, name: str, value: int) -> None:
         if not self.enabled:
             return

@@ -9,6 +9,10 @@ transmit.
 from repro.protocol.opcodes import OpCode
 from repro.protocol.messages import (
     Completion,
+    ControllerSync,
+    CtrlOp,
+    ElectionAck,
+    ElectionRequest,
     ErrorPacket,
     ExecutorRegister,
     Heartbeat,
@@ -26,6 +30,10 @@ from repro.protocol.codec import decode, encode, wire_size
 
 __all__ = [
     "Completion",
+    "ControllerSync",
+    "CtrlOp",
+    "ElectionAck",
+    "ElectionRequest",
     "ErrorPacket",
     "ExecutorRegister",
     "Heartbeat",

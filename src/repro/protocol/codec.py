@@ -30,6 +30,10 @@ from repro.errors import ProtocolError
 from repro.net.packet import Address
 from repro.protocol.messages import (
     Completion,
+    ControllerSync,
+    CtrlOp,
+    ElectionAck,
+    ElectionRequest,
     ErrorPacket,
     ExecutorRegister,
     Heartbeat,
@@ -63,6 +67,10 @@ _SWAP_TAIL = struct.Struct(">IHHBB")  # exec_id swaps skip insert qindex
 _HEARTBEAT_WIRE = struct.Struct(">BIH")  # whole message, 7 bytes
 _REGISTER_WIRE = struct.Struct(">BIHHQB")  # whole message, 18 bytes
 _REGISTER_ACK_WIRE = struct.Struct(">BIIB")  # whole message, 10 bytes
+_ELECTION_REQ_WIRE = struct.Struct(">BHIQ")  # whole message, 15 bytes
+_ELECTION_ACK_WIRE = struct.Struct(">BHIBQ")  # whole message, 16 bytes
+_CTRL_SYNC_HEAD = struct.Struct(">BHIIBH")  # op leader term seq snap #ops
+_CTRL_OP_WIRE = struct.Struct(">BIIIIQ")  # kind exec_id a b c d, 25 bytes
 
 _OP_JOB = int(OpCode.JOB_SUBMISSION)
 _OP_REQUEST = int(OpCode.TASK_REQUEST)
@@ -76,6 +84,13 @@ _NOOP_BYTES = bytes([int(OpCode.NO_OP)])
 _HEARTBEAT_OP = int(OpCode.HEARTBEAT)
 _OP_REGISTER = int(OpCode.EXECUTOR_REGISTER)
 _OP_REGISTER_ACK = int(OpCode.REGISTER_ACK)
+_OP_ELECTION_REQ = int(OpCode.ELECTION_REQUEST)
+_OP_ELECTION_ACK = int(OpCode.ELECTION_ACK)
+_OP_CTRL_SYNC = int(OpCode.CONTROLLER_SYNC)
+
+MAX_CTRL_OPS_PER_PACKET = 48
+"""#OPS limit so a controller_sync delta fits in one MTU; bigger flushes
+split across packets (the leader's journal flush loop chunks)."""
 
 MAX_FN_PAR_BYTES = 64
 """Fixed FN_PAR field capacity; larger parameters use indirection (§4.4)."""
@@ -250,6 +265,48 @@ def _enc_register_ack(out: bytearray, m: RegisterAck) -> None:
     )
 
 
+def _enc_election_request(out: bytearray, m: ElectionRequest) -> None:
+    out += _ELECTION_REQ_WIRE.pack(
+        _OP_ELECTION_REQ, m.candidate_id, m.term, m.lease_ns
+    )
+
+
+def _enc_election_ack(out: bytearray, m: ElectionAck) -> None:
+    out += _ELECTION_ACK_WIRE.pack(
+        _OP_ELECTION_ACK,
+        m.leader_id,
+        m.term,
+        1 if m.granted else 0,
+        m.expires_at_ns,
+    )
+
+
+def _enc_ctrl_sync(out: bytearray, m: ControllerSync) -> None:
+    ops = m.ops
+    if len(ops) > MAX_CTRL_OPS_PER_PACKET:
+        raise ProtocolError(
+            f"{len(ops)} ctrl ops exceed the per-packet limit "
+            f"({MAX_CTRL_OPS_PER_PACKET}); chunk the flush"
+        )
+    out += _CTRL_SYNC_HEAD.pack(
+        _OP_CTRL_SYNC,
+        m.leader_id,
+        m.term,
+        m.seq,
+        1 if m.snapshot else 0,
+        len(ops),
+    )
+    for op in ops:
+        out += _CTRL_OP_WIRE.pack(
+            op.kind,
+            op.executor_id,
+            op.a,
+            op.b,
+            op.c,
+            op.d & 0xFFFFFFFFFFFFFFFF,
+        )
+
+
 def _enc_repair(out: bytearray, m: RepairPacket) -> None:
     target = m.target.encode("ascii")
     out.append(_OP_REPAIR)
@@ -271,6 +328,9 @@ _ENCODERS: Dict[type, Callable] = {
     Heartbeat: _enc_heartbeat,
     ExecutorRegister: _enc_register,
     RegisterAck: _enc_register_ack,
+    ElectionRequest: _enc_election_request,
+    ElectionAck: _enc_election_ack,
+    ControllerSync: _enc_ctrl_sync,
     RepairPacket: _enc_repair,
 }
 
@@ -427,6 +487,44 @@ def _dec_register_ack(data):
     )
 
 
+def _dec_election_request(data):
+    _, candidate_id, term, lease_ns = _ELECTION_REQ_WIRE.unpack_from(data, 0)
+    return ElectionRequest(
+        candidate_id=candidate_id, term=term, lease_ns=lease_ns
+    )
+
+
+def _dec_election_ack(data):
+    _, leader_id, term, granted, expires_at_ns = _ELECTION_ACK_WIRE.unpack_from(
+        data, 0
+    )
+    return ElectionAck(
+        leader_id=leader_id,
+        term=term,
+        granted=bool(granted),
+        expires_at_ns=expires_at_ns,
+    )
+
+
+def _dec_ctrl_sync(data):
+    _, leader_id, term, seq, snapshot, count = _CTRL_SYNC_HEAD.unpack_from(
+        data, 0
+    )
+    offset = 14
+    ops = []
+    for _i in range(count):
+        kind, executor_id, a, b, c, d = _CTRL_OP_WIRE.unpack_from(data, offset)
+        ops.append(CtrlOp(kind=kind, executor_id=executor_id, a=a, b=b, c=c, d=d))
+        offset += 25
+    return ControllerSync(
+        leader_id=leader_id,
+        term=term,
+        seq=seq,
+        snapshot=bool(snapshot),
+        ops=ops,
+    )
+
+
 def _dec_repair(data):
     length = data[1]
     target = bytes(data[2 : 2 + length]).decode("ascii")
@@ -447,6 +545,9 @@ _DECODERS: Dict[int, Callable] = {
     int(OpCode.HEARTBEAT): _dec_heartbeat,
     int(OpCode.EXECUTOR_REGISTER): _dec_register,
     int(OpCode.REGISTER_ACK): _dec_register_ack,
+    int(OpCode.ELECTION_REQUEST): _dec_election_request,
+    int(OpCode.ELECTION_ACK): _dec_election_ack,
+    int(OpCode.CONTROLLER_SYNC): _dec_ctrl_sync,
     int(OpCode.REPAIR): _dec_repair,
 }
 
@@ -527,6 +628,9 @@ _SIZERS: Dict[type, Callable] = {
     Heartbeat: lambda m: 7,
     ExecutorRegister: lambda m: 18,
     RegisterAck: lambda m: 10,
+    ElectionRequest: lambda m: 15,
+    ElectionAck: lambda m: 16,
+    ControllerSync: lambda m: 14 + 25 * len(m.ops),
     RepairPacket: _size_repair,
 }
 

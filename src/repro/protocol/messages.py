@@ -241,6 +241,79 @@ class RegisterAck:
 
 
 @dataclass
+class ElectionRequest:
+    """Controller replica asking the switch for (or renewing) leadership.
+
+    Leadership is a lease arbitrated by the *switch* — its election
+    register is the one place that cannot split-brain, because every
+    control-plane action flows through it anyway
+    (repro.ctrl.replication). ``term`` is the highest term the candidate
+    has observed; the register may grant a higher one. ``lease_ns`` is
+    the leadership lease duration the candidate requests.
+    """
+
+    op: OpCode = field(default=OpCode.ELECTION_REQUEST, init=False)
+    candidate_id: int = 0
+    term: int = 0
+    lease_ns: int = 0
+
+
+@dataclass
+class ElectionAck:
+    """Switch -> candidate election verdict.
+
+    ``granted`` means the candidate now leads ``term`` until
+    ``expires_at_ns``. A denial carries the *current* leader, term, and
+    expiry, so a deposed leader learns it was fenced the moment it tries
+    to renew.
+    """
+
+    op: OpCode = field(default=OpCode.ELECTION_ACK, init=False)
+    leader_id: int = 0
+    term: int = 0
+    granted: bool = False
+    expires_at_ns: int = 0
+
+
+@dataclass(frozen=True)
+class CtrlOp:
+    """One replicated control-plane state operation (wire record).
+
+    A generic fixed-width record so the codec stays policy-free; the
+    semantics of ``kind`` and the operand words live in
+    ``repro.ctrl.replication`` (lease grant/expiry, assignment,
+    completion, pull reclaim, checkpoint metadata).
+    """
+
+    kind: int
+    executor_id: int = 0
+    a: int = 0
+    b: int = 0
+    c: int = 0
+    d: int = 0
+
+
+@dataclass
+class ControllerSync:
+    """Leader -> follower control-plane state replication.
+
+    ``seq`` is a per-term monotonic flush sequence so followers detect
+    gaps; a gap (or ``snapshot=True``) makes the payload a full snapshot
+    rather than a delta. ``entries`` is a simulator-only piggyback of
+    the actual queue-entry objects keyed by task key — never encoded on
+    the wire (live sync replicates lease/assignment records only).
+    """
+
+    op: OpCode = field(default=OpCode.CONTROLLER_SYNC, init=False)
+    leader_id: int = 0
+    term: int = 0
+    seq: int = 0
+    snapshot: bool = False
+    ops: List[CtrlOp] = field(default_factory=list)
+    entries: Optional[dict] = field(default=None, compare=False, repr=False)
+
+
+@dataclass
 class RepairPacket:
     """Switch-internal pointer-repair packet (§4.5).
 

@@ -36,3 +36,11 @@ class OpCode(enum.IntEnum):
     # membership is implicit in the topology.
     EXECUTOR_REGISTER = 11
     REGISTER_ACK = 12
+    # Control-plane replication (repro.ctrl.replication): lease-based
+    # leader election arbitrated by the switch (the election register is
+    # the single source of truth for leadership), and leader -> follower
+    # state synchronization so a follower can take over with the leases
+    # and in-flight assignments of the deposed leader.
+    ELECTION_REQUEST = 13
+    ELECTION_ACK = 14
+    CONTROLLER_SYNC = 15

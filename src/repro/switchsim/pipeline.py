@@ -27,6 +27,7 @@ from repro.errors import SwitchError
 from repro.net.packet import ETHERNET_IP_UDP_OVERHEAD, Address, Packet
 from repro.net.topology import BaseSwitch
 from repro.sim.core import SEC, Simulator
+from repro.switchsim.election import ElectionRegister
 from repro.switchsim.registers import PacketContext, RegisterFile
 from repro.switchsim.resources import SwitchModel, TOFINO1
 
@@ -162,6 +163,9 @@ class ProgrammableSwitch(BaseSwitch):
         #: ``hook(new_program, old_program)`` after the swap but before
         #: the standby sees its first packet (warm-standby restore point)
         self._install_hooks: List[Callable[[P4Program, P4Program], None]] = []
+        #: controller-leadership lease cell (repro.ctrl.replication);
+        #: switch-resident so the term sequence survives install_program
+        self.election = ElectionRegister()
 
     # -- control plane / fault hooks -------------------------------------
 

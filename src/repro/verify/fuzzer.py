@@ -26,7 +26,7 @@ from repro.core.scheduler import DraconisProgram
 from repro.errors import ConfigurationError
 from repro.experiments import common
 from repro.experiments.parallel_runner import parallel_map
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import FaultInjector, FaultPlan, sample_ctrl_faults
 from repro.sim.core import ms
 from repro.sim.rng import RngStreams
 from repro.verify.oracle import InvariantOracle, OracleReport, Violation
@@ -58,6 +58,9 @@ class FuzzScenario:
     timeout_factor: float = DEFAULT_TIMEOUT_FACTOR
     park_pulls: bool = True
     controller: bool = False
+    #: >= 2 runs the replicated control plane (repro.ctrl.replication)
+    #: and arms the controller-fault grammar on a dedicated stream
+    controller_replicas: int = 1
     checkpoints: bool = False
     max_events: int = 8
 
@@ -101,13 +104,14 @@ class FuzzResult:
             flag
             for flag, on in (
                 ("C", self.scenario.controller),
+                ("R", self.scenario.controller_replicas >= 2),
                 ("K", self.scenario.checkpoints),
                 ("P", self.scenario.park_pulls),
             )
             if on
         )
         return (
-            f"seed={self.scenario.seed:<6} feat={features or '-':<3} "
+            f"seed={self.scenario.seed:<6} feat={features or '-':<4} "
             f"faults={self.faults_fired:<2} "
             f"tasks={self.tasks_completed}/{self.tasks_submitted:<5} "
             f"events={self.event_count:<7} "
@@ -115,21 +119,57 @@ class FuzzResult:
         )
 
 
-def sample_scenario(seed: int, max_events: int = 8) -> FuzzScenario:
+def sample_scenario(
+    seed: int,
+    max_events: int = 8,
+    controller_replicas: Optional[int] = None,
+) -> FuzzScenario:
     """Draw the cluster feature toggles for one iteration from the seed.
 
     The draws come from a dedicated named stream so adding a toggle
     later never perturbs the workload, plan, or injector streams of
-    existing seeds.
+    existing seeds. Replication rides its own "fuzz-replication"
+    stream for the same reason: pre-replication seeds keep their exact
+    scenarios. ``controller_replicas`` pins the replica count (the CI
+    matrix runs explicit 1 vs 3 legs); ``None`` samples it.
     """
     rng = RngStreams(seed).stream("fuzz-scenario")
+    controller = bool(rng.random() < 0.4)
+    checkpoints = bool(rng.random() < 0.4)
+    park_pulls = bool(rng.random() < 0.7)
+    if controller_replicas is None:
+        rep_rng = RngStreams(seed).stream("fuzz-replication")
+        controller_replicas = 1
+        if controller and rep_rng.random() < 0.5:
+            controller_replicas = 3
+    elif controller_replicas >= 2:
+        controller = True  # a replica group implies the controller
     return FuzzScenario(
         seed=seed,
-        controller=bool(rng.random() < 0.4),
-        checkpoints=bool(rng.random() < 0.4),
-        park_pulls=bool(rng.random() < 0.7),
+        controller=controller,
+        controller_replicas=controller_replicas,
+        checkpoints=checkpoints,
+        park_pulls=park_pulls,
         max_events=max_events,
     )
+
+
+class _SoloControllerAdapter:
+    """ControllerCrash surface for an unreplicated controller.
+
+    Lets hand-crafted plans (e.g. the ``ha_artifact`` baseline-loss
+    demonstration) crash the single controller through the same injector
+    arm that crashes replica-group members.
+    """
+
+    def __init__(self, controller: Any) -> None:
+        self._controller = controller
+
+    def crash(self, replica_id: int) -> None:
+        self._controller.crash()
+
+    def restart(self, replica_id: int) -> None:
+        self._controller.restart()
 
 
 def _trace_fingerprint(handles: common.ClusterHandles) -> str:
@@ -172,6 +212,7 @@ def run_scenario(scenario: FuzzScenario) -> FuzzResult:
         timeout_factor=scenario.timeout_factor,
         park_pulls=scenario.park_pulls,
         controller=scenario.controller,
+        controller_replicas=scenario.controller_replicas,
         checkpoint_interval_ns=ms(1) if scenario.checkpoints else None,
     )
     rngs = RngStreams(scenario.seed)
@@ -186,9 +227,10 @@ def run_scenario(scenario: FuzzScenario) -> FuzzResult:
     )
     handles = common.build_cluster(config, [events], rngs=rngs)
 
+    replicated = scenario.controller and scenario.controller_replicas >= 2
     if scenario.plan_json is not None:
         plan = FaultPlan.from_json(scenario.plan_json)
-        # burn the plan stream anyway so the downstream injector/link
+        # burn the plan streams anyway so the downstream injector/link
         # streams match the original sampling run exactly
         FaultPlan.fuzzed(
             rngs.stream("fuzz-plan"),
@@ -196,6 +238,12 @@ def run_scenario(scenario: FuzzScenario) -> FuzzResult:
             worker_nodes=[w.spec.node_id for w in handles.workers],
             max_events=scenario.max_events,
         )
+        if replicated:
+            sample_ctrl_faults(
+                rngs.stream("fuzz-ctrl-plan"),
+                scenario.duration_ns,
+                replica_ids=list(range(scenario.controller_replicas)),
+            )
     else:
         plan = FaultPlan.fuzzed(
             rngs.stream("fuzz-plan"),
@@ -203,6 +251,15 @@ def run_scenario(scenario: FuzzScenario) -> FuzzResult:
             worker_nodes=[w.spec.node_id for w in handles.workers],
             max_events=scenario.max_events,
         )
+        if replicated:
+            plan = FaultPlan(
+                list(plan.events)
+                + sample_ctrl_faults(
+                    rngs.stream("fuzz-ctrl-plan"),
+                    scenario.duration_ns,
+                    replica_ids=list(range(scenario.controller_replicas)),
+                )
+            )
 
     def standby_program() -> DraconisProgram:
         return DraconisProgram(
@@ -214,12 +271,17 @@ def run_scenario(scenario: FuzzScenario) -> FuzzResult:
             pull_ttl_ns=config.pull_ttl_ns,
         )
 
+    controllers: Any = handles.ctrl_group
+    if controllers is None and handles.controller is not None:
+        controllers = _SoloControllerAdapter(handles.controller)
+
     injector = FaultInjector(
         handles.sim,
         plan,
         handles.topology,
         workers=handles.workers,
         switch=handles.switch,
+        controllers=controllers,
         program_factory=standby_program,
         rng=rngs.stream("fuzz-injector"),
     ).arm()
@@ -270,16 +332,22 @@ class FaultFuzzer:
         max_events: int = 8,
         jobs: Optional[int] = None,
         shrink_attempts: int = 200,
+        controller_replicas: Optional[int] = None,
     ) -> None:
         self.iterations = iterations
         self.base_seed = base_seed
         self.max_events = max_events
         self.jobs = jobs
         self.shrink_attempts = shrink_attempts
+        self.controller_replicas = controller_replicas
 
     def scenarios(self) -> List[FuzzScenario]:
         return [
-            sample_scenario(self.base_seed + i, max_events=self.max_events)
+            sample_scenario(
+                self.base_seed + i,
+                max_events=self.max_events,
+                controller_replicas=self.controller_replicas,
+            )
             for i in range(self.iterations)
         ]
 

@@ -4,7 +4,7 @@ The simulator oracle (:mod:`repro.verify.oracle`) reads a deterministic
 cluster at known instants; a live run offers neither, so this oracle is
 built around what wall time *can* promise. It shares the
 :class:`~repro.verify.oracle.Violation` / ``OracleReport`` vocabulary and
-checks six families against a live chaos cluster:
+checks seven families against a live chaos cluster:
 
 * **task conservation** — by ``(uid, jid, tid)`` key: no phantom
   completions (a completion for a key never submitted), no task still
@@ -29,6 +29,12 @@ checks six families against a live chaos cluster:
   at baseline.
 * **parser robustness** — the corruption fuzz never provoked anything
   but ``ProtocolError`` out of the codec.
+* **election safety** — when the run carried a replicated live control
+  plane: the switch's election register granted strictly increasing
+  terms, no fenced action landed from a deposed leader, at most one
+  live replica claims leadership at the final check, and if any replica
+  survived the plan a leader exists (takeover completed inside the
+  settle window).
 
 The oracle is duck-typed on the handle objects the chaos runner builds
 (it lives in ``verify/`` and must not import ``repro.live``); attach it
@@ -67,6 +73,7 @@ class LiveInvariantOracle:
         retired: Optional[List[Any]] = None,
         chaos: Any = None,
         injector: Any = None,
+        controllers: Optional[Dict[int, Any]] = None,
         base_time_scale: float = 1.0,
         sample_interval_s: float = DEFAULT_SAMPLE_INTERVAL_S,
     ) -> None:
@@ -76,6 +83,7 @@ class LiveInvariantOracle:
         self.retired = retired if retired is not None else []
         self.chaos = chaos
         self.injector = injector
+        self.controllers = controllers if controllers is not None else {}
         self.base_time_scale = base_time_scale
         self.sample_interval_s = sample_interval_s
         self._sampled: List[Violation] = []
@@ -160,6 +168,7 @@ class LiveInvariantOracle:
         report.checks = self._checks
         self._check_quiescence(report)
         self._check_parser(report)
+        self._check_election(report)
         report.checks = self._checks
         return report
 
@@ -280,5 +289,61 @@ class LiveInvariantOracle:
                     "parser-robustness",
                     f"codec raised non-ProtocolError on {crashes} "
                     "corrupted frame(s)",
+                )
+            )
+
+    def _check_election(self, report: OracleReport) -> None:
+        """Election safety, read from the switch's audit registers.
+
+        Duck-typed on ``switch.election`` (an :class:`~repro.switchsim.
+        election.ElectionRegister`) so the same checks serve sim and
+        live; skipped entirely when no control plane was deployed.
+        """
+        election = getattr(self.switch, "election", None)
+        if election is None or election.term == 0:
+            return
+        self._checks += 1
+        terms = [row[0] for row in election.history]
+        if terms != sorted(set(terms)):
+            report.violations.append(
+                Violation(
+                    "election-safety",
+                    f"new-term grants are not strictly increasing: "
+                    f"{terms} — two leaders shared a term",
+                )
+            )
+        self._checks += 1
+        for stamped, reg in election.actions:
+            if stamped != reg:
+                report.violations.append(
+                    Violation(
+                        "election-safety",
+                        f"a deposed leader's action landed: stamped "
+                        f"term {stamped} while the register held {reg}",
+                    )
+                )
+                break
+        if not self.controllers:
+            return
+        self._checks += 2
+        alive = [
+            r for r in self.controllers.values() if not r.closed
+        ]
+        leaders = [r.replica_id for r in alive if r.is_leader()]
+        if len(leaders) > 1:
+            report.violations.append(
+                Violation(
+                    "election-safety",
+                    f"{len(leaders)} replicas claim live leadership "
+                    f"simultaneously: {leaders}",
+                )
+            )
+        if alive and not leaders:
+            report.violations.append(
+                Violation(
+                    "election-safety",
+                    f"{len(alive)} replica(s) alive but none leads at "
+                    "the final check — election stalled past the "
+                    "settle window",
                 )
             )

@@ -3,7 +3,7 @@
 The chaos fuzzer's value is only as good as its oracle. Crashing is easy
 to detect; a scheduler that silently loses a task, leaks a lease, or
 restores a corrupted checkpoint is not. The oracle encodes the repo's
-correctness claims as five invariant families:
+correctness claims as six invariant families:
 
 * **task conservation** — no phantom lifecycle records (completions for
   tasks never submitted), and every incomplete task is *accounted for*:
@@ -22,6 +22,12 @@ correctness claims as five invariant families:
   one in ways the :class:`~repro.ctrl.checkpoint.RecoveryReport` admits
   (dropped entries, journal overflow, unmatched dequeues). Extra keys
   that the old program never held are always a violation.
+* **election safety** (replicated-controller runs only) — at most one
+  leader per term (new-term grants strictly increase), every accepted
+  fenced action carries the register's *current* term (a deposed leader
+  never mutated the switch), the observed register term never moves
+  backwards, and a live leader holds the lease at the horizon whenever
+  any replica survived.
 * **register sanity** — the switch program's own control-plane checks
   (circular-queue pointer windows, occupancy bounds, parked-pull
   capacity) pass both at the end and in cheap periodic mid-run samples.
@@ -231,6 +237,7 @@ class InvariantOracle:
             )
         self._check_conservation(violations)
         self._check_lease_safety(violations)
+        self._check_election(violations)
         self._check_register_sanity(violations)
         self._check_quiescence(violations)
         return OracleReport(violations=violations, checks=self._checks)
@@ -300,6 +307,13 @@ class InvariantOracle:
 
     def _check_lease_safety(self, out: List[Violation]) -> None:
         controller = getattr(self.handles, "controller", None)
+        group = getattr(self.handles, "ctrl_group", None)
+        if controller is None and group is not None:
+            # Replicated control plane: lease safety is judged against
+            # the current leader's view (followers keep warm but
+            # non-authoritative tables). Leader absence is the election
+            # family's problem, not a lease violation.
+            controller = group.leader()
         if controller is None:
             return
         audit = controller.audit()
@@ -335,6 +349,58 @@ class InvariantOracle:
                         f"parked pulls for executors {sorted(dead_parked)} "
                         f"whose leases are gone — proactive reclaim missed "
                         f"them",
+                    )
+                )
+
+    def _check_election(self, out: List[Violation]) -> None:
+        switch = self.handles.switch
+        election = getattr(switch, "election", None) if switch else None
+        if election is None or election.term == 0:
+            return  # no replicated control plane ran an election
+        self._checks += 1
+        terms = [term for term, _leader, _at in election.history]
+        if terms != sorted(set(terms)):
+            out.append(
+                Violation(
+                    "election-safety",
+                    f"new-term grants are not strictly increasing — two "
+                    f"leaders shared a term: {terms[:10]}",
+                )
+            )
+        self._checks += 1
+        deposed = [
+            (stamped, reg)
+            for stamped, reg in election.actions
+            if stamped != reg
+        ]
+        if deposed:
+            out.append(
+                Violation(
+                    "election-safety",
+                    f"{len(deposed)} accepted action(s) stamped with a "
+                    f"non-current term — a deposed leader mutated the "
+                    f"switch, e.g. {deposed[:3]}",
+                )
+            )
+        self._checks += 1
+        reg_terms = [reg for _stamped, reg in election.actions]
+        if reg_terms != sorted(reg_terms):
+            out.append(
+                Violation(
+                    "election-safety",
+                    "register term moved backwards across accepted actions",
+                )
+            )
+        group = getattr(self.handles, "ctrl_group", None)
+        if group is not None:
+            self._checks += 1
+            alive = [r for r in group.replicas if not r.crashed]
+            if alive and group.leader() is None:
+                out.append(
+                    Violation(
+                        "election-safety",
+                        f"no live leader at the horizon despite "
+                        f"{len(alive)} live replica(s) — election stalled",
                     )
                 )
 

@@ -9,6 +9,10 @@ from repro.errors import ProtocolError
 from repro.net.packet import Address
 from repro.protocol import (
     Completion,
+    ControllerSync,
+    CtrlOp,
+    ElectionAck,
+    ElectionRequest,
     ErrorPacket,
     ExecutorRegister,
     Heartbeat,
@@ -27,7 +31,11 @@ from repro.protocol import (
     wire_size,
 )
 from repro.protocol import codec as codec_module
-from repro.protocol.codec import MAX_FN_PAR_BYTES, MAX_TASKS_PER_PACKET
+from repro.protocol.codec import (
+    MAX_CTRL_OPS_PER_PACKET,
+    MAX_FN_PAR_BYTES,
+    MAX_TASKS_PER_PACKET,
+)
 
 
 def roundtrip(message):
@@ -192,6 +200,48 @@ class TestRegistration:
         assert wire_size(ExecutorRegister()) == wire_size(TaskRequest())
 
 
+class TestElection:
+    """Control-plane replication wire messages (repro.ctrl.replication)."""
+
+    def test_election_request_golden_bytes(self):
+        msg = ElectionRequest(candidate_id=1, term=2, lease_ns=600_000)
+        assert encode(msg) == (
+            b"\x0d\x00\x01\x00\x00\x00\x02"
+            b"\x00\x00\x00\x00\x00\x09\x27\xc0"
+        )
+
+    def test_election_ack_golden_bytes(self):
+        msg = ElectionAck(
+            leader_id=1, term=2, granted=True, expires_at_ns=0x1234
+        )
+        assert encode(msg) == (
+            b"\x0e\x00\x01\x00\x00\x00\x02\x01"
+            b"\x00\x00\x00\x00\x00\x00\x12\x34"
+        )
+
+    def test_controller_sync_sizes(self):
+        ops = [CtrlOp(kind=3, executor_id=7, a=1, b=2, c=3, d=4)]
+        msg = ControllerSync(leader_id=0, term=1, seq=1, ops=ops)
+        assert wire_size(msg) == 14 + 25 * len(ops)
+        assert roundtrip(msg) == msg
+
+    def test_controller_sync_entries_never_on_wire(self):
+        """The sim-only entry piggyback must not affect encoding."""
+        ops = [CtrlOp(kind=3, a=1, b=2, c=3)]
+        bare = ControllerSync(leader_id=0, term=1, seq=1, ops=ops)
+        loaded = ControllerSync(
+            leader_id=0, term=1, seq=1, ops=ops, entries={(1, 2, 3): object()}
+        )
+        assert encode(bare) == encode(loaded)
+        assert decode(encode(loaded)).entries is None
+
+    def test_controller_sync_op_limit(self):
+        ops = [CtrlOp(kind=4) for _ in range(MAX_CTRL_OPS_PER_PACKET + 1)]
+        msg = ControllerSync(leader_id=0, term=1, seq=1, ops=ops)
+        with pytest.raises(ProtocolError, match="ops"):
+            encode(msg)
+
+
 # -- every message type, one property -----------------------------------------
 
 _u8 = st.integers(0, 2**8 - 1)
@@ -278,6 +328,35 @@ MESSAGE_STRATEGIES = {
         target=st.sampled_from(["add_ptr", "retrieve_ptr"]),
         value=_u32,
         queue_index=_u8,
+    ),
+    ElectionRequest: st.builds(
+        ElectionRequest, candidate_id=_u16, term=_u32, lease_ns=_u64
+    ),
+    ElectionAck: st.builds(
+        ElectionAck,
+        leader_id=_u16,
+        term=_u32,
+        granted=st.booleans(),
+        expires_at_ns=_u64,
+    ),
+    ControllerSync: st.builds(
+        ControllerSync,
+        leader_id=_u16,
+        term=_u32,
+        seq=_u32,
+        snapshot=st.booleans(),
+        ops=st.lists(
+            st.builds(
+                CtrlOp,
+                kind=_u8,
+                executor_id=_u32,
+                a=_u32,
+                b=_u32,
+                c=_u32,
+                d=_u64,
+            ),
+            max_size=MAX_CTRL_OPS_PER_PACKET,
+        ),
     ),
 }
 

@@ -49,3 +49,22 @@ def test_dispatch_passes_args_through(capsys):
     assert cli.main(["live", "--help"]) == 0
     out = capsys.readouterr().out
     assert "--executors" in out
+
+
+def test_parallel_sweep_survives_runpy_main(capsys):
+    """runpy executes dispatch targets as ``__main__``, so a sweep's
+    module-level cell function must be re-resolved by canonical module
+    name or the fork pool's pickler fails (parallel_runner._picklable)."""
+    code = cli.main(
+        [
+            "ha",
+            "--seeds", "1",
+            "--replicas", "3",
+            "--duration-ms", "6",
+            "--drain-ms", "8",
+            "--jobs", "2",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replicated: 0 tasks lost" in out
